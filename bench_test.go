@@ -1,0 +1,106 @@
+package temp
+
+import (
+	"testing"
+
+	"temp/internal/experiments"
+)
+
+// The benchmark suite regenerates every paper artefact listed in
+// DESIGN.md's per-experiment index — one benchmark per table/figure.
+// The regenerated rows are printed once per benchmark so that
+// `go test -bench=. -benchmem` doubles as the evaluation harness;
+// b.ReportMetric carries each artefact's headline number.
+
+func runExperiment(b *testing.B, id string, metric func(*experiments.Table) (float64, string)) {
+	b.Helper()
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.ByID(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if tab != nil {
+		b.Log("\n" + tab.String())
+		if metric != nil {
+			if v, name := metric(tab); name != "" {
+				b.ReportMetric(v, name)
+			}
+		}
+	}
+}
+
+func BenchmarkFig04MotivationBreakdown(b *testing.B) {
+	runExperiment(b, "fig4b", func(t *experiments.Table) (float64, string) {
+		return float64(len(t.Rows)), "models"
+	})
+}
+
+func BenchmarkFig04MemoryOverhead(b *testing.B) {
+	runExperiment(b, "fig4c", func(t *experiments.Table) (float64, string) {
+		return float64(len(t.Rows)), "rows"
+	})
+}
+
+func BenchmarkFig05Challenges(b *testing.B) {
+	runExperiment(b, "fig5", nil)
+}
+
+func BenchmarkFig07RingUtilization(b *testing.B) {
+	runExperiment(b, "fig7", func(t *experiments.Table) (float64, string) {
+		return float64(len(t.Rows)), "configs"
+	})
+}
+
+func BenchmarkFig09SweetSpot(b *testing.B) {
+	runExperiment(b, "fig9", func(t *experiments.Table) (float64, string) {
+		return float64(len(t.Rows)), "degrees"
+	})
+}
+
+func BenchmarkFig13TrainingPerformance(b *testing.B) {
+	runExperiment(b, "fig13", func(t *experiments.Table) (float64, string) {
+		return float64(len(t.Rows)), "system-model-pairs"
+	})
+}
+
+func BenchmarkFig14PowerEfficiency(b *testing.B) {
+	runExperiment(b, "fig14", nil)
+}
+
+func BenchmarkFig15GPUComparison(b *testing.B) {
+	runExperiment(b, "fig15", nil)
+}
+
+func BenchmarkFig16Ablation(b *testing.B) {
+	runExperiment(b, "fig16", nil)
+}
+
+func BenchmarkFig17MixedParallelism(b *testing.B) {
+	runExperiment(b, "fig17", func(t *experiments.Table) (float64, string) {
+		return float64(len(t.Rows)), "configs"
+	})
+}
+
+func BenchmarkFig18TATPConvergence(b *testing.B) {
+	runExperiment(b, "fig18", nil)
+}
+
+func BenchmarkFig19MultiWafer(b *testing.B) {
+	runExperiment(b, "fig19", nil)
+}
+
+func BenchmarkFig20FaultTolerance(b *testing.B) {
+	runExperiment(b, "fig20", nil)
+}
+
+func BenchmarkFig21CostModelAccuracy(b *testing.B) {
+	runExperiment(b, "fig21", nil)
+}
+
+func BenchmarkSearchTimeDLSvsILP(b *testing.B) {
+	runExperiment(b, "tabH", nil)
+}

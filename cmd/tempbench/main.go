@@ -1,0 +1,49 @@
+// Command tempbench regenerates the paper's tables and figures
+// through the repository's simulator. Run with -list to see the
+// experiment IDs, -exp <id> for a single artefact, or no flags for
+// the full evaluation suite.
+//
+//	tempbench -exp fig13          # Fig. 13 training comparison
+//	tempbench -quick              # full suite on reduced model set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"temp/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (default: run all)")
+	quick := flag.Bool("quick", false, "reduced model set for fast runs")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range []string{"fig4b", "fig4c", "fig5", "fig7", "fig9", "fig13",
+			"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+			"tabH", "dls-quality"} {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp != "" {
+		tab, err := experiments.ByID(*exp, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		return
+	}
+	tabs, err := experiments.All(*quick)
+	for _, t := range tabs {
+		t.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tempbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Command tempsim evaluates one training configuration on the wafer
+// simulator and prints the latency/memory/power breakdown.
+//
+//	tempsim -model gpt3-6.7b -dp 4 -tatp 8
+//	tempsim -model llama3-70b -engine smap -tp 8 -dp 4 -recompute none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/unit"
+)
+
+func modelByName(name string) (model.Config, bool) {
+	all := append(model.EvaluationModels(),
+		model.Grok1_341B(), model.Llama3_405B(), model.GPT3_504B(),
+		model.DeepSeek7B(), model.Bloom176B(), model.Llama2_30B(), model.Llama2_70B())
+	key := strings.ToLower(strings.NewReplacer(" ", "", "-", "", "_", "", ".", "").Replace(name))
+	for _, m := range all {
+		mk := strings.ToLower(strings.NewReplacer(" ", "", "-", "", "_", "", ".", "").Replace(m.Name))
+		if mk == key || strings.Contains(mk, key) {
+			return m, true
+		}
+	}
+	return model.Config{}, false
+}
+
+func main() {
+	var (
+		name    = flag.String("model", "gpt3-6.7b", "model name (see Table II)")
+		rows    = flag.Int("rows", 4, "wafer die rows")
+		cols    = flag.Int("cols", 8, "wafer die columns")
+		dp      = flag.Int("dp", 1, "data parallel degree")
+		tp      = flag.Int("tp", 1, "tensor parallel degree")
+		sp      = flag.Int("sp", 1, "sequence parallel degree")
+		cp      = flag.Int("cp", 1, "context parallel degree")
+		tatp    = flag.Int("tatp", 1, "TATP stream parallel degree")
+		pp      = flag.Int("pp", 1, "pipeline degree across wafers")
+		wafers  = flag.Int("wafers", 1, "wafer count")
+		engine  = flag.String("engine", "tcme", "mapping engine: smap|gmap|tcme")
+		rec     = flag.String("recompute", "selective", "recompute: none|selective|full")
+		fsdp    = flag.Bool("fsdp", false, "fully sharded data parallelism")
+		mesp    = flag.Bool("megatron-sp", false, "Megatron-3 fused sequence parallelism")
+		mb      = flag.Int("microbatch", 0, "sequences per rank per micro-step")
+		debugTr = flag.Bool("debug", false, "print the calibration trace")
+	)
+	flag.Parse()
+
+	m, ok := modelByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tempsim: unknown model %q\n", *name)
+		os.Exit(1)
+	}
+	w := hw.WaferWithGrid(*rows, *cols)
+	cfg := parallel.Config{DP: *dp, TP: *tp, SP: *sp, CP: *cp, TATP: *tatp, PP: *pp,
+		FSDP: *fsdp, MegatronSP: *mesp}
+	o := cost.Options{Microbatch: *mb, Wafers: *wafers, DistributedOptimizer: true}
+	switch strings.ToLower(*engine) {
+	case "smap":
+		o.Engine = cost.SMap
+	case "gmap":
+		o.Engine = cost.GMap
+	default:
+		o.Engine = cost.TCMEEngine
+	}
+	switch strings.ToLower(*rec) {
+	case "none":
+		o.Recompute = cost.RecomputeNone
+	case "full":
+		o.Recompute = cost.RecomputeFull
+	default:
+		o.Recompute = cost.RecomputeSelective
+	}
+
+	b, err := cost.Evaluate(m, w, cfg, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tempsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("model      %s on %s (%d dies, %d wafer(s))\n", m, w.Name, w.Dies(), *wafers)
+	fmt.Printf("config     %s engine=%s recompute=%s\n", cfg, o.Engine, o.Recompute)
+	fmt.Printf("step       %s\n", unit.Seconds(b.StepTime))
+	fmt.Printf("  compute  %s\n", unit.Seconds(b.ComputeTime))
+	fmt.Printf("  stream   %s (exposed)\n", unit.Seconds(b.StreamTime))
+	fmt.Printf("  coll     %s\n", unit.Seconds(b.CollectiveTime))
+	fmt.Printf("  bubble   %s\n", unit.Seconds(b.BubbleTime))
+	fmt.Printf("memory     %s / %s per die (OOM=%v)\n",
+		unit.Bytes(b.Memory.Total()), unit.Bytes(b.Memory.Capacity), b.OOM())
+	fmt.Printf("  weights=%s grads=%s optim=%s acts=%s stream=%s\n",
+		unit.Bytes(b.Memory.Weights), unit.Bytes(b.Memory.Grads),
+		unit.Bytes(b.Memory.Optimizer), unit.Bytes(b.Memory.Activations),
+		unit.Bytes(b.Memory.StreamBuf))
+	fmt.Printf("throughput %.1f tokens/s, power %.0f W, %.3f tokens/s/W, BW util %.1f%%\n",
+		b.ThroughputTokens, b.Power, b.PowerEfficiency, b.BWUtilization*100)
+	if *debugTr {
+		fmt.Println("trace     ", cost.Debug(m, w, cfg, o))
+	}
+}

@@ -1,0 +1,74 @@
+// Command tempsolve runs the dual-level wafer solver (DLWS) for a
+// model: the per-operator dual-level search over the hybrid strategy
+// space, followed by a full-simulator evaluation of the best uniform
+// configuration.
+//
+//	tempsolve -model gpt3-175b
+//	tempsolve -model llama3-70b -no-ga
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"temp/internal/baselines"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/solver"
+	"temp/internal/unit"
+)
+
+func main() {
+	var (
+		name = flag.String("model", "gpt3-6.7b", "model name")
+		rows = flag.Int("rows", 4, "wafer die rows")
+		cols = flag.Int("cols", 8, "wafer die columns")
+		noGA = flag.Bool("no-ga", false, "stop after chain dynamic programming")
+		seed = flag.Int64("seed", 7, "genetic-stage seed")
+	)
+	flag.Parse()
+
+	var m model.Config
+	found := false
+	key := strings.ToLower(strings.NewReplacer(" ", "", "-", "", ".", "").Replace(*name))
+	for _, c := range append(model.EvaluationModels(), model.Grok1_341B(), model.Llama3_405B(), model.GPT3_504B()) {
+		ck := strings.ToLower(strings.NewReplacer(" ", "", "-", "", ".", "").Replace(c.Name))
+		if strings.Contains(ck, key) {
+			m, found = c, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "tempsolve: unknown model %q\n", *name)
+		os.Exit(1)
+	}
+	w := hw.WaferWithGrid(*rows, *cols)
+	g := model.BlockGraph(m)
+	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	cm := &solver.Analytic{W: w, M: m}
+
+	assign, stats := solver.DLS(g, space, cm, solver.DLSOptions{Seed: *seed, DisableGA: *noGA})
+	fmt.Printf("model        %s on %s\n", m, w.Name)
+	fmt.Printf("search space %d strategies × %d operators\n", len(space), len(g.Ops))
+	fmt.Printf("search time  %s (%d cost-model evaluations, %d GA generations)\n",
+		stats.Elapsed, stats.Evaluations, stats.Generations)
+	fmt.Printf("chain-DP cost %.3fms, final cost %.3fms\n", stats.DPCost*1e3, stats.FinalCost*1e3)
+	fmt.Println("per-operator strategies:")
+	for i, op := range g.Ops {
+		fmt.Printf("  %-14s %s\n", op.Name, space[assign[i]])
+	}
+	idx, share := solver.Uniform(assign)
+	fmt.Printf("dominant strategy %s (%.0f%% of operators)\n", space[idx], share*100)
+
+	// Cross-check against the full simulator sweep.
+	best, err := baselines.Best(baselines.TEMP(), m, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tempsolve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("full-simulator best: %s → step %s, %.1f tokens/s (OOM=%v)\n",
+		best.Config, unit.Seconds(best.StepTime), best.ThroughputTokens, best.OOM())
+}

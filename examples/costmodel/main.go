@@ -1,0 +1,45 @@
+// costmodel trains the DNN-based wafer cost model of §VII-A on
+// simulator-generated samples and validates it against the
+// multivariate-regression baseline (Fig. 21), then uses the dual-level
+// solver with the analytic model to pick per-operator strategies.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"temp"
+	"temp/internal/hw"
+	"temp/internal/parallel"
+	"temp/internal/surrogate"
+)
+
+func main() {
+	w := hw.EvaluationWafer()
+
+	fmt.Println("Fig. 21: DNN cost model vs linear regression")
+	for _, cat := range []surrogate.Category{surrogate.Compute, surrogate.Comm, surrogate.Overlap} {
+		rng := rand.New(rand.NewSource(100 + int64(cat)))
+		train := surrogate.Generate(cat, 1200, w, rng)
+		test := surrogate.Generate(cat, 400, w, rng)
+		dnn := surrogate.TrainDNN(train, rng)
+		lin := surrogate.TrainLinear(train)
+		de := surrogate.Validate(dnn, test)
+		le := surrogate.Validate(lin, test)
+		fmt.Printf("  %-14s DNN corr=%.3f err=%.1f%% (%s/lookup) | linear corr=%.3f err=%.1f%%\n",
+			cat, de.Corr, de.MAPE, de.PerCall, le.Corr, le.MAPE)
+	}
+
+	fmt.Println("\nDLWS: per-operator strategy search (GPT-3 175B)")
+	m := temp.GPT3_175B()
+	g := temp.BlockGraph(m)
+	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	cm := &temp.AnalyticCostModel{W: w, M: m}
+	assign, stats := temp.DLS(g, space, cm, temp.DLSOptions{Seed: 7})
+	fmt.Printf("  searched %d strategies × %d ops in %s (%d evaluations)\n",
+		len(space), len(g.Ops), stats.Elapsed, stats.Evaluations)
+	for i, op := range g.Ops[:4] {
+		fmt.Printf("  %-12s → %s\n", op.Name, space[assign[i]])
+	}
+	fmt.Println("  ...")
+}

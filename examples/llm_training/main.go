@@ -1,0 +1,43 @@
+// llm_training reproduces the core Fig. 13 comparison on one model:
+// the six baseline systems (Megatron-1, MeSP, FSDP × SMap/GMap)
+// against TEMP, each at its best configuration, with latency and
+// memory side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"temp"
+)
+
+func main() {
+	w := temp.EvaluationWafer()
+	for _, m := range []temp.Model{temp.GPT3_6_7B(), temp.Llama3_70B()} {
+		fmt.Printf("=== %s on %s ===\n", m.Name, w.Name)
+		rs, err := temp.CompareAll(m, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var tempStep float64
+		for _, r := range rs {
+			if r.System == "TEMP" {
+				tempStep = r.StepTime
+			}
+		}
+		fmt.Printf("%-11s %-30s %-6s %-9s %-9s %s\n",
+			"system", "best config", "status", "step(s)", "mem/die", "TEMP speedup")
+		for _, r := range rs {
+			status, speed := "ok", "-"
+			if !r.Feasible {
+				status = "OOM"
+			} else if r.System != "TEMP" {
+				speed = fmt.Sprintf("%.2fx", r.StepTime/tempStep)
+			}
+			fmt.Printf("%-11s %-30s %-6s %-9.3f %-9s %s\n",
+				r.System, r.Config.String(), status, r.StepTime,
+				fmt.Sprintf("%.1fGB", r.Memory.Total()/1e9), speed)
+		}
+		fmt.Println()
+	}
+}

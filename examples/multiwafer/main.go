@@ -1,0 +1,44 @@
+// multiwafer scales a 175B-class model across two wafers with
+// pipeline parallelism (§VIII-E): TEMP holds the pipeline degree at
+// one stage per wafer and uses TATP inside each stage, cutting the
+// pipeline bubbles the PP-heavy baselines suffer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"temp"
+)
+
+func main() {
+	w := temp.EvaluationWafer()
+	m := temp.GPT3_175B()
+	wafers := 2
+
+	systems := []temp.System{
+		temp.Megatron1(temp.SMap),
+		temp.MeSP(temp.GMap),
+		temp.FSDP(temp.GMap),
+		temp.TEMPSystem(),
+	}
+	fmt.Printf("%s across %d wafers (%d dies total)\n\n", m.Name, wafers, wafers*w.Dies())
+	fmt.Printf("%-11s %-34s %-9s %-8s %s\n", "system", "config", "step(s)", "bubble%", "tput tok/s")
+	var tempStep float64
+	for _, s := range systems {
+		r, err := temp.MultiWafer(s, m, w, wafers)
+		if err != nil {
+			log.Printf("%s: %v", s.Name, err)
+			continue
+		}
+		fmt.Printf("%-11s %-34s %-9.3f %-8.1f %.0f\n",
+			r.System, r.Config.String(), r.StepTime,
+			r.BubbleTime/r.StepTime*100, r.ThroughputTokens)
+		if r.System == "TEMP" {
+			tempStep = r.StepTime
+		}
+	}
+	if tempStep > 0 {
+		fmt.Println("\nTEMP's lower pipeline degree trades bubbles for TATP's overlapped streaming.")
+	}
+}

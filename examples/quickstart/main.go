@@ -1,0 +1,39 @@
+// Quickstart: evaluate one LLM training step on the wafer simulator,
+// then let TEMP pick its best hybrid configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"temp"
+)
+
+func main() {
+	w := temp.EvaluationWafer() // 4×8 dies, Table I parameters
+	m := temp.GPT3_6_7B()
+
+	// Price a hand-written hybrid configuration: 4-way data
+	// parallelism × 8-way TATP tensor streaming.
+	cfg := temp.ParallelConfig{DP: 4, TATP: 8}
+	b, err := temp.Evaluate(m, w, cfg, temp.TEMPOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manual config %s:\n", cfg)
+	fmt.Printf("  step latency     %.3fs\n", b.StepTime)
+	fmt.Printf("  per-die memory   %.1f GB (capacity %.1f GB, OOM=%v)\n",
+		b.Memory.Total()/1e9, b.Memory.Capacity/1e9, b.OOM())
+	fmt.Printf("  throughput       %.0f tokens/s\n", b.ThroughputTokens)
+	fmt.Printf("  power efficiency %.2f tokens/s/W\n\n", b.PowerEfficiency)
+
+	// Let the framework search its configuration space.
+	best, err := temp.BestTEMP(m, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TEMP best config %s:\n", best.Config)
+	fmt.Printf("  step latency     %.3fs\n", best.StepTime)
+	fmt.Printf("  throughput       %.0f tokens/s (%.2fx over the manual config)\n",
+		best.ThroughputTokens, best.ThroughputTokens/b.ThroughputTokens)
+}

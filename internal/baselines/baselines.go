@@ -1,0 +1,237 @@
+// Package baselines encodes the comparison systems of §VIII-A as
+// declarative descriptors: three partitioning schemes (Megatron-1,
+// Megatron-3/MeSP, FSDP) crossed with two mapping engines (SMap,
+// GMap), plus TEMP itself. Each system knows which hybrid parallel
+// configurations it may legally choose from, so "the best
+// configuration of each baseline" — the footing every figure compares
+// on — is a brute-force sweep of that space through the shared cost
+// model.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// System is one evaluated training system.
+type System struct {
+	Name string
+	// Opts carries the engine and execution conventions.
+	Opts cost.Options
+	// Configs enumerates the candidate hybrid configurations for a
+	// die budget.
+	Configs func(dies int) []parallel.Config
+}
+
+// megatron1Configs: DP × TP only (the paper's Megatron-1 hierarchy
+// minus intra-wafer PP, which §II-A excludes on WSCs).
+func megatron1Configs(dies int) []parallel.Config {
+	var out []parallel.Config
+	for tp := 1; tp <= dies; tp *= 2 {
+		if dies%tp != 0 {
+			continue
+		}
+		dp := dies / tp
+		if dp&(dp-1) != 0 {
+			continue
+		}
+		out = append(out, parallel.Config{DP: dp, TP: tp})
+	}
+	return out
+}
+
+// mespConfigs: DP × TP × SP with Megatron-3 fused sequence
+// parallelism, plus context parallelism for long sequences.
+func mespConfigs(dies int) []parallel.Config {
+	var out []parallel.Config
+	for tp := 1; tp <= dies; tp *= 2 {
+		for sp := 1; tp*sp <= dies; sp *= 2 {
+			for cp := 1; tp*sp*cp <= dies; cp *= 2 {
+				rest := dies / (tp * sp * cp)
+				if tp*sp*cp*rest != dies || rest&(rest-1) != 0 {
+					continue
+				}
+				out = append(out, parallel.Config{
+					DP: rest, TP: tp, SP: sp, CP: cp, MegatronSP: true,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// fsdpConfigs: fully sharded data parallelism, optionally combined
+// with TP for models whose single-layer working set overflows.
+func fsdpConfigs(dies int) []parallel.Config {
+	var out []parallel.Config
+	for tp := 1; tp <= 8 && tp <= dies; tp *= 2 {
+		dp := dies / tp
+		if dp*tp != dies || dp&(dp-1) != 0 || dp == 1 {
+			continue
+		}
+		out = append(out, parallel.Config{DP: dp, TP: tp, FSDP: true})
+	}
+	return out
+}
+
+// tempConfigs: the full TEMP space — DP, TP, SP, CP and TATP.
+func tempConfigs(dies int) []parallel.Config {
+	var out []parallel.Config
+	for _, c := range parallel.EnumerateConfigs(dies, true, 0) {
+		out = append(out, c)
+		if c.SP > 1 {
+			sc := c
+			sc.MegatronSP = false
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// Megatron1 returns the Megatron-1 system under an engine. Its
+// conventions are period-accurate: no flash attention, no selective
+// recomputation (full activation stash) and no distributed optimizer
+// — which is what produces the replication and OOM behaviour of
+// Figs. 4 and 13.
+func Megatron1(e cost.Engine) System {
+	return System{
+		Name: "Mega+" + e.String(),
+		Opts: cost.Options{
+			Engine:           e,
+			Recompute:        cost.RecomputeNone,
+			Microbatch:       1,
+			NoFlashAttention: true,
+		},
+		Configs: megatron1Configs,
+	}
+}
+
+// MeSP returns the Megatron-3 (+SP/CP) system under an engine.
+func MeSP(e cost.Engine) System {
+	return System{
+		Name:    "MeSP+" + e.String(),
+		Opts:    cost.Options{Engine: e, Recompute: cost.RecomputeSelective, DistributedOptimizer: true},
+		Configs: mespConfigs,
+	}
+}
+
+// FSDP returns the fully-sharded system under an engine.
+func FSDP(e cost.Engine) System {
+	return System{
+		Name:    "FSDP+" + e.String(),
+		Opts:    cost.Options{Engine: e, Recompute: cost.RecomputeFull, DistributedOptimizer: true},
+		Configs: fsdpConfigs,
+	}
+}
+
+// TEMP returns the full TEMP system (TCME engine, TATP enabled).
+func TEMP() System {
+	return System{
+		Name:    "TEMP",
+		Opts:    cost.TEMPOptions(),
+		Configs: tempConfigs,
+	}
+}
+
+// Six returns the paper's six baselines in A–F order:
+// Mega+SMap, Mega+GMap, MeSP+SMap, MeSP+GMap, FSDP+SMap, FSDP+GMap.
+func Six() []System {
+	return []System{
+		Megatron1(cost.SMap), Megatron1(cost.GMap),
+		MeSP(cost.SMap), MeSP(cost.GMap),
+		FSDP(cost.SMap), FSDP(cost.GMap),
+	}
+}
+
+// Result pairs a breakdown with the configuration that produced it.
+type Result struct {
+	System string
+	Config parallel.Config
+	cost.Breakdown
+	// Feasible is false when every candidate configuration OOMs; the
+	// breakdown then describes the lowest-memory attempt.
+	Feasible bool
+}
+
+// Best sweeps the system's configuration space on the wafer and
+// returns the fastest feasible configuration; when nothing fits it
+// returns the lowest-memory OOM attempt with Feasible=false (the
+// "OOM" bars of Fig. 13).
+func Best(s System, m model.Config, w hw.Wafer) (Result, error) {
+	dies := w.Dies()
+	cfgs := s.Configs(dies)
+	if len(cfgs) == 0 {
+		return Result{}, fmt.Errorf("baselines: %s has no configurations for %d dies", s.Name, dies)
+	}
+	best := Result{System: s.Name}
+	bestTime := math.Inf(1)
+	var lowMem Result
+	lowMemBytes := math.Inf(1)
+	evaluated := 0
+	for _, cfg := range cfgs {
+		b, err := cost.Evaluate(m, w, cfg, s.Opts)
+		if err != nil {
+			continue // unplaceable on this grid
+		}
+		evaluated++
+		if !b.OOM() && b.StepTime < bestTime {
+			bestTime = b.StepTime
+			best = Result{System: s.Name, Config: cfg, Breakdown: b, Feasible: true}
+		}
+		if b.Memory.Total() < lowMemBytes {
+			lowMemBytes = b.Memory.Total()
+			lowMem = Result{System: s.Name, Config: cfg, Breakdown: b, Feasible: false}
+		}
+	}
+	if evaluated == 0 {
+		return Result{}, fmt.Errorf("baselines: %s has no placeable configurations on %s", s.Name, w.Name)
+	}
+	if best.Feasible {
+		return best, nil
+	}
+	return lowMem, nil
+}
+
+// BestCluster evaluates the MeSP strategy space on a GPU cluster
+// (Fig. 15's GPU+MeSP reference). Like Best, a model that fits in no
+// configuration returns the lowest-memory attempt with
+// Feasible=false — 175B-class models genuinely exceed 32×80 GB.
+func BestCluster(m model.Config, c hw.Cluster) (Result, error) {
+	opts := cost.Options{Engine: cost.GMap, Recompute: cost.RecomputeSelective, DistributedOptimizer: true}
+	best := Result{System: "GPU+MeSP"}
+	bestTime := math.Inf(1)
+	var lowMem Result
+	lowMemBytes := math.Inf(1)
+	evaluated := 0
+	for _, cfg := range mespConfigs(c.GPUs()) {
+		// TP cannot exceed a node on switched clusters.
+		if cfg.TP > c.GPUsPerNode {
+			continue
+		}
+		b, err := cost.EvaluateCluster(m, c, cfg, opts)
+		if err != nil {
+			continue
+		}
+		evaluated++
+		if !b.OOM() && b.StepTime < bestTime {
+			bestTime = b.StepTime
+			best = Result{System: "GPU+MeSP", Config: cfg, Breakdown: b, Feasible: true}
+		}
+		if b.Memory.Total() < lowMemBytes {
+			lowMemBytes = b.Memory.Total()
+			lowMem = Result{System: "GPU+MeSP", Config: cfg, Breakdown: b, Feasible: false}
+		}
+	}
+	if evaluated == 0 {
+		return Result{}, fmt.Errorf("baselines: no placeable GPU configuration for %s", m.Name)
+	}
+	if best.Feasible {
+		return best, nil
+	}
+	return lowMem, nil
+}

@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"testing"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+)
+
+func TestSixNamesAndOrder(t *testing.T) {
+	want := []string{"Mega+SMap", "Mega+GMap", "MeSP+SMap", "MeSP+GMap", "FSDP+SMap", "FSDP+GMap"}
+	six := Six()
+	if len(six) != len(want) {
+		t.Fatalf("Six() = %d systems", len(six))
+	}
+	for i, s := range six {
+		if s.Name != want[i] {
+			t.Errorf("system %d = %s, want %s", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestConfigSpacesValid(t *testing.T) {
+	for _, s := range append(Six(), TEMP()) {
+		cfgs := s.Configs(32)
+		if len(cfgs) == 0 {
+			t.Errorf("%s: empty configuration space", s.Name)
+		}
+		for _, c := range cfgs {
+			if c.Degree() != 32 {
+				t.Errorf("%s: config %s degree %d ≠ 32", s.Name, c, c.Degree())
+			}
+		}
+	}
+}
+
+func TestMegatron1HasNoTATPOrSP(t *testing.T) {
+	for _, c := range Megatron1(cost.SMap).Configs(32) {
+		n := c.Normalize()
+		if n.TATP > 1 || n.SP > 1 || n.CP > 1 || n.FSDP {
+			t.Errorf("Megatron-1 config %s uses strategies it predates", c)
+		}
+	}
+	o := Megatron1(cost.SMap).Opts
+	if !o.NoFlashAttention || o.Recompute != cost.RecomputeNone || o.DistributedOptimizer {
+		t.Error("Megatron-1 conventions should be period-accurate (no flash, full stash, no ZeRO)")
+	}
+}
+
+func TestMeSPFlagsMegatronSP(t *testing.T) {
+	for _, c := range MeSP(cost.GMap).Configs(32) {
+		if !c.MegatronSP {
+			t.Errorf("MeSP config %s missing fused-SP flag", c)
+		}
+		if c.TATP > 1 {
+			t.Errorf("MeSP config %s uses TATP", c)
+		}
+	}
+}
+
+func TestFSDPConfigsSharded(t *testing.T) {
+	for _, c := range FSDP(cost.SMap).Configs(32) {
+		if !c.FSDP || c.Normalize().DP < 2 {
+			t.Errorf("FSDP config %s not sharded", c)
+		}
+	}
+}
+
+func TestTEMPSpaceIncludesTATP(t *testing.T) {
+	hasTATP := false
+	for _, c := range TEMP().Configs(32) {
+		if c.Normalize().TATP >= 8 {
+			hasTATP = true
+		}
+	}
+	if !hasTATP {
+		t.Error("TEMP space has no TATP≥8 configuration")
+	}
+	if TEMP().Opts.Engine != cost.TCMEEngine {
+		t.Error("TEMP must use the TCME engine")
+	}
+}
+
+func TestBestPicksFeasibleMinimum(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	r, err := Best(TEMP(), m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("TEMP should have a feasible config for 6.7B")
+	}
+	if r.OOM() {
+		t.Error("feasible result flagged OOM")
+	}
+	// The chosen config must be at least as fast as an arbitrary
+	// member of the space.
+	other, err := cost.Evaluate(m, w, TEMP().Configs(32)[0], TEMP().Opts)
+	if err == nil && !other.OOM() && other.StepTime < r.StepTime {
+		t.Errorf("Best returned %v but %s achieves %v", r.StepTime, TEMP().Configs(32)[0], other.StepTime)
+	}
+}
+
+func TestBestReportsOOMWhenNothingFits(t *testing.T) {
+	// Megatron-1 cannot hold GPT-3 175B on the wafer at any config.
+	r, err := Best(Megatron1(cost.SMap), model.GPT3_175B(), hw.EvaluationWafer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Errorf("Megatron-1 on 175B reported feasible config %s (mem %.0fGB)",
+			r.Config, r.Memory.Total()/1e9)
+	}
+	if !r.OOM() {
+		t.Error("infeasible result should carry an OOM breakdown")
+	}
+}
+
+// TestPaperOrderingHolds is the Fig. 13 acceptance test: on each
+// evaluated model, TEMP is at least as fast as every baseline, and
+// the Megatron variants are the slowest feasible systems.
+func TestPaperOrderingHolds(t *testing.T) {
+	w := hw.EvaluationWafer()
+	for _, m := range []model.Config{model.GPT3_6_7B(), model.Llama3_70B()} {
+		temp, err := Best(TEMP(), m, w)
+		if err != nil || !temp.Feasible {
+			t.Fatalf("TEMP infeasible on %s: %v", m.Name, err)
+		}
+		for _, s := range Six() {
+			r, err := Best(s, m, w)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", s.Name, m.Name, err)
+			}
+			if !r.Feasible {
+				continue // OOM columns are expected for Mega on 70B
+			}
+			if r.StepTime < temp.StepTime*(1-1e-9) {
+				t.Errorf("%s on %s (%v) beats TEMP (%v)", s.Name, m.Name, r.StepTime, temp.StepTime)
+			}
+		}
+	}
+}
+
+func TestBestCluster(t *testing.T) {
+	r, err := BestCluster(model.GPT3_6_7B(), hw.A100Cluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible || r.StepTime <= 0 {
+		t.Fatalf("cluster result invalid: %+v", r)
+	}
+	if r.Config.TP > 8 {
+		t.Errorf("cluster TP %d exceeds node size", r.Config.TP)
+	}
+}

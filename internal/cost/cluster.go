@@ -1,0 +1,139 @@
+package cost
+
+import (
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/unit"
+)
+
+// EvaluateCluster runs the analytic GPU-cluster model of Fig. 15: a
+// switched topology (NVSwitch inside a node, InfiniBand across
+// nodes), so collectives always find physical rings and pay no mesh
+// contention — but at an order of magnitude less bandwidth than
+// wafer D2D links. The strategy follows Megatron-3 conventions: TP
+// (with fused SP) inside nodes, DP across nodes.
+func EvaluateCluster(m model.Config, c hw.Cluster, cfg parallel.Config, o Options) (Breakdown, error) {
+	cfg = cfg.Normalize()
+	gpus := c.GPUs()
+	if err := cfg.Validate(gpus); err != nil {
+		return Breakdown{}, err
+	}
+
+	mb := o.microbatch()
+	perRank := maxInt(m.Batch/maxInt(cfg.DP, 1), 1)
+	if mb > perRank {
+		mb = perRank
+	}
+	microSteps := maxInt(perRank/mb, 1)
+	graph := model.BlockGraph(m)
+
+	// Compute: identical operator shards, GPU peak. Same conventions
+	// as the wafer model: vector ops replicate across TP unless SP
+	// is fused; flash-fused ops never touch DRAM.
+	gemmShard := float64(cfg.TP * cfg.SP * cfg.CP * cfg.TATP)
+	vecShard := float64(cfg.SP * cfg.CP * cfg.TATP)
+	if cfg.MegatronSP {
+		vecShard *= float64(cfg.TP)
+	}
+	frac := float64(mb) / float64(m.Batch)
+	var fwdComp, attn float64
+	for _, op := range graph.Ops {
+		var t float64
+		if op.Kind.IsGEMM() {
+			shard := op.FLOPs * frac / gemmShard
+			eff := shard / (shard + gemmHalfEff)
+			if eff < 0.05 {
+				eff = 0.05
+			}
+			t = shard / (c.GPUPeakFLOPS * eff)
+		} else {
+			shard := op.FLOPs * frac / vecShard
+			t = shard / c.GPUVectorFLOPS
+			if !op.FlashFused {
+				bytes := (op.Input.Bytes() + op.Output.Bytes()) * frac / vecShard
+				t = unit.MaxF(t, bytes/c.GPUMemBandwidth)
+			}
+		}
+		fwdComp += t
+		if op.FlashFused {
+			attn += t
+		}
+	}
+	var recompExtra float64
+	switch o.Recompute {
+	case RecomputeFull:
+		recompExtra = fwdComp
+	case RecomputeSelective:
+		recompExtra = attn
+	}
+
+	// TP all-reduce inside a node: NVSwitch provides in-network
+	// reduction (SHARP-style), so the all-reduce moves each byte
+	// through the switch once instead of 2(N-1)/N ring passes — the
+	// switch-routing advantage §V credits GPU clusters with.
+	switchAR := func(n int, bytes float64) float64 {
+		if n <= 1 || bytes <= 0 {
+			return 0
+		}
+		return bytes/c.IntraNodeBandwidth + 2*c.IntraNodeLatency
+	}
+	ringTime := func(n int, bytes, bw, lat float64) float64 {
+		if n <= 1 || bytes <= 0 {
+			return 0
+		}
+		return 2*float64(n-1)/float64(n)*bytes/bw + float64(2*(n-1))*lat
+	}
+	h := float64(m.Hidden)
+	fp := unit.FP16.Size()
+	sAR := float64(m.Seq) / float64(cfg.SP*cfg.CP*cfg.TATP)
+	arBytes := float64(mb) * sAR * h * fp
+	collPerLayer := 2 * switchAR(cfg.TP, arBytes)
+
+	layerFwd := fwdComp + collPerLayer
+	layerBwd := 2*fwdComp + recompExtra + collPerLayer
+	microTime := float64(m.Layers) * (layerFwd + layerBwd)
+
+	// DP gradient all-reduce across nodes over InfiniBand.
+	grads := graph.WeightBytes() * float64(m.Layers) / float64(cfg.TP*cfg.TATP)
+	dpAR := ringTime(cfg.DP, grads, c.InterNodeBandwidth, c.InterNodeLatency)
+	dpExposed := unit.MaxF(0, dpAR-0.5*float64(m.Layers)*layerBwd)
+
+	// Memory: reuse the wafer breakdown against GPU capacity.
+	fakeWafer := hw.Wafer{
+		Rows: 1, Cols: gpus,
+		Die: hw.Die{
+			HBMBytes: c.GPUMemBytes, HBMStacks: 1, HBMBandwidth: c.GPUMemBandwidth,
+			PeakFLOPS: c.GPUPeakFLOPS, FLOPSPerWatt: c.FLOPSPerWatt,
+			VectorFLOPS: c.GPUVectorFLOPS, HBMEnergyPerBit: 7 * unit.PicoJoule,
+		},
+	}
+	mem := MemoryPerDie(m, fakeWafer, cfg, o, m.Layers)
+	optimTime := 3 * mem.Optimizer / c.GPUMemBandwidth
+
+	stepTime := float64(microSteps)*microTime + dpExposed + optimTime
+
+	totalFLOPs := 3 * float64(m.Layers) * graph.ForwardFLOPs()
+	commBytes := float64(microSteps) * float64(m.Layers) * 2 * arBytes * float64(gpus)
+	commBytes += grads * float64(gpus)
+	b := Breakdown{
+		Model:          m.Name + " (GPU)",
+		Config:         cfg,
+		Engine:         GMap,
+		StepTime:       stepTime,
+		ComputeTime:    float64(microSteps) * float64(m.Layers) * (3*fwdComp + recompExtra),
+		CollectiveTime: float64(microSteps)*float64(m.Layers)*2*collPerLayer + dpExposed,
+		OptimizerTime:  optimTime,
+		Memory:         mem,
+		EnergyCompute:  totalFLOPs / c.FLOPSPerWatt,
+		EnergyComm:     commBytes * 8 * c.EnergyPerBitIntra,
+	}
+	dram := float64(microSteps)*(3*mem.Weights+6*mem.Activations/float64(m.Layers)) + 3*mem.Optimizer
+	b.EnergyDRAM = dram * float64(gpus) * 8 * 7 * unit.PicoJoule
+	b.ThroughputTokens = float64(m.Tokens()) / stepTime
+	b.Power = (b.EnergyCompute + b.EnergyComm + b.EnergyDRAM) / stepTime
+	if b.Power > 0 {
+		b.PowerEfficiency = b.ThroughputTokens / b.Power
+	}
+	return b, nil
+}

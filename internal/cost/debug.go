@@ -1,0 +1,40 @@
+package cost
+
+import (
+	"fmt"
+
+	"temp/internal/hw"
+	"temp/internal/mesh"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/stream"
+	"temp/internal/unit"
+)
+
+// Debug returns a per-component trace of one evaluation; used by the
+// calibration tooling and kept exported for cmd/tempsim -debug.
+func Debug(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) string {
+	cfg = cfg.Normalize()
+	topo := mesh.FromWafer(w)
+	var place *parallel.Placement
+	var err error
+	if o.Engine == SMap {
+		place, err = parallel.PlaceLinear(cfg, topo)
+	} else {
+		place, err = parallel.Place(cfg, topo)
+	}
+	if err != nil {
+		return err.Error()
+	}
+	ev := &evaluator{m: m, w: w, cfg: cfg, o: o, topo: topo, place: place, graph: model.BlockGraph(m)}
+	for _, g := range place.Groups(parallel.TATP) {
+		ev.orchs = append(ev.orchs, stream.Orchestrate(topo, g.Dies, g.Rect))
+	}
+	mb := o.microbatch()
+	fwd, extra := ev.layerCompute(mb)
+	st := ev.layerStreamComm(mb)
+	coll := ev.layerCollectives(mb)
+	dp := ev.dpAllReduce(m.Layers)
+	return fmt.Sprintf("fwd/layer=%s recomp=%s stream/layer=%s coll/layer=%s dpAR=%s",
+		unit.Seconds(fwd), unit.Seconds(extra), unit.Seconds(st), unit.Seconds(coll), unit.Seconds(dp))
+}

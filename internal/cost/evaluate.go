@@ -1,0 +1,629 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"temp/internal/collective"
+	"temp/internal/hw"
+	"temp/internal/mesh"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/stream"
+	"temp/internal/tcme"
+	"temp/internal/unit"
+)
+
+// gemmHalfEff is the per-issue FLOP count at which a PE array reaches
+// half of peak (tile-granularity efficiency model: smaller shards
+// underutilize the array). 1 GFLOP ≈ a 512×1024×1024 tile.
+const gemmHalfEff = 1e9
+
+// streamRoundSync is the fixed per-round cost of one TATP stream
+// round beyond serialization: DMA descriptor setup, router
+// arbitration and the barrier that keeps sub-tensor relays aligned
+// with compute rounds. It is what makes very fine-grained streaming
+// (large N) lose throughput (Fig. 9's decline past the sweet spot).
+const streamRoundSync = 2 * unit.Microsecond
+
+// idlePowerFrac is the fraction of busy compute power a die still
+// draws while stalled on communication (clock-gated PE arrays,
+// SRAM retention, NoC). Exposed communication therefore wastes
+// energy — the reason TEMP's shorter steps also win on power
+// efficiency (Fig. 14).
+const idlePowerFrac = 0.35
+
+// Breakdown is the full result of evaluating one training step.
+type Breakdown struct {
+	Model  string
+	Config parallel.Config
+	Engine Engine
+
+	// StepTime is the end-to-end latency of one global-batch step.
+	StepTime float64
+	// ComputeTime is the compute component (per stage, summed over
+	// micro-steps).
+	ComputeTime float64
+	// StreamTime is the exposed TATP streaming time (beyond what
+	// overlaps with compute).
+	StreamTime float64
+	// CollectiveTime is the exposed collective communication.
+	CollectiveTime float64
+	// P2PTime is inter-stage (pipeline) transfer time.
+	P2PTime float64
+	// BubbleTime is the pipeline-bubble component.
+	BubbleTime float64
+	// OptimizerTime is the memory-bound parameter update.
+	OptimizerTime float64
+
+	Memory MemoryBreakdown
+
+	EnergyCompute float64
+	EnergyComm    float64
+	EnergyDRAM    float64
+
+	// ThroughputTokens is tokens/second for the whole system.
+	ThroughputTokens float64
+	// Power is the average system power in watts.
+	Power float64
+	// PowerEfficiency is throughput per watt.
+	PowerEfficiency float64
+	// BWUtilization is the fraction of link·seconds carrying data.
+	BWUtilization float64
+
+	// TCME aggregates the optimizer's work when Engine==TCMEEngine.
+	TCME tcme.Result
+}
+
+// OOM reports whether the configuration exceeds per-die memory.
+func (b Breakdown) OOM() bool { return b.Memory.OOM() }
+
+// CommTime returns all exposed communication.
+func (b Breakdown) CommTime() float64 {
+	return b.StreamTime + b.CollectiveTime + b.P2PTime
+}
+
+// String summarises the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%s %s [%s]: step=%s comp=%s stream=%s coll=%s bubble=%s mem=%s/%s tput=%.1f tok/s eff=%.3f tok/s/W",
+		b.Model, b.Config, b.Engine, unit.Seconds(b.StepTime), unit.Seconds(b.ComputeTime),
+		unit.Seconds(b.StreamTime), unit.Seconds(b.CollectiveTime), unit.Seconds(b.BubbleTime),
+		unit.Bytes(b.Memory.Total()), unit.Bytes(b.Memory.Capacity), b.ThroughputTokens, b.PowerEfficiency)
+}
+
+// evaluator carries the shared lowering state for one evaluation.
+type evaluator struct {
+	m     model.Config
+	w     hw.Wafer
+	cfg   parallel.Config
+	o     Options
+	topo  *mesh.Topology
+	place *parallel.Placement
+	graph model.Graph
+
+	// orchestrations per TATP group, built once.
+	orchs []*stream.Orchestration
+
+	linkBytes float64 // Σ flow bytes × hops, for energy/utilization
+	tcmeAgg   tcme.Result
+}
+
+// Evaluate runs the cost model for one model/wafer/config triple.
+// The TCME engine explores both placement families (hierarchical
+// rectangles and linear runs) and keeps the faster — part of the
+// mapping-space exploration GMap lacks (§VIII-A).
+func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) (Breakdown, error) {
+	cfg = cfg.Normalize()
+	topo := mesh.FromWafer(w)
+	switch o.Engine {
+	case SMap:
+		place, err := parallel.PlaceLinear(cfg, topo)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		return EvaluateOn(m, w, cfg, o, topo, place)
+	case GMap:
+		place, err := parallel.Place(cfg, topo)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		return EvaluateOn(m, w, cfg, o, topo, place)
+	default:
+		rect, rectErr := parallel.Place(cfg, topo)
+		lin, linErr := parallel.PlaceLinear(cfg, topo)
+		if rectErr != nil && linErr != nil {
+			return Breakdown{}, rectErr
+		}
+		var best Breakdown
+		have := false
+		if rectErr == nil {
+			b, err := EvaluateOn(m, w, cfg, o, topo, rect)
+			if err == nil {
+				best, have = b, true
+			}
+		}
+		if linErr == nil {
+			b, err := EvaluateOn(m, w, cfg, o, topo, lin)
+			if err == nil && (!have || b.StepTime < best.StepTime) {
+				best, have = b, true
+			}
+		}
+		if !have {
+			return Breakdown{}, fmt.Errorf("cost: no viable placement for %s", cfg)
+		}
+		return best, nil
+	}
+}
+
+// EvaluateOn runs the cost model against an existing topology and
+// placement — the entry point the fault-tolerance study uses after
+// re-partitioning around failed hardware.
+func EvaluateOn(m model.Config, w hw.Wafer, cfg parallel.Config, o Options,
+	topo *mesh.Topology, place *parallel.Placement) (Breakdown, error) {
+	cfg = cfg.Normalize()
+	ev := &evaluator{
+		m: m, w: w, cfg: cfg, o: o,
+		topo: topo, place: place,
+		graph: model.BlockGraph(m),
+	}
+	for _, g := range place.Groups(parallel.TATP) {
+		ev.orchs = append(ev.orchs, stream.Orchestrate(topo, aliveOnly(topo, g.Dies), g.Rect))
+	}
+	return ev.run()
+}
+
+// aliveOnly filters dead dies out of a group (fault adaptation keeps
+// the survivors streaming).
+func aliveOnly(t *mesh.Topology, dies []mesh.DieID) []mesh.DieID {
+	out := make([]mesh.DieID, 0, len(dies))
+	for _, d := range dies {
+		if t.DieAlive(d) {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return dies
+	}
+	return out
+}
+
+func (ev *evaluator) run() (Breakdown, error) {
+	m, cfg, o := ev.m, ev.cfg, ev.o
+	stages := maxInt(cfg.PP, 1)
+	layersPerStage := unit.CeilDiv(m.Layers, stages)
+	mem := MemoryPerDie(m, ev.w, cfg, o, layersPerStage)
+
+	mb := o.microbatch()
+	perRankBatch := maxInt(m.Batch/maxInt(cfg.DP, 1), 1)
+	if mb > perRankBatch {
+		mb = perRankBatch
+	}
+	microSteps := maxInt(perRankBatch/mb, 1)
+
+	// --- Per-layer compute (one micro-step, forward). ---
+	fwdComp, recompExtra := ev.layerCompute(mb)
+	if slow := ev.coreSlowdown(); slow > 1 {
+		fwdComp *= slow
+		recompExtra *= slow
+	}
+
+	// --- Per-layer TATP streams (forward). ---
+	streamComm := ev.layerStreamComm(mb)
+
+	// --- Per-layer exposed collectives (forward). ---
+	collPerLayerFwd := ev.layerCollectives(mb)
+
+	// --- FSDP per-layer weight gather / grad scatter. ---
+	fsdpPerLayer := ev.fsdpCollectives()
+
+	// Forward: TATP ops overlap stream with their own compute
+	// (Eq. 2: max{Comp, P2P}); the remaining ops expose compute.
+	// Backward doubles both compute and stream volume.
+	overlap := func(comp, comm float64) float64 {
+		if o.DisableStreamOverlap {
+			return comp + comm
+		}
+		return unit.MaxF(comp, comm)
+	}
+	layerFwd := overlap(fwdComp, streamComm) + collPerLayerFwd + fsdpPerLayer.fwd
+	layerBwd := overlap(2*fwdComp, 2*streamComm) + recompExtra + collPerLayerFwd + fsdpPerLayer.bwd
+	layerTime := layerFwd + layerBwd
+
+	microTime := float64(layersPerStage) * layerTime
+
+	// --- Pipeline staging across wafers. ---
+	var p2pTime, bubbleTime float64
+	if stages > 1 {
+		hop := ev.interStageBytes(mb)/ev.w.InterWaferBandwidth + ev.w.InterWaferLatency
+		p2pTime = 2 * hop * float64(microSteps) // fwd act + bwd grad per micro-step
+		bubbleTime = float64(stages-1) * (microTime + 2*hop)
+	}
+
+	// --- Data-parallel gradient sync + optimizer (once a step). ---
+	// Its link bytes are per-step, not per-layer-per-micro-step, so
+	// they are accounted separately from the layer-scope bytes
+	// accumulated so far.
+	layerLinkBytes := ev.linkBytes
+	dpAR := ev.dpAllReduce(layersPerStage)
+	stepLinkBytes0 := ev.linkBytes - layerLinkBytes
+	ev.linkBytes = layerLinkBytes
+	bwdPerMicro := float64(layersPerStage) * layerBwd
+	dpExposed := unit.MaxF(0, dpAR-0.5*bwdPerMicro)
+
+	optimBytes := mem.Optimizer
+	optimTime := 3 * optimBytes / ev.w.Die.MemBandwidth()
+	// ZeRO-1 distributed optimizer: each rank updates its shard and
+	// all-gathers the refreshed FP16 weights across the DP group.
+	if o.DistributedOptimizer && !cfg.FSDP && cfg.DP > 1 {
+		shard := ev.graph.WeightBytes() * float64(layersPerStage) /
+			float64(cfg.TP*cfg.TATP*cfg.DP)
+		agBefore := ev.linkBytes
+		optimTime += ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
+			return collective.RingAllGather(ev.topo, order, shard)
+		})
+		stepLinkBytes0 += ev.linkBytes - agBefore
+		ev.linkBytes = agBefore
+	}
+
+	stepTime := float64(microSteps)*microTime + p2pTime + bubbleTime + dpExposed + optimTime
+
+	// --- Aggregates. ---
+	computeTotal := float64(microSteps) * float64(layersPerStage) * (3*fwdComp + recompExtra)
+	streamExposed := float64(microSteps) * float64(layersPerStage) *
+		(unit.MaxF(0, streamComm-fwdComp) + unit.MaxF(0, 2*streamComm-2*fwdComp))
+	collTotal := float64(microSteps)*float64(layersPerStage)*(2*collPerLayerFwd+fsdpPerLayer.fwd+fsdpPerLayer.bwd) + dpExposed
+
+	b := Breakdown{
+		Model:          m.Name,
+		Config:         cfg,
+		Engine:         o.Engine,
+		StepTime:       stepTime,
+		ComputeTime:    computeTotal,
+		StreamTime:     streamExposed,
+		CollectiveTime: collTotal,
+		P2PTime:        p2pTime,
+		BubbleTime:     bubbleTime,
+		OptimizerTime:  optimTime,
+		Memory:         mem,
+		TCME:           ev.tcmeAgg,
+	}
+
+	// --- Energy & power. ---
+	dies := float64(ev.topo.Dies()) * float64(o.wafers())
+	totalFLOPs := 3 * float64(m.Layers) * ev.graph.ForwardFLOPs() // whole model, whole batch
+	if fwdComp > 0 {
+		// Recomputation executes extra FLOPs; charge their energy.
+		totalFLOPs *= (3*fwdComp + recompExtra) / (3 * fwdComp)
+	}
+	b.EnergyCompute = totalFLOPs / ev.w.Die.FLOPSPerWatt
+	// Idle draw: compute units burn a fraction of busy power while
+	// stalled on exposed communication and bubbles.
+	busyPower := ev.w.Die.PeakFLOPS / ev.w.Die.FLOPSPerWatt * dies
+	if idle := stepTime - computeTotal; idle > 0 {
+		b.EnergyCompute += idlePowerFrac * busyPower * idle
+	}
+	stepLinkBytes := ev.linkBytes*float64(microSteps)*float64(layersPerStage) + stepLinkBytes0
+	b.EnergyComm = stepLinkBytes * 8 * ev.w.Link.EnergyPerBit
+	dramPerDie := float64(microSteps) * (3*mem.Weights + 6*mem.Activations/float64(maxInt(layersPerStage, 1))) // weights reread + act traffic
+	dramPerDie += 3 * optimBytes
+	b.EnergyDRAM = dramPerDie * dies * 8 * ev.w.Die.HBMEnergyPerBit
+
+	tokens := float64(m.Tokens())
+	b.ThroughputTokens = tokens / stepTime
+	b.Power = (b.EnergyCompute + b.EnergyComm + b.EnergyDRAM) / stepTime
+	if b.Power > 0 {
+		b.PowerEfficiency = b.ThroughputTokens / b.Power
+	}
+	links := float64(ev.topo.TotalLinks())
+	if links > 0 && stepTime > 0 {
+		b.BWUtilization = unit.Clamp(stepLinkBytes/ev.w.Link.Bandwidth/(links*stepTime), 0, 1)
+	}
+	return b, nil
+}
+
+// coreSlowdown returns the compute-time multiplier induced by core
+// faults: with TEMP's adaptive re-balancing, work is redistributed in
+// proportion to surviving capacity (mean loss); without it, the
+// slowest die gates every lock-step round (worst loss).
+func (ev *evaluator) coreSlowdown() float64 {
+	alive := ev.topo.AliveDies()
+	if len(alive) == 0 {
+		return 1
+	}
+	min, sum := 1.0, 0.0
+	for _, d := range alive {
+		f := ev.topo.CoreFraction(d)
+		if f < min {
+			min = f
+		}
+		sum += f
+	}
+	mean := sum / float64(len(alive))
+	if ev.o.AdaptiveRebalance {
+		if mean <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / mean
+	}
+	if min <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / min
+}
+
+// layerCompute returns the per-die forward compute time of one block
+// for a micro-step of mb sequences, and the recomputation surcharge
+// applied during backward.
+//
+// GEMM-class operators divide across every model-parallel dimension.
+// Vector operators (layer norms, softmax, GeLU, residuals) divide
+// only across the dimensions that actually shard activations: plain
+// Megatron TP replicates them on every TP rank — the redundant
+// computation Megatron-3's sequence parallelism was built to remove.
+// Flash-fused attention ops never spill the score matrix to DRAM, so
+// they are costed on vector throughput alone.
+func (ev *evaluator) layerCompute(mb int) (fwd, recompExtra float64) {
+	cfg := ev.cfg
+	die := ev.w.Die
+	gemmShard := float64(cfg.TP * cfg.SP * cfg.CP * cfg.TATP)
+	frac := float64(mb) / float64(ev.m.Batch) // micro-step share per DP rank
+	var attn float64
+	for _, op := range ev.graph.Ops {
+		var t float64
+		if op.Kind.IsGEMM() {
+			shard := op.FLOPs * frac / gemmShard
+			per := shard
+			if cfg.TATP > 1 && op.HasWeight() {
+				per = shard / float64(cfg.TATP) // per-round tile
+			}
+			eff := per / (per + gemmHalfEff)
+			if eff < 0.05 {
+				eff = 0.05
+			}
+			t = shard / (die.PeakFLOPS * eff)
+		} else {
+			vecShard := float64(cfg.SP * cfg.CP * cfg.TATP)
+			if op.TPSharded || cfg.MegatronSP {
+				vecShard *= float64(cfg.TP)
+			}
+			shard := op.FLOPs * frac / vecShard
+			t = shard / die.VectorFLOPS
+			if !op.FlashFused || ev.o.NoFlashAttention {
+				bytes := (op.Input.Bytes() + op.Output.Bytes()) * frac / vecShard
+				t = unit.MaxF(t, bytes/die.MemBandwidth())
+			}
+		}
+		fwd += t
+		if op.FlashFused {
+			attn += t
+		}
+	}
+	switch ev.o.Recompute {
+	case RecomputeFull:
+		recompExtra = fwd
+	case RecomputeSelective:
+		recompExtra = attn
+	}
+	return fwd, recompExtra
+}
+
+// layerStreamComm returns the forward TATP streaming time of one
+// block: all weighted GEMMs stream their selected operand around each
+// TATP group concurrently. Under FSDP×TATP hybrids, the per-layer
+// FSDP weight all-gather runs concurrently with the streams and
+// contends for the same links — the Fig. 11 scenario TCME untangles.
+func (ev *evaluator) layerStreamComm(mb int) float64 {
+	cfg := ev.cfg
+	if cfg.TATP <= 1 || len(ev.orchs) == 0 {
+		return 0
+	}
+	o := ev.o
+	o.Microbatch = mb
+	var streamSeq []mesh.Phase
+	var rounds int
+	for _, op := range ev.graph.Ops {
+		if !op.HasWeight() {
+			continue
+		}
+		sub, _ := streamSubTensorBytes(op, ev.m, cfg, o)
+		var seqs [][]mesh.Phase
+		for _, orch := range ev.orchs {
+			seqs = append(seqs, orch.Phases(sub))
+		}
+		streamSeq = append(streamSeq, collective.Merge(seqs...)...)
+		rounds += cfg.TATP
+	}
+	if cfg.FSDP && cfg.DP > 1 {
+		layerW := ev.graph.WeightBytes() / float64(cfg.TP*cfg.TATP)
+		shard := layerW / float64(cfg.DP)
+		var agSeqs [][]mesh.Phase
+		for _, g := range ev.place.Groups(parallel.DP) {
+			order := aliveOnly(ev.topo, ev.groupOrder(g))
+			if len(order) <= 1 {
+				continue
+			}
+			agSeqs = append(agSeqs, collective.RingAllGather(ev.topo, order, shard))
+		}
+		if len(agSeqs) > 0 {
+			streamSeq = collective.Merge(append([][]mesh.Phase{streamSeq}, agSeqs...)...)
+		}
+	}
+	return ev.evalPhases(streamSeq) + float64(rounds)*streamRoundSync
+}
+
+// layerCollectives returns the exposed forward collective time of one
+// block under the configured strategies: Megatron TP all-reduces (or
+// their SP-fused AG+RS form), standalone sequence-parallel gathers
+// and context-parallel KV gathers.
+func (ev *evaluator) layerCollectives(mb int) float64 {
+	cfg := ev.cfg
+	h := float64(ev.m.Hidden)
+	fp := unit.FP16.Size()
+	sAR := float64(ev.m.Seq) / float64(cfg.SP*cfg.CP*cfg.TATP)
+	var total float64
+
+	if cfg.TP > 1 {
+		// Two partial-sum reductions per block (attention projection
+		// and FC2).
+		bytes := float64(mb) * sAR * h * fp
+		total += 2 * ev.groupCollective(parallel.TP, func(order []mesh.DieID) []mesh.Phase {
+			return collective.RingAllReduce(ev.topo, order, bytes)
+		})
+	}
+	if cfg.SP > 1 && !cfg.MegatronSP {
+		shard := float64(mb) * sAR * h * fp
+		total += ev.groupCollective(parallel.SP, func(order []mesh.DieID) []mesh.Phase {
+			return collective.RingAllGather(ev.topo, order, shard/float64(cfg.SP))
+		})
+		total += ev.groupCollective(parallel.SP, func(order []mesh.DieID) []mesh.Phase {
+			return collective.RingReduceScatter(ev.topo, order, shard)
+		})
+	}
+	if cfg.CP > 1 {
+		kv := 2 * float64(mb) * sAR * h * fp / float64(cfg.TP)
+		total += ev.groupCollective(parallel.CP, func(order []mesh.DieID) []mesh.Phase {
+			return collective.RingAllGather(ev.topo, order, kv/float64(cfg.CP))
+		})
+	}
+	return total
+}
+
+type fsdpCost struct{ fwd, bwd float64 }
+
+// fsdpCollectives returns the per-layer weight all-gather (forward
+// and backward) and gradient reduce-scatter costs of FSDP sharding.
+// Under FSDP×TATP hybrids the forward gather already rides inside the
+// merged stream phases (layerStreamComm), so only backward costs
+// remain here.
+func (ev *evaluator) fsdpCollectives() fsdpCost {
+	cfg := ev.cfg
+	if !cfg.FSDP || cfg.DP <= 1 {
+		return fsdpCost{}
+	}
+	if cfg.TATP > 1 {
+		layerW := ev.graph.WeightBytes() / float64(cfg.TP*cfg.TATP)
+		rs := ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
+			return collective.RingReduceScatter(ev.topo, order, layerW)
+		})
+		ag := ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
+			return collective.RingAllGather(ev.topo, order, layerW/float64(cfg.DP))
+		})
+		return fsdpCost{fwd: 0, bwd: ag + rs}
+	}
+	layerW := ev.graph.WeightBytes() / float64(cfg.TP*cfg.TATP)
+	shard := layerW / float64(cfg.DP)
+	ag := ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
+		return collective.RingAllGather(ev.topo, order, shard)
+	})
+	rs := ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
+		return collective.RingReduceScatter(ev.topo, order, layerW)
+	})
+	return fsdpCost{fwd: ag, bwd: ag + rs}
+}
+
+// dpAllReduce returns the gradient synchronization time across DP
+// groups for one step (non-FSDP data parallelism).
+func (ev *evaluator) dpAllReduce(layersPerStage int) float64 {
+	cfg := ev.cfg
+	if cfg.FSDP || cfg.DP <= 1 {
+		return 0
+	}
+	grads := ev.graph.WeightBytes() * float64(layersPerStage) / float64(cfg.TP*cfg.TATP)
+	return ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
+		return collective.RingAllReduce(ev.topo, order, grads)
+	})
+}
+
+// groupCollective lowers one collective onto every group of a
+// strategy, merges the concurrent phases, optionally optimizes them
+// with TCME, and returns the wall time.
+func (ev *evaluator) groupCollective(s parallel.Strategy, lower func([]mesh.DieID) []mesh.Phase) float64 {
+	groups := ev.place.Groups(s)
+	if len(groups) == 0 {
+		return 0
+	}
+	var seqs [][]mesh.Phase
+	for _, g := range groups {
+		order := ev.groupOrder(g)
+		order = aliveOnly(ev.topo, order)
+		if len(order) <= 1 {
+			continue
+		}
+		seqs = append(seqs, lower(order))
+	}
+	if len(seqs) == 0 {
+		return 0
+	}
+	merged := collective.Merge(seqs...)
+	// Each ring step is a synchronized phase across the group: charge
+	// the same per-phase setup/barrier overhead as stream rounds.
+	return ev.evalPhases(merged) + float64(len(merged))*streamRoundSync
+}
+
+// groupOrder returns the communication order of a group. SMap and
+// GMap communicate in logical rank order (NCCL-style rings over rank
+// IDs): SMap's scattered groups then wrap across rows multi-hop,
+// while GMap's rectangular placement at least keeps ranks nearby but
+// still pays an in-rect wrap — the "does not optimize D2D
+// communication" deficiency of §VIII-A. Only TEMP's mapping engine
+// re-orders communication onto the group's physical Hamiltonian ring
+// (or snake path) before TCME's contention optimization runs.
+func (ev *evaluator) groupOrder(g parallel.Group) []mesh.DieID {
+	if ev.o.Engine != TCMEEngine {
+		return g.Dies
+	}
+	if g.Rect != nil {
+		if ring, ok := g.Rect.RingPath(ev.topo); ok {
+			return ring
+		}
+		return g.Rect.SnakePath(ev.topo)
+	}
+	return nearestNeighborOrder(ev.topo, g.Dies)
+}
+
+// nearestNeighborOrder re-sequences a scattered group greedily by hop
+// distance so ring collectives traverse short segments — the mapping
+// engine's logical-orchestration step for non-contiguous groups.
+func nearestNeighborOrder(t *mesh.Topology, dies []mesh.DieID) []mesh.DieID {
+	if len(dies) <= 2 {
+		return dies
+	}
+	rest := append([]mesh.DieID(nil), dies[1:]...)
+	out := []mesh.DieID{dies[0]}
+	for len(rest) > 0 {
+		cur := out[len(out)-1]
+		bi, bd := 0, 1<<30
+		for i, d := range rest {
+			if h := t.HopDistance(cur, d); h < bd {
+				bi, bd = i, h
+			}
+		}
+		out = append(out, rest[bi])
+		rest = append(rest[:bi], rest[bi+1:]...)
+	}
+	return out
+}
+
+// evalPhases times a phase sequence, applying TCME when enabled, and
+// accumulates link-byte statistics.
+func (ev *evaluator) evalPhases(phases []mesh.Phase) float64 {
+	if ev.o.Engine == TCMEEngine {
+		opt, agg := tcme.OptimizeAll(ev.topo, phases, ev.o.TCME)
+		phases = opt
+		ev.tcmeAgg.InitialMaxLoad += agg.InitialMaxLoad
+		ev.tcmeAgg.FinalMaxLoad += agg.FinalMaxLoad
+		ev.tcmeAgg.Iterations += agg.Iterations
+		ev.tcmeAgg.MergedFlows += agg.MergedFlows
+		ev.tcmeAgg.ReroutedFlows += agg.ReroutedFlows
+	}
+	pt := ev.topo.SeqTime(phases)
+	ev.linkBytes += pt.LinkBytes
+	return pt.Total()
+}
+
+// interStageBytes is the activation volume handed to the next
+// pipeline stage per micro-step, per die.
+func (ev *evaluator) interStageBytes(mb int) float64 {
+	h := float64(ev.m.Hidden)
+	return float64(mb) * float64(ev.m.Seq) * h * unit.FP16.Size() / float64(ev.cfg.Degree())
+}

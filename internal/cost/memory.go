@@ -1,0 +1,156 @@
+package cost
+
+import (
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/stream"
+	"temp/internal/unit"
+)
+
+// MemoryBreakdown is the per-die memory occupancy of one training
+// configuration, the quantity Fig. 4(c) and the memory panels of
+// Fig. 13 report.
+type MemoryBreakdown struct {
+	Weights     float64
+	Grads       float64
+	Optimizer   float64
+	Activations float64
+	StreamBuf   float64
+	Capacity    float64
+}
+
+// Total returns the per-die footprint.
+func (m MemoryBreakdown) Total() float64 {
+	return m.Weights + m.Grads + m.Optimizer + m.Activations + m.StreamBuf
+}
+
+// OOM reports whether the footprint exceeds per-die capacity.
+func (m MemoryBreakdown) OOM() bool { return m.Total() > m.Capacity }
+
+// localSeq returns the per-die sequence extent: SP, CP and TATP all
+// shard the token dimension, and Megatron-3-style SP additionally
+// splits the non-TP regions across the TP group. Plain Megatron TP
+// leaves the sequence whole on every rank — the activation
+// replication of Fig. 4(a).
+func localSeq(m model.Config, cfg parallel.Config) float64 {
+	cfg = cfg.Normalize()
+	div := cfg.SP * cfg.CP * cfg.TATP
+	if cfg.MegatronSP {
+		div *= cfg.TP
+	}
+	s := float64(m.Seq) / float64(div)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// MemoryPerDie evaluates the per-die memory footprint for
+// layersPerStage transformer blocks resident on each wafer stage.
+func MemoryPerDie(m model.Config, w hw.Wafer, cfg parallel.Config, o Options, layersPerStage int) MemoryBreakdown {
+	cfg = cfg.Normalize()
+	h := float64(m.Hidden)
+	sLocal := localSeq(m, cfg)
+	mb := float64(o.microbatch())
+	fp := unit.FP16.Size()
+
+	stageParams := float64(m.LayerParams()) * float64(layersPerStage)
+	// Embedding + unembedding live on the boundary stages; amortize
+	// across stages for the per-die estimate.
+	stageParams += float64(m.Vocab) * h / float64(maxInt(cfg.PP, 1))
+
+	weightShard := float64(cfg.WeightShardWays())
+	weights := stageParams * fp / weightShard
+
+	grads := weights // FP16 gradient per resident weight shard
+	optimShard := float64(cfg.TP * cfg.TATP)
+	if o.DistributedOptimizer || cfg.FSDP {
+		optimShard = float64(cfg.Degree())
+	}
+	// FP32 master + Adam m + v: 12 bytes per parameter.
+	optim := stageParams * 12 / optimShard
+
+	var actPerLayer float64
+	a := float64(m.Heads)
+	switch o.Recompute {
+	case RecomputeNone:
+		actPerLayer = mb * sLocal * h * (34 + 5*a*sLocal/h)
+	case RecomputeSelective:
+		actPerLayer = 34 * mb * sLocal * h
+	case RecomputeFull:
+		actPerLayer = 2 * mb * sLocal * h
+	}
+	acts := actPerLayer * float64(layersPerStage)
+	if o.Recompute == RecomputeFull {
+		// One layer's working set is live while recomputing.
+		acts += 34 * mb * sLocal * h
+	}
+
+	var buf float64
+	if cfg.TATP > 1 {
+		// The bidirectional schedule buffers up to N/2+2 sub-tensors
+		// of the streamed operand for the layer currently in flight.
+		layerW := largestLayerWeightBytes(m) / float64(cfg.TP)
+		layerI := mb * sLocal * h * fp * float64(cfg.TATP) // group-level input
+		streamed := unit.MinF(layerW, layerI)
+		sub := streamed / float64(cfg.TATP)
+		peak := float64(cfg.TATP/2 + 2)
+		if peak > float64(cfg.TATP) {
+			peak = float64(cfg.TATP)
+		}
+		buf = sub * peak
+	}
+
+	return MemoryBreakdown{
+		Weights:     weights,
+		Grads:       grads,
+		Optimizer:   optim,
+		Activations: acts,
+		StreamBuf:   buf,
+		Capacity:    w.Die.MemCapacity(),
+	}
+}
+
+// largestLayerWeightBytes returns the biggest single weight tensor of
+// a block (FC1/FC2 for FFNMult=4 models).
+func largestLayerWeightBytes(m model.Config) float64 {
+	g := model.BlockGraph(m)
+	var max float64
+	for _, op := range g.Ops {
+		if b := op.Weight.Bytes(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// streamSubTensorBytes returns the per-round sub-tensor size of a
+// TATP group for a given weighted operator, applying the selective
+// transfer policy (§V): the smaller of the group-visible weight and
+// input operands is streamed.
+func streamSubTensorBytes(op model.Op, m model.Config, cfg parallel.Config, o Options) (float64, stream.Operand) {
+	cfg = cfg.Normalize()
+	n := float64(cfg.TATP)
+	mb := float64(o.microbatch())
+	// Group-visible operand sizes: weights are pre-sharded by TP;
+	// inputs by DP (microbatch), SP and CP.
+	wGroup := op.Weight.Bytes() / float64(cfg.TP)
+	iGroup := op.Input.Bytes() * (mb / float64(m.Batch)) / float64(cfg.SP*cfg.CP)
+	operand := stream.SelectOperand(wGroup, iGroup)
+	if o.ForceStreamWeights {
+		operand = stream.StreamWeights
+	}
+	streamed := wGroup
+	if operand == stream.StreamInputs {
+		streamed = iGroup
+	}
+	return streamed / n, operand
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

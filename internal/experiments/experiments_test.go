@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentIDs runs each registered experiment in quick mode
+// and checks it emits rows — the smoke test that keeps the harness
+// regenerating every artefact of the per-experiment index.
+func TestAllExperimentIDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	ids := []string{"fig4b", "fig4c", "fig5", "fig7", "fig9", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "tabH", "dls-quality"}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := ByID(id, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID != id {
+				t.Errorf("table id = %q, want %q", tab.ID, id)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows produced")
+			}
+			if len(tab.Headers) == 0 {
+				t.Error("no headers")
+			}
+			s := tab.String()
+			if !strings.Contains(s, tab.Title) {
+				t.Error("rendered table missing title")
+			}
+		})
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("bogus", true); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestFig9SweetSpotNote checks the headline claim is carried in the
+// regenerated artefact.
+func TestFig9SweetSpotNote(t *testing.T) {
+	tab, err := Fig09SweetSpot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "sweet spot at N=8") || strings.Contains(n, "sweet spot at N=16") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sweet spot note missing or out of band: %v", tab.Notes)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Headers: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("note %d", 7)
+	s := tab.String()
+	for _, want := range []string{"== x — demo ==", "a  bb", "1  2", "* note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§VIII). Each runner regenerates the same rows
+// or series the paper reports — normalized latency breakdowns, memory
+// occupancy, power efficiency, throughput sweeps, fault curves and
+// cost-model accuracy — through the repository's simulator, and
+// returns them as printable tables. cmd/tempbench and the root
+// benchmark suite drive these runners.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one regenerated artefact.
+type Table struct {
+	// ID matches the per-experiment index of DESIGN.md (e.g.
+	// "fig13").
+	ID string
+	// Title names the paper artefact.
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes carry the headline observations (speedups, sweet spots)
+	// in the same terms the paper states them.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  * %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func gb(v float64) string { return fmt.Sprintf("%.1fGB", v/1e9) }

@@ -1,0 +1,172 @@
+// Package fault implements the systematic fault-tolerance mechanism
+// of §VIII-F (Fig. 20): random link and core fault injection, fault
+// localization, adaptive tensor re-partitioning (capacity-weighted
+// work re-balancing), and communication re-routing around dead
+// hardware — all at the framework level rather than relying on
+// hardware redundancy.
+package fault
+
+import (
+	"math/rand"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/mesh"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// Injection describes a fault scenario.
+type Injection struct {
+	// LinkRate is the fraction of D2D link bundles that fail.
+	LinkRate float64
+	// CoreRate is the per-core failure probability inside each die;
+	// a die's surviving capacity is its fraction of healthy cores.
+	CoreRate float64
+	// CoresPerDie sizes the per-die core array (Fig. 3: 8×8).
+	CoresPerDie int
+}
+
+// Apply injects faults into a topology using the given source of
+// randomness. Link bundles (both directions) fail together.
+func (in Injection) Apply(t *mesh.Topology, rng *rand.Rand) {
+	if in.LinkRate > 0 {
+		seen := map[mesh.Link]bool{}
+		for _, l := range t.Links() {
+			key := l
+			if l.To < l.From {
+				key = mesh.Link{From: l.To, To: l.From}
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if rng.Float64() < in.LinkRate {
+				t.SetLinkAlive(key, false)
+			}
+		}
+	}
+	if in.CoreRate > 0 {
+		cores := in.CoresPerDie
+		if cores <= 0 {
+			cores = 64
+		}
+		for d := 0; d < t.Dies(); d++ {
+			dead := 0
+			for c := 0; c < cores; c++ {
+				if rng.Float64() < in.CoreRate {
+					dead++
+				}
+			}
+			frac := 1 - float64(dead)/float64(cores)
+			t.SetCoreFraction(mesh.DieID(d), frac)
+			if frac <= 0 {
+				t.SetDieAlive(mesh.DieID(d), false)
+			}
+		}
+	}
+}
+
+// Report describes the localization step: what failed and whether
+// the surviving fabric can still run the configuration.
+type Report struct {
+	DeadLinks int
+	DeadDies  int
+	// MeanCapacity is the average surviving core fraction.
+	MeanCapacity float64
+	// Connected reports whether the alive dies form one component.
+	Connected bool
+}
+
+// Localize scans a topology for faults (step 1 of Fig. 20(a)).
+func Localize(t *mesh.Topology) Report {
+	r := Report{Connected: t.Connected()}
+	seen := map[mesh.Link]bool{}
+	total := 0
+	for d := 0; d < t.Dies(); d++ {
+		id := mesh.DieID(d)
+		if !t.DieAlive(id) {
+			r.DeadDies++
+		} else {
+			r.MeanCapacity += t.CoreFraction(id)
+		}
+	}
+	alive := t.Dies() - r.DeadDies
+	if alive > 0 {
+		r.MeanCapacity /= float64(alive)
+	}
+	// Count dead bundles against the pristine mesh.
+	pristine := mesh.New(t.Rows(), t.Cols(), t.LinkParams())
+	for _, l := range pristine.Links() {
+		key := l
+		if l.To < l.From {
+			key = mesh.Link{From: l.To, To: l.From}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		total++
+		if !t.LinkAlive(key) {
+			r.DeadLinks++
+		}
+	}
+	return r
+}
+
+// Outcome is the result of one faulted evaluation.
+type Outcome struct {
+	Report     Report
+	Breakdown  cost.Breakdown
+	Functional bool
+}
+
+// Evaluate runs the cost model on a faulted topology with TEMP's
+// three-step tolerance: localization, adaptive re-partitioning
+// (capacity-weighted re-balance via AdaptiveRebalance), and re-routing
+// (the mesh router avoids dead links). A disconnected fabric, or one
+// whose placement can no longer route, is reported non-functional.
+func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options, in Injection, rng *rand.Rand) Outcome {
+	topo := mesh.FromWafer(w)
+	in.Apply(topo, rng)
+	rep := Localize(topo)
+	if !rep.Connected || rep.DeadDies > 0 && !topo.Connected() {
+		return Outcome{Report: rep}
+	}
+	o.AdaptiveRebalance = true
+	var place *parallel.Placement
+	var err error
+	if o.Engine == cost.SMap {
+		place, err = parallel.PlaceLinear(cfg, topo)
+	} else {
+		place, err = parallel.Place(cfg, topo)
+	}
+	if err != nil {
+		return Outcome{Report: rep}
+	}
+	b, err := cost.EvaluateOn(m, w, cfg, o, topo, place)
+	if err != nil {
+		return Outcome{Report: rep}
+	}
+	return Outcome{Report: rep, Breakdown: b, Functional: true}
+}
+
+// NormalizedThroughput runs trials at a fault rate and returns mean
+// throughput relative to the fault-free baseline — the y-axis of
+// Fig. 20(b)/(c). Non-functional trials contribute zero.
+func NormalizedThroughput(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options,
+	in Injection, trials int, seed int64) float64 {
+	base, err := cost.Evaluate(m, w, cfg, o)
+	if err != nil || base.ThroughputTokens <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum float64
+	for i := 0; i < trials; i++ {
+		out := Evaluate(m, w, cfg, o, in, rng)
+		if out.Functional {
+			sum += out.Breakdown.ThroughputTokens / base.ThroughputTokens
+		}
+	}
+	return sum / float64(trials)
+}

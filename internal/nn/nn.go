@@ -1,0 +1,410 @@
+// Package nn is a small, dependency-free neural-network library used
+// as the substrate for TEMP's DNN-based cost model (§VII-A): fully
+// connected layers with ReLU activations, mean-squared-error loss,
+// Adam optimization and feature standardization. It is deliberately
+// minimal — just enough to train the latency-prediction MLPs the
+// paper trains with an external framework.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is one fully connected layer with optional ReLU.
+type Dense struct {
+	In, Out int
+	// W is row-major [Out][In]; B is [Out].
+	W, B []float64
+	ReLU bool
+
+	// Adam state.
+	mW, vW, mB, vB []float64
+
+	// scratch from the last forward pass, used by backward.
+	lastIn  []float64
+	lastPre []float64
+}
+
+// NewDense builds a layer with He-initialized weights.
+func NewDense(in, out int, relu bool, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out, ReLU: relu,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		mW: make([]float64, in*out),
+		vW: make([]float64, in*out),
+		mB: make([]float64, out),
+		vB: make([]float64, out),
+	}
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range d.W {
+		d.W[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+// Forward computes the layer output for one sample.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense input %d, want %d", len(x), d.In))
+	}
+	d.lastIn = append(d.lastIn[:0], x...)
+	if cap(d.lastPre) < d.Out {
+		d.lastPre = make([]float64, d.Out)
+	}
+	d.lastPre = d.lastPre[:d.Out]
+	out := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		d.lastPre[o] = s
+		if d.ReLU && s < 0 {
+			s = 0
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Backward consumes dL/dout, accumulates parameter gradients into gW
+// and gB, and returns dL/din.
+func (d *Dense) Backward(dOut, gW, gB []float64) []float64 {
+	dIn := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dOut[o]
+		if d.ReLU && d.lastPre[o] <= 0 {
+			continue
+		}
+		gB[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		gRow := gW[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			gRow[i] += g * d.lastIn[i]
+			dIn[i] += g * row[i]
+		}
+	}
+	return dIn
+}
+
+// MLP is a feed-forward stack of Dense layers.
+type MLP struct {
+	Layers []*Dense
+	step   int
+}
+
+// NewMLP builds a network with the given layer widths; all hidden
+// layers use ReLU, the output layer is linear.
+func NewMLP(widths []int, rng *rand.Rand) *MLP {
+	if len(widths) < 2 {
+		panic("nn: MLP needs at least input and output widths")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(widths); i++ {
+		relu := i+2 < len(widths)
+		m.Layers = append(m.Layers, NewDense(widths[i], widths[i+1], relu, rng))
+	}
+	return m
+}
+
+// Predict runs a forward pass.
+func (m *MLP) Predict(x []float64) []float64 {
+	h := x
+	for _, l := range m.Layers {
+		h = l.Forward(h)
+	}
+	return h
+}
+
+// AdamConfig holds optimizer hyper-parameters; zero values take the
+// usual defaults.
+type AdamConfig struct {
+	LR, Beta1, Beta2, Eps float64
+}
+
+func (c AdamConfig) withDefaults() AdamConfig {
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Beta1 == 0 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 == 0 {
+		c.Beta2 = 0.999
+	}
+	if c.Eps == 0 {
+		c.Eps = 1e-8
+	}
+	return c
+}
+
+// TrainBatch runs one Adam step on a minibatch with MSE loss and
+// returns the batch loss.
+func (m *MLP) TrainBatch(xs [][]float64, ys [][]float64, cfg AdamConfig) float64 {
+	cfg = cfg.withDefaults()
+	gW := make([][]float64, len(m.Layers))
+	gB := make([][]float64, len(m.Layers))
+	for i, l := range m.Layers {
+		gW[i] = make([]float64, len(l.W))
+		gB[i] = make([]float64, len(l.B))
+	}
+	var loss float64
+	for s := range xs {
+		out := m.Predict(xs[s])
+		dOut := make([]float64, len(out))
+		for o := range out {
+			diff := out[o] - ys[s][o]
+			loss += diff * diff
+			dOut[o] = 2 * diff / float64(len(xs))
+		}
+		for li := len(m.Layers) - 1; li >= 0; li-- {
+			dOut = m.Layers[li].Backward(dOut, gW[li], gB[li])
+		}
+	}
+	loss /= float64(len(xs))
+	m.step++
+	b1c := 1 - math.Pow(cfg.Beta1, float64(m.step))
+	b2c := 1 - math.Pow(cfg.Beta2, float64(m.step))
+	for li, l := range m.Layers {
+		adam(l.W, gW[li], l.mW, l.vW, cfg, b1c, b2c)
+		adam(l.B, gB[li], l.mB, l.vB, cfg, b1c, b2c)
+	}
+	return loss
+}
+
+func adam(w, g, mo, vo []float64, cfg AdamConfig, b1c, b2c float64) {
+	for i := range w {
+		mo[i] = cfg.Beta1*mo[i] + (1-cfg.Beta1)*g[i]
+		vo[i] = cfg.Beta2*vo[i] + (1-cfg.Beta2)*g[i]*g[i]
+		mh := mo[i] / b1c
+		vh := vo[i] / b2c
+		w[i] -= cfg.LR * mh / (math.Sqrt(vh) + cfg.Eps)
+	}
+}
+
+// Fit trains for the given number of epochs over shuffled minibatches
+// and returns the final epoch's mean loss.
+func (m *MLP) Fit(xs, ys [][]float64, epochs, batch int, cfg AdamConfig, rng *rand.Rand) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic("nn: Fit requires matching non-empty datasets")
+	}
+	if batch <= 0 {
+		batch = 32
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
+		for at := 0; at < len(idx); at += batch {
+			end := at + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			bx := make([][]float64, 0, end-at)
+			by := make([][]float64, 0, end-at)
+			for _, i := range idx[at:end] {
+				bx = append(bx, xs[i])
+				by = append(by, ys[i])
+			}
+			epochLoss += m.TrainBatch(bx, by, cfg)
+			batches++
+		}
+		last = epochLoss / float64(batches)
+	}
+	return last
+}
+
+// Standardizer performs per-feature z-score normalization.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer computes feature statistics over a dataset.
+func FitStandardizer(xs [][]float64) *Standardizer {
+	if len(xs) == 0 {
+		panic("nn: empty dataset")
+	}
+	d := len(xs[0])
+	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, x := range xs {
+		for i, v := range x {
+			s.Mean[i] += v
+		}
+	}
+	for i := range s.Mean {
+		s.Mean[i] /= float64(len(xs))
+	}
+	for _, x := range xs {
+		for i, v := range x {
+			dv := v - s.Mean[i]
+			s.Std[i] += dv * dv
+		}
+	}
+	for i := range s.Std {
+		s.Std[i] = math.Sqrt(s.Std[i] / float64(len(xs)))
+		if s.Std[i] < 1e-12 {
+			s.Std[i] = 1
+		}
+	}
+	return s
+}
+
+// Apply standardizes one sample (allocating a new slice).
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = (v - s.Mean[i]) / s.Std[i]
+	}
+	return out
+}
+
+// ApplyAll standardizes a dataset.
+func (s *Standardizer) ApplyAll(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Apply(x)
+	}
+	return out
+}
+
+// LinearRegression is the multivariate least-squares baseline the
+// paper compares the DNN model against (Fig. 21). Solved by normal
+// equations with ridge damping for stability.
+type LinearRegression struct {
+	// Coef has length features+1; the last entry is the intercept.
+	Coef []float64
+}
+
+// FitLinear fits y = Xw + b by ridge-regularized normal equations.
+func FitLinear(xs [][]float64, ys []float64, ridge float64) *LinearRegression {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		panic("nn: FitLinear requires matching non-empty datasets")
+	}
+	d := len(xs[0]) + 1 // +1 intercept
+	// Build A = XᵀX + λI and b = Xᵀy.
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	bvec := make([]float64, d)
+	row := make([]float64, d)
+	for s := 0; s < n; s++ {
+		copy(row, xs[s])
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			bvec[i] += row[i] * ys[s]
+			for j := 0; j < d; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		A[i][i] += ridge
+	}
+	coef := solveGaussian(A, bvec)
+	return &LinearRegression{Coef: coef}
+}
+
+// Predict evaluates the regression on one sample.
+func (l *LinearRegression) Predict(x []float64) float64 {
+	s := l.Coef[len(l.Coef)-1]
+	for i, v := range x {
+		s += l.Coef[i] * v
+	}
+	return s
+}
+
+// solveGaussian solves Ax = b in place with partial pivoting.
+func solveGaussian(A [][]float64, b []float64) []float64 {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		p := A[col][col]
+		if math.Abs(p) < 1e-15 {
+			continue
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := A[r][col] / p
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if math.Abs(A[i][i]) < 1e-15 {
+			x[i] = 0
+			continue
+		}
+		x[i] = b[i] / A[i][i]
+	}
+	return x
+}
+
+// Pearson returns the Pearson correlation of two equal-length series.
+func Pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	if len(a) != len(b) || len(a) == 0 {
+		panic("nn: Pearson requires matching non-empty series")
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// MAPE returns the mean absolute percentage error of predictions
+// against truths, skipping zero truths.
+func MAPE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		panic("nn: MAPE requires matching non-empty series")
+	}
+	var s float64
+	var n int
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n) * 100
+}

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(3, 2, false, rng)
+	out := d.Forward([]float64{1, 2, 3})
+	if len(out) != 2 {
+		t.Fatalf("output len = %d", len(out))
+	}
+}
+
+func TestDenseForwardPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched input did not panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(1))
+	NewDense(3, 2, false, rng).Forward([]float64{1})
+}
+
+func TestReLUZeroesNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(1, 1, true, rng)
+	d.W[0] = 1
+	d.B[0] = 0
+	if out := d.Forward([]float64{-5})[0]; out != 0 {
+		t.Errorf("ReLU(-5) = %v", out)
+	}
+	if out := d.Forward([]float64{5})[0]; out != 5 {
+		t.Errorf("ReLU(5) = %v", out)
+	}
+}
+
+// TestMLPLearnsLinearFunction: the MLP must fit y = 2x₀ - 3x₁ + 1.
+func TestMLPLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var xs, ys [][]float64
+	for i := 0; i < 256; i++ {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		xs = append(xs, x)
+		ys = append(ys, []float64{2*x[0] - 3*x[1] + 1})
+	}
+	m := NewMLP([]int{2, 16, 1}, rng)
+	loss := m.Fit(xs, ys, 200, 32, AdamConfig{LR: 1e-2}, rng)
+	if loss > 1e-3 {
+		t.Errorf("final loss = %v, want <1e-3", loss)
+	}
+	pred := m.Predict([]float64{0.5, -0.5})[0]
+	want := 2*0.5 + 3*0.5 + 1
+	if math.Abs(pred-want) > 0.1 {
+		t.Errorf("Predict = %v, want %v", pred, want)
+	}
+}
+
+// TestMLPLearnsNonlinear: fit y = x² on [-1,1] — requires the hidden
+// ReLU layer to do real work.
+func TestMLPLearnsNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys [][]float64
+	for i := 0; i < 512; i++ {
+		x := rng.Float64()*2 - 1
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{x * x})
+	}
+	m := NewMLP([]int{1, 32, 32, 1}, rng)
+	loss := m.Fit(xs, ys, 300, 64, AdamConfig{LR: 3e-3}, rng)
+	if loss > 5e-3 {
+		t.Errorf("final loss = %v, want <5e-3", loss)
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numerical vs analytic gradient on a tiny network.
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP([]int{2, 3, 1}, rng)
+	x := []float64{0.3, -0.7}
+	y := []float64{0.5}
+	lossAt := func() float64 {
+		out := m.Predict(x)
+		d := out[0] - y[0]
+		return d * d
+	}
+	// Analytic gradient of the first layer's first weight.
+	gW := make([][]float64, len(m.Layers))
+	gB := make([][]float64, len(m.Layers))
+	for i, l := range m.Layers {
+		gW[i] = make([]float64, len(l.W))
+		gB[i] = make([]float64, len(l.B))
+	}
+	out := m.Predict(x)
+	dOut := []float64{2 * (out[0] - y[0])}
+	grad := dOut
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		grad = m.Layers[li].Backward(grad, gW[li], gB[li])
+	}
+	const eps = 1e-6
+	for li, l := range m.Layers {
+		for wi := 0; wi < len(l.W); wi += 3 {
+			orig := l.W[wi]
+			l.W[wi] = orig + eps
+			up := lossAt()
+			l.W[wi] = orig - eps
+			down := lossAt()
+			l.W[wi] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-gW[li][wi]) > 1e-4*(1+math.Abs(num)) {
+				t.Errorf("layer %d w[%d]: numeric %v vs analytic %v", li, wi, num, gW[li][wi])
+			}
+		}
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	xs := [][]float64{{1, 10}, {3, 30}, {5, 50}}
+	s := FitStandardizer(xs)
+	if math.Abs(s.Mean[0]-3) > 1e-12 || math.Abs(s.Mean[1]-30) > 1e-12 {
+		t.Errorf("means = %v", s.Mean)
+	}
+	norm := s.ApplyAll(xs)
+	var m0 float64
+	for _, x := range norm {
+		m0 += x[0]
+	}
+	if math.Abs(m0) > 1e-9 {
+		t.Errorf("standardized mean = %v, want 0", m0/3)
+	}
+	// Constant features don't blow up.
+	cs := FitStandardizer([][]float64{{5}, {5}, {5}})
+	if v := cs.Apply([]float64{5})[0]; v != 0 {
+		t.Errorf("constant feature standardized to %v", v)
+	}
+}
+
+func TestLinearRegressionExactFit(t *testing.T) {
+	// y = 4x₀ - 2x₁ + 7 fits exactly.
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 3}}
+	var ys []float64
+	for _, x := range xs {
+		ys = append(ys, 4*x[0]-2*x[1]+7)
+	}
+	lr := FitLinear(xs, ys, 1e-9)
+	for i, x := range xs {
+		if got := lr.Predict(x); math.Abs(got-ys[i]) > 1e-6 {
+			t.Errorf("Predict(%v) = %v, want %v", x, got, ys[i])
+		}
+	}
+}
+
+func TestLinearRegressionUnderfitsQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()*4 - 2
+		xs = append(xs, []float64{x})
+		ys = append(ys, x*x)
+	}
+	lr := FitLinear(xs, ys, 1e-6)
+	var preds []float64
+	for _, x := range xs {
+		preds = append(preds, lr.Predict(x))
+	}
+	if mape := MAPE(preds, ys); mape < 10 {
+		t.Errorf("linear fit of quadratic MAPE = %.1f%%, expected poor (≥10%%)", mape)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if r := Pearson(a, a); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation = %v", r)
+	}
+	b := []float64{4, 3, 2, 1}
+	if r := Pearson(a, b); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti correlation = %v", r)
+	}
+	c := []float64{5, 5, 5, 5}
+	if r := Pearson(a, c); r != 0 {
+		t.Errorf("constant series correlation = %v", r)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	pred := []float64{110, 90}
+	truth := []float64{100, 100}
+	if got := MAPE(pred, truth); math.Abs(got-10) > 1e-12 {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+	// Zero truths are skipped.
+	if got := MAPE([]float64{1, 110}, []float64{0, 100}); math.Abs(got-10) > 1e-12 {
+		t.Errorf("MAPE with zero truth = %v, want 10", got)
+	}
+}
+
+func TestFitPanicsOnEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{1, 1}, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fit on empty dataset did not panic")
+		}
+	}()
+	m.Fit(nil, nil, 1, 1, AdamConfig{}, rng)
+}

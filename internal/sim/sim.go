@@ -1,0 +1,125 @@
+// Package sim is the end-to-end facade: it composes the baseline
+// descriptors, the cost model and the solver into the evaluations
+// the paper's figures report — single-wafer system comparisons,
+// ablations and multi-wafer pipeline scaling.
+package sim
+
+import (
+	"fmt"
+
+	"temp/internal/baselines"
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// CompareAll evaluates the six baselines plus TEMP at each system's
+// best configuration (the Fig. 13/14 footing) and returns results in
+// A–F,TEMP order.
+func CompareAll(m model.Config, w hw.Wafer) ([]baselines.Result, error) {
+	systems := append(baselines.Six(), baselines.TEMP())
+	out := make([]baselines.Result, 0, len(systems))
+	for _, s := range systems {
+		r, err := baselines.Best(s, m, w)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s on %s: %w", s.Name, m.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Ablation evaluates the Fig. 16 ladder: Base (FSDP+SMap), Base+TATP
+// (stream partitioning under the same naive mapper), and
+// Base+TATP+TCME (the full TEMP engine), each at its best
+// configuration.
+func Ablation(m model.Config, w hw.Wafer) ([3]baselines.Result, error) {
+	var out [3]baselines.Result
+	base, err := baselines.Best(baselines.FSDP(cost.SMap), m, w)
+	if err != nil {
+		return out, err
+	}
+	out[0] = base
+	out[0].System = "Base"
+
+	// The ablation keeps the base system's FSDP sharding and layers
+	// TATP on top — the FSDP-allgather × TATP-stream hybrid whose
+	// contention Fig. 11 dissects.
+	tatpConfigs := func(dies int) []parallel.Config {
+		var cs []parallel.Config
+		for _, c := range parallel.EnumerateConfigs(dies, true, 0) {
+			if c.TATP >= 2 && c.DP >= 2 {
+				c.FSDP = true
+				cs = append(cs, c)
+			}
+		}
+		return cs
+	}
+	tatp := baselines.System{
+		Name:    "Base+TATP",
+		Opts:    cost.Options{Engine: cost.SMap, Recompute: cost.RecomputeSelective, DistributedOptimizer: true},
+		Configs: tatpConfigs,
+	}
+	r1, err := baselines.Best(tatp, m, w)
+	if err != nil {
+		return out, err
+	}
+	out[1] = r1
+
+	full := baselines.TEMP()
+	full.Name = "Base+TATP+TCME"
+	full.Configs = tatpConfigs
+	r2, err := baselines.Best(full, m, w)
+	if err != nil {
+		return out, err
+	}
+	out[2] = r2
+	return out, nil
+}
+
+// MultiWafer evaluates a system on a multi-wafer assembly (§VIII-E):
+// pipeline stages span wafers; baselines may only pick PP from
+// multiples of the wafer count (their Fig. 19 failure mode), while
+// TEMP holds PP at the wafer count and uses TATP inside each wafer.
+func MultiWafer(s baselines.System, m model.Config, w hw.Wafer, wafers int) (baselines.Result, error) {
+	opts := s.Opts
+	opts.Wafers = wafers
+	isTEMP := s.Name == "TEMP"
+
+	ppChoices := []int{wafers, 2 * wafers}
+	if isTEMP {
+		ppChoices = []int{wafers}
+	}
+	best := baselines.Result{System: s.Name}
+	found := false
+	for _, pp := range ppChoices {
+		stageWafer := w
+		if pp > wafers {
+			// Multiple stages per wafer: each stage gets a half
+			// wafer.
+			stageWafer = hw.WaferWithGrid(w.Rows, w.Cols/2)
+			stageWafer.Die = w.Die
+			stageWafer.Link = w.Link
+			stageWafer.InterWaferBandwidth = w.InterWaferBandwidth
+			stageWafer.InterWaferLatency = w.InterWaferLatency
+		}
+		for _, cfg := range s.Configs(mesh(stageWafer)) {
+			cfg.PP = pp
+			b, err := cost.Evaluate(m, stageWafer, cfg, opts)
+			if err != nil || b.OOM() {
+				continue
+			}
+			if !found || b.StepTime < best.StepTime {
+				best = baselines.Result{System: s.Name, Config: cfg, Breakdown: b, Feasible: true}
+				found = true
+			}
+		}
+	}
+	if !found {
+		return best, fmt.Errorf("sim: no feasible multi-wafer config for %s on %s", s.Name, m.Name)
+	}
+	return best, nil
+}
+
+func mesh(w hw.Wafer) int { return w.Dies() }

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"temp/internal/baselines"
+	"temp/internal/hw"
+	"temp/internal/model"
+)
+
+func TestCompareAllShape(t *testing.T) {
+	rs, err := CompareAll(model.GPT3_6_7B(), hw.EvaluationWafer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 7 {
+		t.Fatalf("CompareAll = %d systems, want 7 (A–F + TEMP)", len(rs))
+	}
+	if rs[6].System != "TEMP" {
+		t.Errorf("last system = %s, want TEMP", rs[6].System)
+	}
+	var temp = rs[6]
+	if !temp.Feasible {
+		t.Fatal("TEMP infeasible on 6.7B")
+	}
+	for _, r := range rs[:6] {
+		if r.Feasible && r.StepTime < temp.StepTime*(1-1e-9) {
+			t.Errorf("%s beats TEMP: %v < %v", r.System, r.StepTime, temp.StepTime)
+		}
+	}
+}
+
+func TestAblationLadder(t *testing.T) {
+	rs, err := Ablation(model.GPT3_6_7B(), hw.EvaluationWafer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, tatp, full := rs[0], rs[1], rs[2]
+	if base.System != "Base" || tatp.System != "Base+TATP" || full.System != "Base+TATP+TCME" {
+		t.Fatalf("ladder names wrong: %s/%s/%s", base.System, tatp.System, full.System)
+	}
+	if tatp.Config.Normalize().TATP < 2 {
+		t.Errorf("+TATP rung chose TATP=%d", tatp.Config.Normalize().TATP)
+	}
+	if !tatp.Config.FSDP {
+		t.Error("+TATP rung must keep the base system's FSDP sharding (Fig. 11 hybrid)")
+	}
+	// Paper Fig. 16: each rung improves (TCME within tolerance).
+	if tatp.ThroughputTokens <= base.ThroughputTokens {
+		t.Errorf("+TATP did not improve: %v vs %v", tatp.ThroughputTokens, base.ThroughputTokens)
+	}
+	if full.ThroughputTokens < tatp.ThroughputTokens*0.99 {
+		t.Errorf("+TCME regressed: %v vs %v", full.ThroughputTokens, tatp.ThroughputTokens)
+	}
+}
+
+func TestMultiWaferPPAcrossWafers(t *testing.T) {
+	m := model.GPT3_175B()
+	w := hw.EvaluationWafer()
+	r, err := MultiWafer(baselines.TEMP(), m, w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config.PP != 2 {
+		t.Errorf("TEMP PP = %d, want 2 (one stage per wafer)", r.Config.PP)
+	}
+	if r.BubbleTime <= 0 {
+		t.Error("pipeline should produce bubbles")
+	}
+	if r.BubbleTime/r.StepTime > 0.5 {
+		t.Errorf("bubble fraction %.2f implausibly high", r.BubbleTime/r.StepTime)
+	}
+}

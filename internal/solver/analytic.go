@@ -1,0 +1,160 @@
+// Package solver implements the Dual-Level Wafer Solver (§VII): a
+// wafer-customized per-operator cost model, the dual-level search
+// algorithm (residual-cut graph partitioning + recursive chain
+// dynamic programming + genetic refinement, Fig. 12(b)), and an
+// exhaustive joint-search baseline standing in for the ILP solvers
+// the paper compares search time against (§VIII-H).
+package solver
+
+import (
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/tensor"
+	"temp/internal/unit"
+)
+
+// CostModel prices operators under candidate strategies. Both the
+// fast analytic model and the DNN surrogate satisfy it.
+type CostModel interface {
+	// Intra returns T_intra(op) of Eq. (2): compute overlapped with
+	// streaming plus exposed collectives, under the strategy.
+	Intra(op model.Op, cfg parallel.Config) float64
+	// Inter returns T_inter(op1, op2) of Eq. (3): the resharding
+	// P2P cost between consecutive operators under their strategies.
+	Inter(prev, next model.Op, pc, nc parallel.Config) float64
+	// MemoryOK reports whether the strategy fits per-die memory for
+	// the whole model (a global, non-chain constraint the genetic
+	// level enforces).
+	MemoryOK(cfg parallel.Config) bool
+}
+
+// Analytic is the closed-form wafer cost model of §VII-A: ring and
+// stream formulas over the Table I link parameters, matching the
+// first-order behaviour of the full mesh simulation at a tiny
+// fraction of its cost.
+type Analytic struct {
+	W hw.Wafer
+	M model.Config
+	// Microbatch sequences per DP rank (0 = default 4).
+	Microbatch int
+	// MemBudget per die; 0 means the wafer die's capacity.
+	MemBudget float64
+}
+
+func (a *Analytic) mb() float64 {
+	if a.Microbatch > 0 {
+		return float64(a.Microbatch)
+	}
+	return 4
+}
+
+// gemmHalfEff mirrors the cost package's tile-efficiency knee.
+const gemmHalfEff = 1e9
+
+// roundSync mirrors the cost package's per-round stream overhead.
+const roundSync = 2 * unit.Microsecond
+
+// Intra implements CostModel.
+func (a *Analytic) Intra(op model.Op, cfg parallel.Config) float64 {
+	cfg = cfg.Normalize()
+	die := a.W.Die
+	frac := a.mb() / float64(a.M.Batch)
+	gemmShard := float64(cfg.TP * cfg.SP * cfg.CP * cfg.TATP)
+
+	var comp float64
+	if op.Kind.IsGEMM() {
+		shard := op.FLOPs * frac / gemmShard
+		per := shard
+		if cfg.TATP > 1 && op.HasWeight() {
+			per = shard / float64(cfg.TATP)
+		}
+		eff := per / (per + gemmHalfEff)
+		if eff < 0.05 {
+			eff = 0.05
+		}
+		comp = shard / (die.PeakFLOPS * eff)
+	} else {
+		vecShard := float64(cfg.SP * cfg.CP * cfg.TATP)
+		if op.TPSharded || cfg.MegatronSP {
+			vecShard *= float64(cfg.TP)
+		}
+		shard := op.FLOPs * frac / vecShard
+		comp = shard / die.VectorFLOPS
+		if !op.FlashFused {
+			bytes := (op.Input.Bytes() + op.Output.Bytes()) * frac / vecShard
+			comp = unit.MaxF(comp, bytes/die.MemBandwidth())
+		}
+	}
+
+	// Streaming (TATP) overlaps with compute; collectives expose.
+	var stream float64
+	if cfg.TATP > 1 && op.HasWeight() {
+		wGroup := op.Weight.Bytes() / float64(cfg.TP)
+		iGroup := op.Input.Bytes() * frac / float64(cfg.SP*cfg.CP)
+		streamed := unit.MinF(wGroup, iGroup)
+		sub := streamed / float64(cfg.TATP)
+		stream = streamed/a.W.Link.EffectiveBandwidth(sub) + float64(cfg.TATP)*roundSync
+	}
+
+	var coll float64
+	if cfg.TP > 1 && op.HasWeight() {
+		// Half the weighted GEMMs end a TP block with a partial-sum
+		// reduction; amortize one AR across two weighted ops.
+		arBytes := a.mb() * float64(a.M.Seq) / float64(cfg.SP*cfg.CP*cfg.TATP) *
+			float64(a.M.Hidden) * unit.FP16.Size()
+		n := float64(cfg.TP)
+		chunk := arBytes / n
+		coll = 0.5 * (2 * (n - 1) * chunk / a.W.Link.EffectiveBandwidth(chunk))
+	}
+	return unit.MaxF(comp, stream) + coll
+}
+
+// actPartition derives the activation layout a configuration induces.
+func actPartition(cfg parallel.Config) tensor.Partition {
+	cfg = cfg.Normalize()
+	p := tensor.SplitBy(map[tensor.Dim]int{
+		tensor.B: cfg.DP,
+		tensor.M: cfg.SP * cfg.CP * cfg.TATP,
+	})
+	if cfg.MegatronSP {
+		p = p.Compose(tensor.SplitBy(map[tensor.Dim]int{tensor.M: cfg.TP}))
+	} else {
+		p = p.WithReplicas(cfg.TP)
+	}
+	return p
+}
+
+// Inter implements CostModel: resharding bytes over one mesh link at
+// effective bandwidth (consecutive operators live on the same dies,
+// so a layout change is a neighbor exchange).
+func (a *Analytic) Inter(prev, next model.Op, pc, nc parallel.Config) float64 {
+	bytes := tensor.ReshardBytes(prev.Output, actPartition(pc), actPartition(nc))
+	bytes *= a.mb() / float64(a.M.Batch)
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / a.W.Link.EffectiveBandwidth(bytes)
+}
+
+// MemoryOK implements CostModel with the same footprint conventions
+// as the full model: weights+grads+optimizer+selective activations.
+func (a *Analytic) MemoryOK(cfg parallel.Config) bool {
+	cfg = cfg.Normalize()
+	budget := a.MemBudget
+	if budget <= 0 {
+		budget = a.W.Die.MemCapacity()
+	}
+	p := float64(a.M.Params())
+	weights := p * 2 / float64(cfg.WeightShardWays())
+	grads := weights
+	optim := p * 12 / float64(cfg.Degree())
+	sLocal := float64(a.M.Seq) / float64(cfg.SP*cfg.CP*cfg.TATP)
+	if cfg.MegatronSP {
+		sLocal /= float64(cfg.TP)
+	}
+	acts := 34 * a.mb() * sLocal * float64(a.M.Hidden) * float64(a.M.Layers)
+	return weights+grads+optim+acts <= budget
+}
+
+var _ CostModel = (*Analytic)(nil)

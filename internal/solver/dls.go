@@ -1,0 +1,362 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// Assignment maps each operator of the block graph to an index into
+// the strategy space.
+type Assignment []int
+
+// Stats records what a search did.
+type Stats struct {
+	// Evaluations counts Intra/Inter cost-model calls.
+	Evaluations int
+	// Nodes counts search-tree expansions (exhaustive search only);
+	// it is the quantity that explodes as Ω(|S|^m) in §III
+	// challenge 3.
+	Nodes int
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+	// DPCost is the chain-optimal cost found by dynamic programming.
+	DPCost float64
+	// FinalCost is the cost after genetic refinement.
+	FinalCost float64
+	// Generations the GA ran.
+	Generations int
+}
+
+// DLSOptions tunes the dual-level search.
+type DLSOptions struct {
+	// Population and Generations size the genetic stage; zero values
+	// take defaults (32, 40).
+	Population, Generations int
+	// MutationRate per gene (default 0.15).
+	MutationRate float64
+	// Seed drives the GA's randomness.
+	Seed int64
+	// DisableGA stops after dynamic programming (ablation).
+	DisableGA bool
+}
+
+func (o DLSOptions) withDefaults() DLSOptions {
+	if o.Population == 0 {
+		o.Population = 32
+	}
+	if o.Generations == 0 {
+		o.Generations = 40
+	}
+	if o.MutationRate == 0 {
+		o.MutationRate = 0.15
+	}
+	return o
+}
+
+// evalCounter wraps a CostModel to count evaluations and memoize.
+type evalCounter struct {
+	cm    CostModel
+	ops   []model.Op
+	space []parallel.Config
+	n     int
+
+	intra map[[2]int]float64
+	inter map[[3]int]float64
+	memOK []int8 // -1 unknown, 0 no, 1 yes
+}
+
+func newEvalCounter(cm CostModel, ops []model.Op, space []parallel.Config) *evalCounter {
+	e := &evalCounter{
+		cm: cm, ops: ops, space: space,
+		intra: map[[2]int]float64{},
+		inter: map[[3]int]float64{},
+		memOK: make([]int8, len(space)),
+	}
+	for i := range e.memOK {
+		e.memOK[i] = -1
+	}
+	return e
+}
+
+func (e *evalCounter) intraCost(op, cfg int) float64 {
+	k := [2]int{op, cfg}
+	if v, ok := e.intra[k]; ok {
+		return v
+	}
+	e.n++
+	v := e.cm.Intra(e.ops[op], e.space[cfg])
+	e.intra[k] = v
+	return v
+}
+
+func (e *evalCounter) interCost(op int, a, b int) float64 {
+	if op == 0 {
+		return 0
+	}
+	k := [3]int{op, a, b}
+	if v, ok := e.inter[k]; ok {
+		return v
+	}
+	e.n++
+	v := e.cm.Inter(e.ops[op-1], e.ops[op], e.space[a], e.space[b])
+	e.inter[k] = v
+	return v
+}
+
+func (e *evalCounter) memoryOK(cfg int) bool {
+	if e.memOK[cfg] < 0 {
+		e.n++
+		if e.cm.MemoryOK(e.space[cfg]) {
+			e.memOK[cfg] = 1
+		} else {
+			e.memOK[cfg] = 0
+		}
+	}
+	return e.memOK[cfg] == 1
+}
+
+// oomPenalty dominates any latency; an assignment with an
+// out-of-memory gene can never beat a feasible one.
+const oomPenalty = 1e6
+
+func (e *evalCounter) penalty(cfg int) float64 {
+	if e.memoryOK(cfg) {
+		return 0
+	}
+	return oomPenalty
+}
+
+// assignmentCost totals the chain objective of Eq. (4) plus an OOM
+// penalty for strategies that exceed per-die memory.
+func (e *evalCounter) assignmentCost(a Assignment) float64 {
+	var total float64
+	for i, cfg := range a {
+		total += e.intraCost(i, cfg) + e.penalty(cfg)
+		if i > 0 {
+			total += e.interCost(i, a[i-1], cfg)
+		}
+	}
+	return total
+}
+
+// DLS runs the dual-level search of Fig. 12(b) over the block graph:
+// the chain is cut at residual-free boundaries, a recursive dynamic
+// program finds the chain-optimal per-operator strategies, and a
+// genetic stage refines the joint assignment under the global memory
+// constraint. Returns the assignment, its cost, and search stats.
+func DLS(g model.Graph, space []parallel.Config, cm CostModel, opts DLSOptions) (Assignment, Stats) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	ev := newEvalCounter(cm, g.Ops, space)
+
+	// Level 1: dynamic programming per residual-free segment. The
+	// segment boundaries cut the O(N²) joint space into independent
+	// chains (§VII-B); transitions across boundaries are still
+	// charged via interCost when totalling.
+	assign := make(Assignment, len(g.Ops))
+	offset := 0
+	for _, seg := range g.Segments() {
+		segAssign := chainDP(ev, offset, len(seg))
+		copy(assign[offset:], segAssign)
+		offset += len(seg)
+	}
+	dpCost := ev.assignmentCost(assign)
+
+	stats := Stats{DPCost: dpCost}
+	best := append(Assignment(nil), assign...)
+	bestCost := dpCost
+
+	// Level 2: genetic refinement (crossover, mutation, elitism) on
+	// the joint genome, seeded with the DP solution.
+	if !opts.DisableGA {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		pop := make([]Assignment, opts.Population)
+		costs := make([]float64, opts.Population)
+		pop[0] = append(Assignment(nil), assign...)
+		for i := 1; i < opts.Population; i++ {
+			ind := append(Assignment(nil), assign...)
+			// Diversify: re-roll a few genes.
+			for j := range ind {
+				if rng.Float64() < 0.3 {
+					ind[j] = rng.Intn(len(space))
+				}
+			}
+			pop[i] = ind
+		}
+		for i := range pop {
+			costs[i] = ev.assignmentCost(pop[i])
+		}
+		for gen := 0; gen < opts.Generations; gen++ {
+			stats.Generations++
+			next := make([]Assignment, 0, opts.Population)
+			// Elitism: carry the best individual forward.
+			eliteIdx := 0
+			for i := range costs {
+				if costs[i] < costs[eliteIdx] {
+					eliteIdx = i
+				}
+			}
+			next = append(next, append(Assignment(nil), pop[eliteIdx]...))
+			for len(next) < opts.Population {
+				a := tournament(rng, pop, costs)
+				b := tournament(rng, pop, costs)
+				child := crossover(rng, a, b)
+				mutate(rng, child, len(space), opts.MutationRate)
+				next = append(next, child)
+			}
+			pop = next
+			for i := range pop {
+				costs[i] = ev.assignmentCost(pop[i])
+				if costs[i] < bestCost {
+					bestCost = costs[i]
+					best = append(Assignment(nil), pop[i]...)
+				}
+			}
+		}
+	}
+
+	stats.FinalCost = bestCost
+	stats.Evaluations = ev.n
+	stats.Elapsed = time.Since(start)
+	return best, stats
+}
+
+// chainDP solves the per-operator assignment of a chain segment
+// [offset, offset+n) optimally in O(n·|S|²).
+func chainDP(ev *evalCounter, offset, n int) Assignment {
+	s := len(ev.space)
+	cost := make([][]float64, n)
+	from := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]float64, s)
+		from[i] = make([]int, s)
+	}
+	for c := 0; c < s; c++ {
+		cost[0][c] = ev.intraCost(offset, c) + ev.penalty(c)
+	}
+	for i := 1; i < n; i++ {
+		for c := 0; c < s; c++ {
+			best := math.Inf(1)
+			bestFrom := 0
+			for p := 0; p < s; p++ {
+				v := cost[i-1][p] + ev.interCost(offset+i, p, c)
+				if v < best {
+					best = v
+					bestFrom = p
+				}
+			}
+			cost[i][c] = best + ev.intraCost(offset+i, c) + ev.penalty(c)
+			from[i][c] = bestFrom
+		}
+	}
+	// Trace back from the cheapest terminal state.
+	bestC := 0
+	for c := 1; c < s; c++ {
+		if cost[n-1][c] < cost[n-1][bestC] {
+			bestC = c
+		}
+	}
+	out := make(Assignment, n)
+	out[n-1] = bestC
+	for i := n - 1; i > 0; i-- {
+		out[i-1] = from[i][out[i]]
+	}
+	return out
+}
+
+func tournament(rng *rand.Rand, pop []Assignment, costs []float64) Assignment {
+	a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+	if costs[a] <= costs[b] {
+		return pop[a]
+	}
+	return pop[b]
+}
+
+func crossover(rng *rand.Rand, a, b Assignment) Assignment {
+	child := make(Assignment, len(a))
+	cut := rng.Intn(len(a))
+	copy(child, a[:cut])
+	copy(child[cut:], b[cut:])
+	return child
+}
+
+func mutate(rng *rand.Rand, a Assignment, space int, rate float64) {
+	for i := range a {
+		if rng.Float64() < rate {
+			a[i] = rng.Intn(space)
+		}
+	}
+}
+
+// Exhaustive performs the joint search the paper's ILP baseline
+// stands for: full enumeration of |S|^m assignments with
+// branch-and-bound pruning on the (admissible) partial chain cost.
+// Practical only on reduced instances; the §VIII-H comparison runs
+// both searches on instances this one can finish.
+func Exhaustive(g model.Graph, space []parallel.Config, cm CostModel) (Assignment, Stats) {
+	start := time.Now()
+	ev := newEvalCounter(cm, g.Ops, space)
+	n := len(g.Ops)
+	best := make(Assignment, n)
+	bestCost := math.Inf(1)
+	cur := make(Assignment, n)
+	nodes := 0
+	var rec func(i int, sofar float64)
+	rec = func(i int, sofar float64) {
+		if sofar >= bestCost {
+			return // bound: costs are non-negative
+		}
+		if i == n {
+			bestCost = sofar
+			copy(best, cur)
+			return
+		}
+		for c := 0; c < len(space); c++ {
+			nodes++
+			cur[i] = c
+			v := ev.intraCost(i, c) + ev.penalty(c)
+			if i > 0 {
+				v += ev.interCost(i, cur[i-1], c)
+			}
+			rec(i+1, sofar+v)
+		}
+	}
+	rec(0, 0)
+	return best, Stats{
+		Evaluations: ev.n,
+		Nodes:       nodes,
+		Elapsed:     time.Since(start),
+		FinalCost:   bestCost,
+		DPCost:      bestCost,
+	}
+}
+
+// Uniform returns the space index whose configuration the assignment
+// uses most often — the dominant strategy the end-to-end evaluation
+// runs with — along with its share of operators.
+func Uniform(a Assignment) (int, float64) {
+	if len(a) == 0 {
+		return 0, 0
+	}
+	counts := map[int]int{}
+	for _, c := range a {
+		counts[c]++
+	}
+	best, bestN := a[0], 0
+	for c, n := range counts {
+		if n > bestN || (n == bestN && c < best) {
+			best, bestN = c, n
+		}
+	}
+	return best, float64(bestN) / float64(len(a))
+}
+
+// String renders an assignment compactly.
+func (a Assignment) String() string {
+	return fmt.Sprintf("%v", []int(a))
+}

@@ -1,0 +1,176 @@
+package solver
+
+import (
+	"testing"
+
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+func setup() (model.Graph, []parallel.Config, *Analytic) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	g := model.BlockGraph(m)
+	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	return g, space, &Analytic{W: w, M: m}
+}
+
+func TestAnalyticIntraPositive(t *testing.T) {
+	g, space, cm := setup()
+	for _, op := range g.Ops {
+		for _, cfg := range space[:4] {
+			if v := cm.Intra(op, cfg); v <= 0 {
+				t.Errorf("Intra(%s, %s) = %v", op.Name, cfg, v)
+			}
+		}
+	}
+}
+
+func TestAnalyticInterZeroForSameLayout(t *testing.T) {
+	g, space, cm := setup()
+	cfg := space[0]
+	if v := cm.Inter(g.Ops[0], g.Ops[1], cfg, cfg); v != 0 {
+		t.Errorf("same-layout reshard cost = %v, want 0", v)
+	}
+	// A DP→TATP layout change costs something.
+	a := parallel.Config{DP: 32}.Normalize()
+	b := parallel.Config{TATP: 32}.Normalize()
+	if v := cm.Inter(g.Ops[0], g.Ops[1], a, b); v <= 0 {
+		t.Errorf("layout change reshard cost = %v, want >0", v)
+	}
+}
+
+func TestAnalyticMemoryOK(t *testing.T) {
+	_, _, cm := setup()
+	if !cm.MemoryOK(parallel.Config{DP: 4, TATP: 8}.Normalize()) {
+		t.Error("6.7B TATP config should fit")
+	}
+	big := &Analytic{W: hw.EvaluationWafer(), M: model.GPT3_175B()}
+	if big.MemoryOK(parallel.Config{DP: 32}.Normalize()) {
+		t.Error("175B pure DP (replicated weights) should not fit")
+	}
+}
+
+func TestChainDPOptimalOnTinyInstance(t *testing.T) {
+	// On a small instance, chain DP must match exhaustive search.
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	g := model.BlockGraph(m)
+	sub := model.Graph{Model: m, Ops: g.Ops[:4]}
+	space := parallel.EnumerateConfigs(w.Dies(), true, 8)[:6]
+	cm := &Analytic{W: w, M: m}
+
+	_, exh := Exhaustive(sub, space, cm)
+	assign, dls := DLS(sub, space, cm, DLSOptions{Seed: 3, DisableGA: true})
+	if len(assign) != len(sub.Ops) {
+		t.Fatalf("assignment length %d", len(assign))
+	}
+	// DP optimizes the chain cost exactly; exhaustive must agree.
+	if dls.DPCost > exh.FinalCost*(1+1e-9) {
+		t.Errorf("chain DP cost %v worse than exhaustive %v", dls.DPCost, exh.FinalCost)
+	}
+}
+
+func TestGANeverWorsensDP(t *testing.T) {
+	g, space, cm := setup()
+	_, withGA := DLS(g, space, cm, DLSOptions{Seed: 11})
+	if withGA.FinalCost > withGA.DPCost*(1+1e-9) {
+		t.Errorf("GA worsened DP result: %v → %v", withGA.DPCost, withGA.FinalCost)
+	}
+	if withGA.Generations == 0 {
+		t.Error("GA did not run")
+	}
+}
+
+func TestDLSDeterministic(t *testing.T) {
+	g, space, cm := setup()
+	a1, s1 := DLS(g, space, cm, DLSOptions{Seed: 5})
+	a2, s2 := DLS(g, space, cm, DLSOptions{Seed: 5})
+	if s1.FinalCost != s2.FinalCost {
+		t.Errorf("same seed, different costs: %v vs %v", s1.FinalCost, s2.FinalCost)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed, different assignments at op %d", i)
+		}
+	}
+}
+
+func TestDLSFasterThanExhaustive(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	g := model.BlockGraph(m)
+	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	cm := &Analytic{W: w, M: m}
+	sub := model.Graph{Model: m, Ops: g.Ops[:6]}
+
+	_, dls := DLS(g, space, cm, DLSOptions{Seed: 7})
+	_, exh := Exhaustive(sub, space, cm)
+	// DLS effort is polynomial (memoized model calls); the joint
+	// search expands a tree that grows geometrically per operator.
+	dlsPerOp := float64(dls.Evaluations) / float64(len(g.Ops))
+	exhPerOp := float64(exh.Nodes) / float64(len(sub.Ops))
+	if exhPerOp <= dlsPerOp {
+		t.Errorf("exhaustive per-op node expansions %v not above DLS evals %v", exhPerOp, dlsPerOp)
+	}
+}
+
+func TestDLSAvoidsOOMConfigs(t *testing.T) {
+	m := model.GPT3_175B()
+	w := hw.EvaluationWafer()
+	g := model.BlockGraph(m)
+	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	cm := &Analytic{W: w, M: m}
+	assign, stats := DLS(g, space, cm, DLSOptions{Seed: 9})
+	if stats.FinalCost >= 1e6 {
+		t.Fatalf("DLS could not find a memory-feasible assignment (cost %v)", stats.FinalCost)
+	}
+	for i, c := range assign {
+		if !cm.MemoryOK(space[c]) {
+			t.Errorf("op %d assigned OOM config %s", i, space[c])
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	idx, share := Uniform(Assignment{2, 2, 1, 2})
+	if idx != 2 || share != 0.75 {
+		t.Errorf("Uniform = %d/%v", idx, share)
+	}
+	if i, s := Uniform(nil); i != 0 || s != 0 {
+		t.Errorf("empty Uniform = %d/%v", i, s)
+	}
+}
+
+func TestExhaustivePruningCorrect(t *testing.T) {
+	// Pruned exhaustive must equal brute-force total cost on a toy
+	// instance evaluated through assignmentCost.
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	g := model.BlockGraph(m)
+	sub := model.Graph{Model: m, Ops: g.Ops[:3]}
+	space := parallel.EnumerateConfigs(w.Dies(), true, 4)[:4]
+	cm := &Analytic{W: w, M: m}
+	best, stats := Exhaustive(sub, space, cm)
+
+	ev := newEvalCounter(cm, sub.Ops, space)
+	bruteBest := 1e300
+	var cur Assignment = make([]int, 3)
+	for a := 0; a < len(space); a++ {
+		for b := 0; b < len(space); b++ {
+			for c := 0; c < len(space); c++ {
+				cur[0], cur[1], cur[2] = a, b, c
+				if v := ev.assignmentCost(cur); v < bruteBest {
+					bruteBest = v
+				}
+			}
+		}
+	}
+	if diff := stats.FinalCost - bruteBest; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("exhaustive %v ≠ brute force %v", stats.FinalCost, bruteBest)
+	}
+	if got := ev.assignmentCost(best); got != stats.FinalCost {
+		t.Errorf("returned assignment cost %v ≠ reported %v", got, stats.FinalCost)
+	}
+}

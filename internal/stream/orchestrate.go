@@ -1,0 +1,246 @@
+package stream
+
+import (
+	"fmt"
+
+	"temp/internal/mesh"
+)
+
+// Operand identifies which operand of a linear operator is streamed
+// between dies while the other stays resident.
+type Operand int
+
+// Streaming operand choices.
+const (
+	// StreamWeights keeps activations resident and streams weight
+	// sub-tensors.
+	StreamWeights Operand = iota
+	// StreamInputs keeps weights resident and streams activation
+	// sub-tensors.
+	StreamInputs
+)
+
+// String implements fmt.Stringer.
+func (o Operand) String() string {
+	if o == StreamWeights {
+		return "weights"
+	}
+	return "inputs"
+}
+
+// SelectOperand implements TATP's selective transfer policy (§V): the
+// smaller operand is streamed to minimize communication. For long
+// sequences activations dwarf weights, so weights stream; for short
+// sequences with small batches the reverse can hold.
+func SelectOperand(weightBytes, inputBytes float64) Operand {
+	if inputBytes < weightBytes {
+		return StreamInputs
+	}
+	return StreamWeights
+}
+
+// Orchestration binds a stream schedule to physical dies: position j
+// of the schedule executes on Order[j].
+type Orchestration struct {
+	Sched *Schedule
+	// Order maps logical chain position to physical die.
+	Order []mesh.DieID
+	// ClosesRing reports whether Order[N-1] and Order[0] are mesh
+	// neighbors (a physical ring exists).
+	ClosesRing bool
+	topo       *mesh.Topology
+}
+
+// Mode returns the orchestration mode.
+func (o *Orchestration) Mode() Mode { return o.Sched.Mode }
+
+// N returns the group size.
+func (o *Orchestration) N() int { return o.Sched.N }
+
+// Orchestrate picks the best orchestration for a die group (§V logic
+// design):
+//
+//   - groups that fill a ring-capable rectangle use the physical-ring
+//     order with the naive ring schedule — contention-free single-hop
+//     transfers at 1× volume;
+//   - other contiguous rectangles use the snake Hamiltonian path with
+//     the bidirectional schedule — single-hop at 2× volume;
+//   - non-contiguous groups keep their given order and fall back to a
+//     multi-hop logical ring, the tail-latency case TEMP's mapping
+//     avoids creating.
+func Orchestrate(t *mesh.Topology, dies []mesh.DieID, rect *mesh.Rect) *Orchestration {
+	n := len(dies)
+	if n == 0 {
+		panic("stream: empty group")
+	}
+	if rect != nil && rect.Area() == n {
+		if ring, ok := rect.RingPath(t); ok {
+			return &Orchestration{Sched: RingSchedule(n), Order: ring, ClosesRing: true, topo: t}
+		}
+		snake := rect.SnakePath(t)
+		return &Orchestration{Sched: BidirectionalSchedule(n), Order: snake, topo: t}
+	}
+	// Non-contiguous: try to find a neighbor-to-neighbor ordering by
+	// greedy chaining; if every consecutive pair is adjacent we can
+	// still run the bidirectional schedule at one hop.
+	if chain, ok := greedyChain(t, dies); ok {
+		return &Orchestration{Sched: BidirectionalSchedule(n), Order: chain, topo: t}
+	}
+	order := append([]mesh.DieID(nil), dies...)
+	return &Orchestration{
+		Sched: &Schedule{
+			N:            n,
+			Mode:         Fallback,
+			Compute:      RingSchedule(n).Compute,
+			Sends:        RingSchedule(n).Sends,
+			VolumeFactor: 1,
+			PeakBuffer:   RingSchedule(n).PeakBuffer,
+		},
+		Order: order,
+		topo:  t,
+	}
+}
+
+// greedyChain attempts to order dies into a path where consecutive
+// dies are mesh neighbors. Works for L-shaped and snake-like groups.
+func greedyChain(t *mesh.Topology, dies []mesh.DieID) ([]mesh.DieID, bool) {
+	if len(dies) <= 1 {
+		return append([]mesh.DieID(nil), dies...), true
+	}
+	inGroup := make(map[mesh.DieID]bool, len(dies))
+	for _, d := range dies {
+		inGroup[d] = true
+	}
+	degree := func(d mesh.DieID) int {
+		n := 0
+		for _, nb := range t.Neighbors(d) {
+			if inGroup[nb] {
+				n++
+			}
+		}
+		return n
+	}
+	// Start from a die with the fewest in-group neighbors (a chain
+	// endpoint, when one exists).
+	start := dies[0]
+	for _, d := range dies[1:] {
+		if degree(d) < degree(start) {
+			start = d
+		}
+	}
+	order := []mesh.DieID{start}
+	used := map[mesh.DieID]bool{start: true}
+	for len(order) < len(dies) {
+		cur := order[len(order)-1]
+		next := mesh.DieID(-1)
+		bestDeg := 1 << 30
+		for _, nb := range t.Neighbors(cur) {
+			if inGroup[nb] && !used[nb] && degree(nb) < bestDeg {
+				next, bestDeg = nb, degree(nb)
+			}
+		}
+		if next < 0 {
+			return nil, false
+		}
+		order = append(order, next)
+		used[next] = true
+	}
+	return order, true
+}
+
+// MaxHopsPerRound returns the longest physical route any scheduled
+// send traverses — 1 for ring/bidirectional on contiguous groups,
+// O(N) for the fallback wrap-around transfer.
+func (o *Orchestration) MaxHopsPerRound() int {
+	max := 0
+	for _, sends := range o.Sched.Sends {
+		for _, snd := range sends {
+			src, dst := o.Order[snd.From], o.Order[snd.To]
+			h := o.hops(src, dst)
+			if h > max {
+				max = h
+			}
+		}
+	}
+	return max
+}
+
+func (o *Orchestration) hops(a, b mesh.DieID) int {
+	if o.topo.Adjacent(a, b) {
+		return 1
+	}
+	if p := o.topo.Route(a, b); p != nil {
+		return p.Hops()
+	}
+	return o.topo.HopDistance(a, b)
+}
+
+// Phases lowers the schedule to mesh communication phases, one per
+// round, with every send routed on the topology. subBytes is the
+// size of one sub-tensor.
+func (o *Orchestration) Phases(subBytes float64) []mesh.Phase {
+	phases := make([]mesh.Phase, 0, len(o.Sched.Sends))
+	for t, sends := range o.Sched.Sends {
+		ph := mesh.Phase{Label: fmt.Sprintf("stream-round-%d", t)}
+		for _, snd := range sends {
+			src, dst := o.Order[snd.From], o.Order[snd.To]
+			route := o.topo.Route(src, dst)
+			if route == nil {
+				continue // unreachable under faults; caller re-plans
+			}
+			ph.Flows = append(ph.Flows, mesh.Flow{
+				Src:     src,
+				Dst:     dst,
+				Bytes:   subBytes,
+				Route:   route,
+				Payload: fmt.Sprintf("subT%d", snd.SubT),
+			})
+		}
+		phases = append(phases, ph)
+	}
+	return phases
+}
+
+// RoundStats summarises the per-round communication of the
+// orchestration for the analytic cost model.
+type RoundStats struct {
+	// BytesPerLink is the largest per-link byte load in any round,
+	// per sub-tensor byte (multiply by sub-tensor size).
+	BytesPerLink float64
+	// MaxHops is the longest route of any send.
+	MaxHops int
+	// TotalSubTensorHops is Σ over sends of route hops, per
+	// sub-tensor byte — the D2D energy driver.
+	TotalSubTensorHops float64
+	// Rounds is the schedule length.
+	Rounds int
+}
+
+// Stats computes RoundStats with unit-size sub-tensors.
+func (o *Orchestration) Stats() RoundStats {
+	rs := RoundStats{Rounds: o.Sched.N}
+	for _, sends := range o.Sched.Sends {
+		load := map[mesh.Link]float64{}
+		for _, snd := range sends {
+			src, dst := o.Order[snd.From], o.Order[snd.To]
+			route := o.topo.Route(src, dst)
+			if route == nil {
+				continue
+			}
+			h := route.Hops()
+			if h > rs.MaxHops {
+				rs.MaxHops = h
+			}
+			rs.TotalSubTensorHops += float64(h)
+			for _, l := range route.Links() {
+				load[l]++
+			}
+		}
+		for _, v := range load {
+			if v > rs.BytesPerLink {
+				rs.BytesPerLink = v
+			}
+		}
+	}
+	return rs
+}

@@ -1,0 +1,284 @@
+// Package stream implements the tensor-stream partition paradigm
+// (TSPP) and its topology-aware realization TATP (§V, Fig. 8,
+// Algorithm 1). A stream schedule coordinates N dies over N rounds:
+// each die holds one resident sub-tensor, computes one sub-output per
+// round, and exchanges sub-tensors with physical neighbors so that
+// communication fully overlaps computation.
+//
+// Three orchestrations are provided:
+//
+//   - Ring: the naive logical ring. Minimal transfer volume (each die
+//     forwards one sub-tensor per round) but requires a physical ring;
+//     on a chain the wrap-around link becomes an O(N)-hop transfer —
+//     the tail-latency failure mode of Fig. 5(a).
+//   - Bidirectional: TATP's redundant-transfer orchestration for
+//     chains. Every sub-tensor is relayed one hop per round in both
+//     directions from its origin; all transfers are single-hop, and
+//     total volume is conserved (each sub-tensor still travels N-1
+//     hops overall, split between the two directions) at the price of
+//     buffering early arrivals (Fig. 8(b)).
+//   - Fallback: a logical ring over physically scattered dies, paying
+//     multi-hop routes. Used to model non-contiguous "tetris" groups
+//     (Fig. 7(a)).
+package stream
+
+import (
+	"fmt"
+)
+
+// Mode identifies an orchestration.
+type Mode int
+
+// Orchestration modes.
+const (
+	// Ring is the physical-ring streaming schedule (1× volume).
+	Ring Mode = iota
+	// Bidirectional is TATP's chain schedule (2× volume, 1 hop).
+	Bidirectional
+	// Fallback is a logical ring over non-contiguous dies.
+	Fallback
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Ring:
+		return "ring"
+	case Bidirectional:
+		return "bidir"
+	case Fallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Send is one sub-tensor transfer scheduled in a round. Positions are
+// logical chain indices (0..N-1), not die IDs; Orchestration binds
+// them to physical dies.
+type Send struct {
+	From, To int
+	SubT     int
+}
+
+// Schedule is a complete N-round stream execution plan.
+type Schedule struct {
+	N    int
+	Mode Mode
+	// Compute[t][j] is the sub-tensor index position j consumes in
+	// round t.
+	Compute [][]int
+	// Sends[t] lists the transfers issued concurrently with round
+	// t's compute; they arrive before round t+1.
+	Sends [][]Send
+	// PeakBuffer is the maximum number of sub-tensors simultaneously
+	// resident on any position (includes the die's own shard).
+	PeakBuffer int
+	// VolumeFactor is the total transfer volume divided by the
+	// naive ring's N·(N-1) sub-tensor sends. Both Ring and
+	// Bidirectional conserve volume (factor 1): the bidirectional
+	// schedule splits each sub-tensor's N-1 hops between the two
+	// directions instead of doubling them.
+	VolumeFactor float64
+}
+
+// RingSchedule builds the naive ring schedule: position j computes
+// subT[(j+t) mod N] in round t and forwards it to position j-1.
+func RingSchedule(n int) *Schedule {
+	if n < 1 {
+		panic("stream: non-positive group size")
+	}
+	s := &Schedule{N: n, Mode: Ring, VolumeFactor: 1}
+	for t := 0; t < n; t++ {
+		comp := make([]int, n)
+		var sends []Send
+		for j := 0; j < n; j++ {
+			k := (j + t) % n
+			comp[j] = k
+			if t < n-1 {
+				sends = append(sends, Send{From: j, To: (j - 1 + n) % n, SubT: k})
+			}
+		}
+		s.Compute = append(s.Compute, comp)
+		s.Sends = append(s.Sends, sends)
+	}
+	s.PeakBuffer = computePeakBuffer(s)
+	return s
+}
+
+// BidirectionalSchedule builds TATP's chain schedule (the canonical
+// form of Algorithm 1): ascending positions (j < ceil(N/2)) consume
+// sub-tensors in increasing index order, descending positions in
+// decreasing order, and every sub-tensor is relayed outward one hop
+// per round in both directions from its origin.
+func BidirectionalSchedule(n int) *Schedule {
+	if n < 1 {
+		panic("stream: non-positive group size")
+	}
+	s := &Schedule{N: n, Mode: Bidirectional}
+	half := (n + 1) / 2
+	var totalSends int
+	for t := 0; t < n; t++ {
+		comp := make([]int, n)
+		for j := 0; j < n; j++ {
+			if j < half {
+				comp[j] = (j + t) % n
+			} else {
+				comp[j] = (j - t + n) % n
+			}
+		}
+		var sends []Send
+		// Leftward relay: subT[k] sits at position k-t in round t
+		// and moves to k-t-1 (alive while it has not reached 0).
+		for k := 0; k < n; k++ {
+			if pos := k - t; pos-1 >= 0 && pos <= k {
+				sends = append(sends, Send{From: pos, To: pos - 1, SubT: k})
+			}
+		}
+		// Rightward relay: subT[k] sits at k+t and moves to k+t+1.
+		for k := 0; k < n; k++ {
+			if pos := k + t; pos+1 <= n-1 && pos >= k {
+				sends = append(sends, Send{From: pos, To: pos + 1, SubT: k})
+			}
+		}
+		totalSends += len(sends)
+		s.Compute = append(s.Compute, comp)
+		s.Sends = append(s.Sends, sends)
+	}
+	if n > 1 {
+		s.VolumeFactor = float64(totalSends) / float64(n*(n-1))
+	} else {
+		s.VolumeFactor = 0
+	}
+	s.PeakBuffer = computePeakBuffer(s)
+	return s
+}
+
+// computePeakBuffer simulates residency: a position buffers its own
+// shard plus every received sub-tensor until it has both consumed it
+// (if it ever does) and finished forwarding it.
+func computePeakBuffer(s *Schedule) int {
+	n := s.N
+	// lastNeeded[pos][k]: the last round at which position pos
+	// touches sub-tensor k (compute use or forward).
+	last := make([][]int, n)
+	arrive := make([][]int, n)
+	for j := 0; j < n; j++ {
+		last[j] = make([]int, n)
+		arrive[j] = make([]int, n)
+		for k := range last[j] {
+			last[j][k] = -1
+			arrive[j][k] = -1
+		}
+		arrive[j][j] = 0
+	}
+	for t, comp := range s.Compute {
+		for j, k := range comp {
+			if t > last[j][k] {
+				last[j][k] = t
+			}
+		}
+		for _, snd := range s.Sends[t] {
+			if t > last[snd.From][snd.SubT] {
+				last[snd.From][snd.SubT] = t
+			}
+			if arrive[snd.To][snd.SubT] < 0 || t+1 < arrive[snd.To][snd.SubT] {
+				arrive[snd.To][snd.SubT] = t + 1
+			}
+		}
+	}
+	peak := 0
+	for j := 0; j < n; j++ {
+		for t := 0; t < s.N; t++ {
+			live := 0
+			for k := 0; k < n; k++ {
+				if arrive[j][k] >= 0 && arrive[j][k] <= t && last[j][k] >= t {
+					live++
+				}
+			}
+			if live > peak {
+				peak = live
+			}
+		}
+	}
+	return peak
+}
+
+// Validate checks the schedule's correctness invariants:
+//
+//  1. every position consumes every sub-tensor exactly once,
+//  2. one compute per position per round,
+//  3. a position only sends sub-tensors it holds (own shard, or
+//     received in an earlier round),
+//  4. every consumed sub-tensor has arrived by its use round.
+func (s *Schedule) Validate() error {
+	n := s.N
+	if len(s.Compute) != n {
+		return fmt.Errorf("stream: %d rounds, want %d", len(s.Compute), n)
+	}
+	// has[j][k]: earliest round sub-tensor k is available at j.
+	has := make([][]int, n)
+	for j := range has {
+		has[j] = make([]int, n)
+		for k := range has[j] {
+			has[j][k] = -1
+		}
+		has[j][j] = 0
+	}
+	for t := 0; t < n; t++ {
+		for j, k := range s.Compute[t] {
+			if k < 0 || k >= n {
+				return fmt.Errorf("stream: round %d pos %d uses invalid sub-tensor %d", t, j, k)
+			}
+			if has[j][k] < 0 || has[j][k] > t {
+				return fmt.Errorf("stream: round %d pos %d uses sub-tensor %d before arrival", t, j, k)
+			}
+		}
+		for _, snd := range s.Sends[t] {
+			if snd.From < 0 || snd.From >= n || snd.To < 0 || snd.To >= n {
+				return fmt.Errorf("stream: round %d send %+v out of range", t, snd)
+			}
+			if has[snd.From][snd.SubT] < 0 || has[snd.From][snd.SubT] > t {
+				return fmt.Errorf("stream: round %d pos %d forwards sub-tensor %d it does not hold",
+					t, snd.From, snd.SubT)
+			}
+		}
+		for _, snd := range s.Sends[t] {
+			if has[snd.To][snd.SubT] < 0 {
+				has[snd.To][snd.SubT] = t + 1
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		seen := make([]bool, n)
+		for t := 0; t < n; t++ {
+			k := s.Compute[t][j]
+			if seen[k] {
+				return fmt.Errorf("stream: pos %d consumes sub-tensor %d twice", j, k)
+			}
+			seen[k] = true
+		}
+		for k, ok := range seen {
+			if !ok {
+				return fmt.Errorf("stream: pos %d never consumes sub-tensor %d", j, k)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxSendsPerRound returns the largest per-round send count of any
+// single position, which bounds the per-round link pressure.
+func (s *Schedule) MaxSendsPerRound() int {
+	max := 0
+	for _, sends := range s.Sends {
+		per := map[int]int{}
+		for _, snd := range sends {
+			per[snd.From]++
+			if per[snd.From] > max {
+				max = per[snd.From]
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,209 @@
+package stream
+
+import (
+	"testing"
+)
+
+// TestRingScheduleValid validates the naive ring for a range of
+// group sizes.
+func TestRingScheduleValid(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 16, 32} {
+		s := RingSchedule(n)
+		if err := s.Validate(); err != nil {
+			t.Errorf("ring N=%d: %v", n, err)
+		}
+		if s.Mode != Ring {
+			t.Errorf("ring N=%d mode = %v", n, s.Mode)
+		}
+	}
+}
+
+// TestBidirectionalScheduleValid validates TATP's schedule — the
+// central correctness property of Algorithm 1.
+func TestBidirectionalScheduleValid(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 31, 32} {
+		s := BidirectionalSchedule(n)
+		if err := s.Validate(); err != nil {
+			t.Errorf("bidir N=%d: %v", n, err)
+		}
+	}
+}
+
+// TestBidirectionalSingleHop checks every send moves between adjacent
+// chain positions — the "all data transfers traverse at most one
+// physical hop" guarantee of §V.
+func TestBidirectionalSingleHop(t *testing.T) {
+	for _, n := range []int{2, 4, 7, 8, 16} {
+		s := BidirectionalSchedule(n)
+		for t_, sends := range s.Sends {
+			for _, snd := range sends {
+				d := snd.From - snd.To
+				if d != 1 && d != -1 {
+					t.Fatalf("N=%d round %d: send %+v is not single-hop", n, t_, snd)
+				}
+			}
+		}
+	}
+}
+
+// TestRingWrapIsLongOnChain: the ring schedule's wrap send (0→N-1)
+// spans the whole chain — the tail-latency defect TATP eliminates.
+func TestRingWrapIsLongOnChain(t *testing.T) {
+	n := 8
+	s := RingSchedule(n)
+	foundWrap := false
+	for _, sends := range s.Sends {
+		for _, snd := range sends {
+			if snd.From == 0 && snd.To == n-1 {
+				foundWrap = true
+			}
+		}
+	}
+	if !foundWrap {
+		t.Fatal("ring schedule has no wrap-around send")
+	}
+}
+
+// TestBidirectionalOnePerRound: each position computes exactly one
+// distinct sub-output per round (workload balance, §V).
+func TestBidirectionalOnePerRound(t *testing.T) {
+	n := 8
+	s := BidirectionalSchedule(n)
+	for tt := 0; tt < n; tt++ {
+		if len(s.Compute[tt]) != n {
+			t.Fatalf("round %d has %d computes", tt, len(s.Compute[tt]))
+		}
+	}
+}
+
+// TestBidirectionalMatchesFig8 pins the worked example of Fig. 8(c)
+// for N=4: Die 3 (descending) computes O33, O32, O31, O30 in rounds
+// 0..3; Die 0 (ascending) computes O00, O01, O02, O03.
+func TestBidirectionalMatchesFig8(t *testing.T) {
+	s := BidirectionalSchedule(4)
+	wantDie0 := []int{0, 1, 2, 3}
+	wantDie3 := []int{3, 2, 1, 0}
+	for tt := 0; tt < 4; tt++ {
+		if s.Compute[tt][0] != wantDie0[tt] {
+			t.Errorf("die0 round %d uses W%d, want W%d", tt, s.Compute[tt][0], wantDie0[tt])
+		}
+		if s.Compute[tt][3] != wantDie3[tt] {
+			t.Errorf("die3 round %d uses W%d, want W%d", tt, s.Compute[tt][3], wantDie3[tt])
+		}
+	}
+}
+
+// TestVolumeFactors: both schedules conserve total transfer volume —
+// the bidirectional schedule splits each sub-tensor's N-1 hops
+// between the two directions instead of duplicating them.
+func TestVolumeFactors(t *testing.T) {
+	if v := RingSchedule(8).VolumeFactor; v != 1 {
+		t.Errorf("ring volume factor = %v", v)
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		v := BidirectionalSchedule(n).VolumeFactor
+		if v != 1 {
+			t.Errorf("bidir N=%d volume factor = %v, want exactly 1 (volume conservation)", n, v)
+		}
+	}
+}
+
+// TestPeakBuffer: the ring buffers O(1) sub-tensors; the
+// bidirectional schedule buffers ≈N/2+2 on middle dies (the price of
+// wrap-free scheduling, documented in DESIGN.md).
+func TestPeakBuffer(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		ring := RingSchedule(n).PeakBuffer
+		if ring > 3 {
+			t.Errorf("ring N=%d peak buffer = %d, want ≤3", n, ring)
+		}
+		bidir := BidirectionalSchedule(n).PeakBuffer
+		if bidir > n/2+2 {
+			t.Errorf("bidir N=%d peak buffer = %d, want ≤N/2+2", n, bidir)
+		}
+	}
+}
+
+// TestMaxSendsPerRound: bidirectional positions send at most one
+// sub-tensor per direction per round.
+func TestMaxSendsPerRound(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		if got := BidirectionalSchedule(n).MaxSendsPerRound(); got > 2 {
+			t.Errorf("bidir N=%d max sends per round = %d, want ≤2", n, got)
+		}
+		if got := RingSchedule(n).MaxSendsPerRound(); got > 1 {
+			t.Errorf("ring N=%d max sends per round = %d, want ≤1", n, got)
+		}
+	}
+}
+
+// TestPerLinkOnePayloadPerRound: in the bidirectional schedule each
+// directed chain link carries at most one sub-tensor per round
+// (contention-free streaming).
+func TestPerLinkOnePayloadPerRound(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		s := BidirectionalSchedule(n)
+		for tt, sends := range s.Sends {
+			link := map[[2]int]int{}
+			for _, snd := range sends {
+				link[[2]int{snd.From, snd.To}]++
+			}
+			for l, c := range link {
+				if c > 1 {
+					t.Fatalf("N=%d round %d: link %v carries %d sub-tensors", n, tt, l, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSchedulePanicsOnBadN(t *testing.T) {
+	for _, f := range []func(){func() { RingSchedule(0) }, func() { BidirectionalSchedule(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("schedule with non-positive N did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestValidateCatchesBrokenSchedules(t *testing.T) {
+	s := BidirectionalSchedule(4)
+	// Corrupt a compute assignment to use a tensor before arrival.
+	s.Compute[0][0] = 3
+	if err := s.Validate(); err == nil {
+		t.Error("corrupted schedule passed validation")
+	}
+	s2 := BidirectionalSchedule(4)
+	// Duplicate a consumption.
+	s2.Compute[3][0] = s2.Compute[0][0]
+	if err := s2.Validate(); err == nil {
+		t.Error("duplicate consumption passed validation")
+	}
+	s3 := RingSchedule(4)
+	s3.Sends[0] = append(s3.Sends[0], Send{From: 2, To: 1, SubT: 0})
+	if err := s3.Validate(); err == nil {
+		t.Error("forwarding an unheld tensor passed validation")
+	}
+}
+
+func TestSelectOperand(t *testing.T) {
+	if got := SelectOperand(100, 300); got != StreamWeights {
+		t.Errorf("larger input should stream weights, got %v", got)
+	}
+	if got := SelectOperand(300, 100); got != StreamInputs {
+		t.Errorf("larger weights should stream inputs, got %v", got)
+	}
+	if StreamWeights.String() != "weights" || StreamInputs.String() != "inputs" {
+		t.Error("Operand strings wrong")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Ring.String() != "ring" || Bidirectional.String() != "bidir" || Fallback.String() != "fallback" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,91 @@
+package surrogate
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"temp/internal/hw"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	w := hw.EvaluationWafer()
+	rng := rand.New(rand.NewSource(1))
+	for _, cat := range []Category{Compute, Comm, Overlap} {
+		ds := Generate(cat, 50, w, rng)
+		if len(ds) != 50 {
+			t.Fatalf("%v: %d samples", cat, len(ds))
+		}
+		dim := len(ds[0].Features)
+		for _, s := range ds {
+			if len(s.Features) != dim {
+				t.Fatalf("%v: ragged features", cat)
+			}
+			if s.TargetMS <= 0 {
+				t.Fatalf("%v: non-positive target %v", cat, s.TargetMS)
+			}
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	if Compute.String() != "compute" || Comm.String() != "communication" || Overlap.String() != "overlap" {
+		t.Error("category strings wrong")
+	}
+}
+
+// TestFig21Accuracy is the acceptance test for the §VIII-G claims:
+// the DNN cost model achieves high correlation and single-digit
+// percentage error, beating the linear-regression baseline.
+func TestFig21Accuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	w := hw.EvaluationWafer()
+	for _, cat := range []Category{Compute, Comm, Overlap} {
+		rng := rand.New(rand.NewSource(100 + int64(cat)))
+		train := Generate(cat, 1200, w, rng)
+		test := Generate(cat, 400, w, rng)
+		dnn := TrainDNN(train, rng)
+		lin := TrainLinear(train)
+		de := Validate(dnn, test)
+		le := Validate(lin, test)
+		if de.Corr < 0.97 {
+			t.Errorf("%v: DNN corr %.3f, want ≥0.97 (paper ≥0.988)", cat, de.Corr)
+		}
+		if de.MAPE > 12 {
+			t.Errorf("%v: DNN error %.1f%%, want ≤12%% (paper ~4.4%%)", cat, de.MAPE)
+		}
+		if de.MAPE >= le.MAPE {
+			t.Errorf("%v: DNN error %.1f%% not below linear %.1f%%", cat, de.MAPE, le.MAPE)
+		}
+		if de.PerCall > time.Millisecond {
+			t.Errorf("%v: DNN lookup %v too slow (paper: hundreds of µs)", cat, de.PerCall)
+		}
+	}
+}
+
+func TestLinearUnderfitsCompute(t *testing.T) {
+	w := hw.EvaluationWafer()
+	rng := rand.New(rand.NewSource(9))
+	train := Generate(Compute, 600, w, rng)
+	test := Generate(Compute, 200, w, rng)
+	lin := TrainLinear(train)
+	le := Validate(lin, test)
+	if le.MAPE < 10 {
+		t.Errorf("linear regression MAPE %.1f%% suspiciously good on a multiplicative target", le.MAPE)
+	}
+}
+
+func TestDNNDeterministicWithSeed(t *testing.T) {
+	w := hw.EvaluationWafer()
+	mk := func() float64 {
+		rng := rand.New(rand.NewSource(4))
+		train := Generate(Overlap, 200, w, rng)
+		d := TrainDNN(train, rng)
+		return d.Predict(train[0].Features)
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("same seed, different predictions: %v vs %v", a, b)
+	}
+}

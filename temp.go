@@ -1,0 +1,182 @@
+// Package temp is the public API of the TEMP reproduction: a
+// memory-efficient, physical-aware tensor partition-mapping framework
+// for LLM training on wafer-scale chips (HPCA 2026).
+//
+// The package re-exports the stable surface of the internal
+// implementation:
+//
+//   - hardware models (wafer, die, D2D link, GPU cluster reference),
+//   - the LLM model zoo and transformer block graphs,
+//   - hybrid parallel configurations (DP/TP/SP/CP/TATP) and wafer
+//     placements,
+//   - the wafer-centric cost model that evaluates one training step,
+//   - the baseline systems (Megatron-1, MeSP, FSDP × SMap/GMap),
+//   - the dual-level wafer solver (chain DP + genetic refinement),
+//   - fault injection and the experiment runners that regenerate
+//     every table and figure of the paper's evaluation.
+//
+// Quickstart:
+//
+//	w := temp.EvaluationWafer()
+//	m := temp.GPT3_6_7B()
+//	res, err := temp.BestTEMP(m, w)
+//	fmt.Println(res.Config, res.StepTime, res.ThroughputTokens)
+package temp
+
+import (
+	"temp/internal/baselines"
+	"temp/internal/cost"
+	"temp/internal/experiments"
+	"temp/internal/fault"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/sim"
+	"temp/internal/solver"
+)
+
+// Hardware configurations (Table I, §VIII-A).
+type (
+	// Wafer is a wafer-scale chip configuration.
+	Wafer = hw.Wafer
+	// Die is one compute die.
+	Die = hw.Die
+	// Cluster is the switched GPU reference system.
+	Cluster = hw.Cluster
+)
+
+// Wafer constructors.
+var (
+	// EvaluationWafer is the 4×8-die wafer of §VIII-A.
+	EvaluationWafer = hw.EvaluationWafer
+	// ReferenceWafer is the 6×8-die floorplan of Fig. 3.
+	ReferenceWafer = hw.ReferenceWafer
+	// WaferWithGrid resizes the evaluation wafer.
+	WaferWithGrid = hw.WaferWithGrid
+	// A100Cluster is the 32-GPU comparison system of Fig. 15.
+	A100Cluster = hw.A100Cluster
+)
+
+// Model is an LLM workload description (Table II).
+type Model = model.Config
+
+// Model zoo.
+var (
+	GPT3_6_7B   = model.GPT3_6_7B
+	Llama2_7B   = model.Llama2_7B
+	Llama3_70B  = model.Llama3_70B
+	GPT3_76B    = model.GPT3_76B
+	GPT3_175B   = model.GPT3_175B
+	OPT_175B    = model.OPT_175B
+	Grok1_341B  = model.Grok1_341B
+	Llama3_405B = model.Llama3_405B
+	GPT3_504B   = model.GPT3_504B
+	// EvaluationModels lists the six Table II models.
+	EvaluationModels = model.EvaluationModels
+	// BlockGraph builds the Fig. 12 transformer block.
+	BlockGraph = model.BlockGraph
+)
+
+// ParallelConfig is a hybrid parallel configuration
+// (DP/TP/SP/CP/TATP degrees plus PP across wafers).
+type ParallelConfig = parallel.Config
+
+// Options configures a cost-model evaluation; Breakdown is its
+// result.
+type (
+	Options   = cost.Options
+	Breakdown = cost.Breakdown
+	Engine    = cost.Engine
+)
+
+// Engines and conventions.
+const (
+	SMap       = cost.SMap
+	GMap       = cost.GMap
+	TCMEEngine = cost.TCMEEngine
+)
+
+// Evaluation entry points.
+var (
+	// Evaluate prices one training step of a model on a wafer under
+	// a configuration.
+	Evaluate = cost.Evaluate
+	// EvaluateCluster prices the GPU reference system.
+	EvaluateCluster = cost.EvaluateCluster
+	// TEMPOptions are the conventions TEMP itself runs with.
+	TEMPOptions = cost.TEMPOptions
+)
+
+// System is an evaluated training system; Result pairs its best
+// configuration with the breakdown.
+type (
+	System = baselines.System
+	Result = baselines.Result
+)
+
+// Baseline systems and sweeps.
+var (
+	Megatron1 = baselines.Megatron1
+	MeSP      = baselines.MeSP
+	FSDP      = baselines.FSDP
+	// TEMPSystem is the full framework (TCME engine + TATP space).
+	TEMPSystem = baselines.TEMP
+	// Best sweeps a system's configuration space for its fastest
+	// feasible configuration.
+	Best = baselines.Best
+	// CompareAll runs the Fig. 13 comparison (A–F + TEMP).
+	CompareAll = sim.CompareAll
+	// Ablation runs the Fig. 16 ladder.
+	Ablation = sim.Ablation
+	// MultiWafer evaluates pipeline scaling across wafers.
+	MultiWafer = sim.MultiWafer
+)
+
+// BestTEMP sweeps TEMP's configuration space on a wafer.
+func BestTEMP(m Model, w Wafer) (Result, error) {
+	return baselines.Best(baselines.TEMP(), m, w)
+}
+
+// Solver surface (DLWS, §VII).
+type (
+	// CostModel prices operators for the solver.
+	CostModel = solver.CostModel
+	// AnalyticCostModel is the closed-form wafer cost model.
+	AnalyticCostModel = solver.Analytic
+	// DLSOptions tunes the dual-level search.
+	DLSOptions = solver.DLSOptions
+	// SearchStats reports solver effort and quality.
+	SearchStats = solver.Stats
+)
+
+// Solver entry points.
+var (
+	// DLS runs the dual-level search (chain DP + GA).
+	DLS = solver.DLS
+	// ExhaustiveSearch is the ILP-stand-in joint search.
+	ExhaustiveSearch = solver.Exhaustive
+)
+
+// Fault tolerance surface (§VIII-F).
+type (
+	FaultInjection = fault.Injection
+	FaultOutcome   = fault.Outcome
+)
+
+// Fault entry points.
+var (
+	EvaluateWithFaults        = fault.Evaluate
+	FaultNormalizedThroughput = fault.NormalizedThroughput
+)
+
+// ExperimentTable is a regenerated paper artefact.
+type ExperimentTable = experiments.Table
+
+// Experiment runners.
+var (
+	// RunExperiment regenerates one table/figure by id (see
+	// DESIGN.md's per-experiment index).
+	RunExperiment = experiments.ByID
+	// RunAllExperiments regenerates the full evaluation.
+	RunAllExperiments = experiments.All
+)

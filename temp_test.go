@@ -1,0 +1,65 @@
+package temp
+
+import "testing"
+
+// TestPublicAPISurface smoke-tests the exported facade end to end.
+func TestPublicAPISurface(t *testing.T) {
+	w := EvaluationWafer()
+	m := GPT3_6_7B()
+
+	b, err := Evaluate(m, w, ParallelConfig{DP: 4, TATP: 8}, TEMPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.StepTime <= 0 || b.ThroughputTokens <= 0 {
+		t.Fatalf("degenerate breakdown: %+v", b)
+	}
+
+	best, err := BestTEMP(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Feasible {
+		t.Fatal("no feasible TEMP configuration")
+	}
+	if best.StepTime > b.StepTime*(1+1e-9) {
+		t.Errorf("BestTEMP (%v) slower than a manual config (%v)", best.StepTime, b.StepTime)
+	}
+}
+
+func TestPublicSolver(t *testing.T) {
+	w := EvaluationWafer()
+	m := GPT3_6_7B()
+	g := BlockGraph(m)
+	cm := &AnalyticCostModel{W: w, M: m}
+	space := TEMPSystem().Configs(w.Dies())
+	assign, stats := DLS(g, space, cm, DLSOptions{Seed: 1, DisableGA: true})
+	if len(assign) != len(g.Ops) {
+		t.Fatalf("assignment covers %d ops, want %d", len(assign), len(g.Ops))
+	}
+	if stats.DPCost <= 0 {
+		t.Errorf("DP cost %v", stats.DPCost)
+	}
+}
+
+func TestPublicExperimentRunner(t *testing.T) {
+	tab, err := RunExperiment("fig5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "fig5" || len(tab.Rows) == 0 {
+		t.Fatalf("unexpected table: %+v", tab)
+	}
+	if _, err := RunExperiment("no-such-id", true); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestPublicFaultSurface(t *testing.T) {
+	v := FaultNormalizedThroughput(GPT3_6_7B(), EvaluationWafer(),
+		ParallelConfig{DP: 4, TATP: 8}, TEMPOptions(),
+		FaultInjection{CoreRate: 0.1, CoresPerDie: 64}, 3, 9)
+	if v <= 0.5 || v > 1.0 {
+		t.Errorf("normalized throughput at 10%% core faults = %v", v)
+	}
+}
