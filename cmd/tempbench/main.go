@@ -1,46 +1,125 @@
 // Command tempbench regenerates the paper's tables and figures
 // through the repository's simulator. Run with -list to see the
 // experiment IDs, -exp <id> for a single artefact, or no flags for
-// the full evaluation suite.
+// the full evaluation suite. The suite fans out across -workers
+// goroutines on the shared evaluation engine; -json additionally
+// writes each experiment's wall-clock time and headline observation
+// to a machine-readable file for perf tracking across revisions.
 //
 //	tempbench -exp fig13          # Fig. 13 training comparison
 //	tempbench -quick              # full suite on reduced model set
+//	tempbench -quick -json bench.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"temp/internal/engine"
 	"temp/internal/experiments"
 )
+
+// record is one experiment's entry in the -json output. Seconds is
+// wall-clock while the suite's other experiments run concurrently on
+// the same cores, so it ranks experiments within one run; for
+// revision-to-revision comparison use TotalSeconds, or time one
+// experiment in isolation with -exp.
+type record struct {
+	ID       string  `json:"id"`
+	Title    string  `json:"title"`
+	Seconds  float64 `json:"seconds"`
+	Rows     int     `json:"rows"`
+	Headline string  `json:"headline,omitempty"`
+}
+
+// output is the top-level -json document.
+type output struct {
+	Quick        bool     `json:"quick"`
+	Workers      int      `json:"workers"`
+	TotalSeconds float64  `json:"total_seconds"`
+	CacheHits    int64    `json:"cache_hits"`
+	CacheMisses  int64    `json:"cache_misses"`
+	Experiments  []record `json:"experiments"`
+}
+
+func toRecord(t *experiments.Table, d time.Duration) record {
+	r := record{ID: t.ID, Title: t.Title, Seconds: d.Seconds(), Rows: len(t.Rows)}
+	if len(t.Notes) > 0 {
+		r.Headline = t.Notes[0]
+	}
+	return r
+}
+
+func writeJSON(path string, out output) error {
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (default: run all)")
 	quick := flag.Bool("quick", false, "reduced model set for fast runs")
 	list := flag.Bool("list", false, "list experiment ids")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
+	jsonPath := flag.String("json", "", "write per-experiment timings and headline metrics to this file")
 	flag.Parse()
+	engine.SetWorkers(*workers)
 
 	if *list {
-		for _, id := range []string{"fig4b", "fig4c", "fig5", "fig7", "fig9", "fig13",
-			"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-			"tabH", "dls-quality"} {
-			fmt.Println(id)
+		for _, r := range experiments.Runners() {
+			fmt.Println(r.ID)
 		}
 		return
 	}
 	if *exp != "" {
+		start := time.Now()
 		tab, err := experiments.ByID(*exp, *quick)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
 			os.Exit(1)
 		}
 		tab.Fprint(os.Stdout)
+		if *jsonPath != "" {
+			stats := engine.Default().Cache().Stats()
+			out := output{
+				Quick: *quick, Workers: engine.Workers(),
+				TotalSeconds: time.Since(start).Seconds(),
+				CacheHits:    stats.Hits, CacheMisses: stats.Misses,
+				Experiments: []record{toRecord(tab, time.Since(start))},
+			}
+			if err := writeJSON(*jsonPath, out); err != nil {
+				fmt.Fprintln(os.Stderr, "tempbench:", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
-	tabs, err := experiments.All(*quick)
+	start := time.Now()
+	tabs, durs, err := experiments.AllTimed(*quick)
+	total := time.Since(start)
 	for _, t := range tabs {
 		t.Fprint(os.Stdout)
+	}
+	if *jsonPath != "" {
+		stats := engine.Default().Cache().Stats()
+		out := output{
+			Quick: *quick, Workers: engine.Workers(),
+			TotalSeconds: total.Seconds(),
+			CacheHits:    stats.Hits, CacheMisses: stats.Misses,
+		}
+		for i, t := range tabs {
+			out.Experiments = append(out.Experiments, toRecord(t, durs[i]))
+		}
+		if werr := writeJSON(*jsonPath, out); werr != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", werr)
+			os.Exit(1)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tempbench:", err)

@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"temp/internal/cost"
+	"temp/internal/engine"
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
@@ -44,14 +46,16 @@ func main() {
 		tatp    = flag.Int("tatp", 1, "TATP stream parallel degree")
 		pp      = flag.Int("pp", 1, "pipeline degree across wafers")
 		wafers  = flag.Int("wafers", 1, "wafer count")
-		engine  = flag.String("engine", "tcme", "mapping engine: smap|gmap|tcme")
+		mapper  = flag.String("engine", "tcme", "mapping engine: smap|gmap|tcme")
 		rec     = flag.String("recompute", "selective", "recompute: none|selective|full")
 		fsdp    = flag.Bool("fsdp", false, "fully sharded data parallelism")
 		mesp    = flag.Bool("megatron-sp", false, "Megatron-3 fused sequence parallelism")
 		mb      = flag.Int("microbatch", 0, "sequences per rank per micro-step")
 		debugTr = flag.Bool("debug", false, "print the calibration trace")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
 	)
 	flag.Parse()
+	engine.SetWorkers(*workers)
 
 	m, ok := modelByName(*name)
 	if !ok {
@@ -62,7 +66,7 @@ func main() {
 	cfg := parallel.Config{DP: *dp, TP: *tp, SP: *sp, CP: *cp, TATP: *tatp, PP: *pp,
 		FSDP: *fsdp, MegatronSP: *mesp}
 	o := cost.Options{Microbatch: *mb, Wafers: *wafers, DistributedOptimizer: true}
-	switch strings.ToLower(*engine) {
+	switch strings.ToLower(*mapper) {
 	case "smap":
 		o.Engine = cost.SMap
 	case "gmap":
@@ -79,7 +83,7 @@ func main() {
 		o.Recompute = cost.RecomputeSelective
 	}
 
-	b, err := cost.Evaluate(m, w, cfg, o)
+	b, err := engine.Evaluate(m, w, cfg, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tempsim:", err)
 		os.Exit(1)

@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"temp/internal/baselines"
+	"temp/internal/engine"
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
@@ -23,13 +25,15 @@ import (
 
 func main() {
 	var (
-		name = flag.String("model", "gpt3-6.7b", "model name")
-		rows = flag.Int("rows", 4, "wafer die rows")
-		cols = flag.Int("cols", 8, "wafer die columns")
-		noGA = flag.Bool("no-ga", false, "stop after chain dynamic programming")
-		seed = flag.Int64("seed", 7, "genetic-stage seed")
+		name    = flag.String("model", "gpt3-6.7b", "model name")
+		rows    = flag.Int("rows", 4, "wafer die rows")
+		cols    = flag.Int("cols", 8, "wafer die columns")
+		noGA    = flag.Bool("no-ga", false, "stop after chain dynamic programming")
+		seed    = flag.Int64("seed", 7, "genetic-stage seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
 	)
 	flag.Parse()
+	engine.SetWorkers(*workers)
 
 	var m model.Config
 	found := false
@@ -50,7 +54,8 @@ func main() {
 	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 	cm := &solver.Analytic{W: w, M: m}
 
-	assign, stats := solver.DLS(g, space, cm, solver.DLSOptions{Seed: *seed, DisableGA: *noGA})
+	assign, stats := solver.DLS(g, space, cm,
+		solver.DLSOptions{Seed: *seed, DisableGA: *noGA, Workers: *workers})
 	fmt.Printf("model        %s on %s\n", m, w.Name)
 	fmt.Printf("search space %d strategies × %d operators\n", len(space), len(g.Ops))
 	fmt.Printf("search time  %s (%d cost-model evaluations, %d GA generations)\n",

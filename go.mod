@@ -1,0 +1,3 @@
+module temp
+
+go 1.22

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"temp/internal/cost"
+	"temp/internal/engine"
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
@@ -158,26 +159,32 @@ type Result struct {
 	Feasible bool
 }
 
-// Best sweeps the system's configuration space on the wafer and
-// returns the fastest feasible configuration; when nothing fits it
-// returns the lowest-memory OOM attempt with Feasible=false (the
-// "OOM" bars of Fig. 13).
+// Best sweeps the system's configuration space on the wafer through
+// the concurrent evaluation engine (memoized and fanned out across
+// workers) and returns the fastest feasible configuration; when
+// nothing fits it returns the lowest-memory OOM attempt with
+// Feasible=false (the "OOM" bars of Fig. 13).
 func Best(s System, m model.Config, w hw.Wafer) (Result, error) {
 	dies := w.Dies()
 	cfgs := s.Configs(dies)
 	if len(cfgs) == 0 {
 		return Result{}, fmt.Errorf("baselines: %s has no configurations for %d dies", s.Name, dies)
 	}
+	jobs := make([]engine.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = engine.Job{Model: m, Wafer: w, Config: cfg, Opts: s.Opts}
+	}
+	results := engine.Sweep(jobs)
 	best := Result{System: s.Name}
 	bestTime := math.Inf(1)
 	var lowMem Result
 	lowMemBytes := math.Inf(1)
 	evaluated := 0
-	for _, cfg := range cfgs {
-		b, err := cost.Evaluate(m, w, cfg, s.Opts)
-		if err != nil {
+	for i, r := range results {
+		if r.Err != nil {
 			continue // unplaceable on this grid
 		}
+		b, cfg := r.Breakdown, cfgs[i]
 		evaluated++
 		if !b.OOM() && b.StepTime < bestTime {
 			bestTime = b.StepTime
@@ -203,20 +210,37 @@ func Best(s System, m model.Config, w hw.Wafer) (Result, error) {
 // Feasible=false — 175B-class models genuinely exceed 32×80 GB.
 func BestCluster(m model.Config, c hw.Cluster) (Result, error) {
 	opts := cost.Options{Engine: cost.GMap, Recompute: cost.RecomputeSelective, DistributedOptimizer: true}
-	best := Result{System: "GPU+MeSP"}
-	bestTime := math.Inf(1)
-	var lowMem Result
-	lowMemBytes := math.Inf(1)
-	evaluated := 0
+	var cfgs []parallel.Config
 	for _, cfg := range mespConfigs(c.GPUs()) {
 		// TP cannot exceed a node on switched clusters.
 		if cfg.TP > c.GPUsPerNode {
 			continue
 		}
-		b, err := cost.EvaluateCluster(m, c, cfg, opts)
-		if err != nil {
+		cfgs = append(cfgs, cfg)
+	}
+	// Cluster evaluations bypass the wafer cache (different cost
+	// entry point) but still fan out across the engine's workers.
+	type clusterRes struct {
+		b   cost.Breakdown
+		err error
+	}
+	results := make([]clusterRes, len(cfgs))
+	engine.Map(len(cfgs), func(i int) {
+		engine.Do(func() {
+			b, err := cost.EvaluateCluster(m, c, cfgs[i], opts)
+			results[i] = clusterRes{b, err}
+		})
+	})
+	best := Result{System: "GPU+MeSP"}
+	bestTime := math.Inf(1)
+	var lowMem Result
+	lowMemBytes := math.Inf(1)
+	evaluated := 0
+	for i, r := range results {
+		if r.err != nil {
 			continue
 		}
+		b, cfg := r.b, cfgs[i]
 		evaluated++
 		if !b.OOM() && b.StepTime < bestTime {
 			bestTime = b.StepTime

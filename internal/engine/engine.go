@@ -1,0 +1,308 @@
+// Package engine is the concurrent evaluation engine behind every
+// design-space sweep in the repository. The cost model is a pure
+// function of (model, wafer, config, options), so the engine memoizes
+// its results in a goroutine-safe sharded cache and fans batches of
+// configurations out across a bounded worker pool. The solver's
+// genetic stage, the experiment runners and all three CLIs route
+// their sweeps through it: figures that revisit the same
+// configuration space (Fig. 13 and Fig. 14 sweep identical systems)
+// pay for each evaluation once, and multi-core runners evaluate the
+// rest in parallel.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// Job identifies one cost-model evaluation. All four fields are
+// plain comparable structs, so a Job doubles as the cache key.
+type Job struct {
+	Model  model.Config
+	Wafer  hw.Wafer
+	Config parallel.Config
+	Opts   cost.Options
+}
+
+// Result is the outcome of one Job.
+type Result struct {
+	Breakdown cost.Breakdown
+	Err       error
+}
+
+// shardCount shards the cache to keep lock contention off the hot
+// path; must be a power of two.
+const shardCount = 64
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[Job]Result
+}
+
+// Cache is a goroutine-safe sharded memoization cache over
+// cost.Evaluate. The cost model is deterministic, so concurrent
+// misses on the same key may compute twice but always store the same
+// value; hit/miss counters track effectiveness.
+type Cache struct {
+	shards [shardCount]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Job]Result)
+	}
+	return c
+}
+
+// shardIndex mixes the discriminating key fields with FNV-1a. Only
+// shard selection depends on it, so it hashes a representative
+// subset of the key, not every field.
+func shardIndex(j Job) int {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	for i := 0; i < len(j.Model.Name); i++ {
+		mix(uint64(j.Model.Name[i]))
+	}
+	mix(uint64(j.Model.Seq))
+	mix(uint64(j.Model.Batch))
+	mix(uint64(j.Model.Layers))
+	c := j.Config
+	mix(uint64(c.DP))
+	mix(uint64(c.TP))
+	mix(uint64(c.SP))
+	mix(uint64(c.CP))
+	mix(uint64(c.TATP))
+	mix(uint64(c.PP))
+	if c.FSDP {
+		mix(1)
+	}
+	if c.MegatronSP {
+		mix(2)
+	}
+	mix(uint64(j.Wafer.Rows))
+	mix(uint64(j.Wafer.Cols))
+	mix(uint64(j.Opts.Engine))
+	mix(uint64(j.Opts.Recompute))
+	mix(uint64(j.Opts.Microbatch))
+	mix(uint64(j.Opts.Wafers))
+	return int(h & (shardCount - 1))
+}
+
+// Evaluate returns the memoized cost-model result for one job.
+func (c *Cache) Evaluate(j Job) (cost.Breakdown, error) {
+	// Normalize so equivalent configurations share one entry; the
+	// cost model normalizes internally, so the result is identical.
+	j.Config = j.Config.Normalize()
+	sh := &c.shards[shardIndex(j)]
+	sh.mu.RLock()
+	r, ok := sh.m[j]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return r.Breakdown, r.Err
+	}
+	c.misses.Add(1)
+	b, err := cost.Evaluate(j.Model, j.Wafer, j.Config, j.Opts)
+	r = Result{Breakdown: b, Err: err}
+	sh.mu.Lock()
+	sh.m[j] = r
+	sh.mu.Unlock()
+	return b, err
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		s.Entries += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return s
+}
+
+// Pool couples a worker count with a cache. The zero worker count
+// means runtime.GOMAXPROCS(0). The bound is global across nested
+// fan-outs: Map calls may nest freely (experiments → systems →
+// config sweeps), but every cost-model evaluation routed through the
+// pool acquires one of its workers tokens, so at most workers
+// evaluations compute concurrently no matter how deep the
+// orchestration stacks.
+type Pool struct {
+	workers int
+	cache   *Cache
+	// sem bounds concurrent leaf evaluations. Only leaves (the
+	// actual cost-model computation, which never re-enters the
+	// engine) hold a token, so nested Map orchestration cannot
+	// deadlock against it.
+	sem chan struct{}
+}
+
+// New returns a pool with its own cache. workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, cache: NewCache(), sem: make(chan struct{}, workers)}
+}
+
+// Do runs one leaf computation under the pool's global evaluation
+// bound. f must not call back into the pool (it would deadlock the
+// token it holds); the engine's own evaluation paths already route
+// through Do, so callers only need it for work that bypasses the
+// cache (e.g. cluster evaluations).
+func (p *Pool) Do(f func()) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	f()
+}
+
+// Workers returns the pool's worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Cache returns the pool's cache.
+func (p *Pool) Cache() *Cache { return p.cache }
+
+// Evaluate runs one memoized cost-model evaluation under the pool's
+// global bound.
+func (p *Pool) Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options) (cost.Breakdown, error) {
+	return p.evaluate(Job{Model: m, Wafer: w, Config: cfg, Opts: o})
+}
+
+// evaluate serves a job from the cache, acquiring a worker token
+// only for the miss path (the actual cost-model computation).
+func (p *Pool) evaluate(j Job) (b cost.Breakdown, err error) {
+	j.Config = j.Config.Normalize()
+	sh := &p.cache.shards[shardIndex(j)]
+	sh.mu.RLock()
+	r, ok := sh.m[j]
+	sh.mu.RUnlock()
+	if ok {
+		p.cache.hits.Add(1)
+		return r.Breakdown, r.Err
+	}
+	p.cache.misses.Add(1)
+	p.Do(func() {
+		b, err = cost.Evaluate(j.Model, j.Wafer, j.Config, j.Opts)
+	})
+	sh.mu.Lock()
+	sh.m[j] = Result{Breakdown: b, Err: err}
+	sh.mu.Unlock()
+	return b, err
+}
+
+// Sweep fans the jobs out across the pool's workers and returns
+// their results in input order, regardless of completion order.
+func (p *Pool) Sweep(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	p.Map(len(jobs), func(i int) {
+		b, err := p.evaluate(jobs[i])
+		out[i] = Result{Breakdown: b, Err: err}
+	})
+	return out
+}
+
+// Map runs f(0..n-1) across the pool's workers. Each index runs
+// exactly once; f must be safe for concurrent invocation when the
+// pool has more than one worker.
+func (p *Pool) Map(n int, f func(i int)) {
+	ForEach(p.workers, n, f)
+}
+
+// ForEach runs f(0..n-1) across at most workers goroutines. With one
+// worker (or one item) it degenerates to a plain serial loop, so
+// callers can treat it as the single fan-out primitive at any
+// parallelism level.
+func ForEach(workers, n int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// defaultPool serves the package-level helpers; the CLIs retune its
+// worker bound via SetWorkers while every caller keeps sharing one
+// cache.
+var defaultPool atomic.Pointer[Pool]
+
+func init() {
+	defaultPool.Store(New(0))
+}
+
+// Default returns the shared pool.
+func Default() *Pool { return defaultPool.Load() }
+
+// SetWorkers rebounds the shared pool's worker count, retaining the
+// shared cache (and everything already memoized in it).
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	defaultPool.Store(&Pool{workers: n, cache: Default().cache, sem: make(chan struct{}, n)})
+}
+
+// Workers returns the shared pool's worker bound.
+func Workers() int { return Default().workers }
+
+// Evaluate runs one memoized evaluation on the shared pool.
+func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options) (cost.Breakdown, error) {
+	return Default().Evaluate(m, w, cfg, o)
+}
+
+// Sweep fans jobs out on the shared pool.
+func Sweep(jobs []Job) []Result { return Default().Sweep(jobs) }
+
+// Map runs f(0..n-1) on the shared pool.
+func Map(n int, f func(i int)) { Default().Map(n, f) }
+
+// Do runs one leaf computation under the shared pool's global
+// evaluation bound.
+func Do(f func()) { Default().Do(f) }

@@ -6,6 +6,7 @@ import (
 
 	"temp/internal/baselines"
 	"temp/internal/cost"
+	"temp/internal/engine"
 	"temp/internal/fault"
 	"temp/internal/hw"
 	"temp/internal/mesh"
@@ -128,24 +129,36 @@ func Fig07Utilization() (*Table, error) {
 		Headers: []string{"model", "grid", "ring util%", "scattered util%", "drop"},
 	}
 	grids := [][2]int{{4, 4}, {4, 8}, {8, 8}}
-	for _, m := range []model.Config{model.Llama2_7B(), model.Llama2_30B(), model.Llama2_70B()} {
+	models := []model.Config{model.Llama2_7B(), model.Llama2_30B(), model.Llama2_70B()}
+	scatterOpts := cost.TEMPOptions()
+	scatterOpts.Engine = cost.SMap
+	scatterOpts.DisableStreamOverlap = true
+	// Ring/scattered pairs for every model×grid, fanned out in one
+	// sweep; results come back in input order.
+	var jobs []engine.Job
+	for _, m := range models {
 		for _, g := range grids {
 			w := hw.WaferWithGrid(g[0], g[1])
-			dies := w.Dies()
-			cfg := parallel.Config{DP: dies / 8, TATP: 8}
-			ring, err := cost.Evaluate(m, w, cfg, cost.TEMPOptions())
-			if err != nil {
-				return nil, err
+			cfg := parallel.Config{DP: w.Dies() / 8, TATP: 8}
+			jobs = append(jobs,
+				engine.Job{Model: m, Wafer: w, Config: cfg, Opts: cost.TEMPOptions()},
+				engine.Job{Model: m, Wafer: w, Config: cfg, Opts: scatterOpts})
+		}
+	}
+	results := engine.Sweep(jobs)
+	i := 0
+	for _, m := range models {
+		for _, g := range grids {
+			ring, scat := results[i], results[i+1]
+			i += 2
+			if ring.Err != nil {
+				return nil, ring.Err
 			}
-			scatterOpts := cost.TEMPOptions()
-			scatterOpts.Engine = cost.SMap
-			scatterOpts.DisableStreamOverlap = true
-			scat, err := cost.Evaluate(m, w, cfg, scatterOpts)
-			if err != nil {
-				return nil, err
+			if scat.Err != nil {
+				return nil, scat.Err
 			}
-			ru := ring.ComputeTime / ring.StepTime * 100
-			su := scat.ComputeTime / scat.StepTime * 100
+			ru := ring.Breakdown.ComputeTime / ring.Breakdown.StepTime * 100
+			su := scat.Breakdown.ComputeTime / scat.Breakdown.StepTime * 100
 			t.AddRow(m.Name, fmt.Sprintf("%dx%d", g[0], g[1]), f1(ru), f1(su), f1(ru-su))
 		}
 	}
@@ -170,16 +183,22 @@ func Fig09SweetSpot() (*Table, error) {
 		n    int
 		tput float64
 	}
-	var series []pt
-	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+	degrees := []int{2, 4, 8, 16, 32, 64}
+	jobs := make([]engine.Job, len(degrees))
+	for i, n := range degrees {
 		rows, cols := 2, n/2
 		if n == 2 {
 			rows, cols = 1, 2
 		}
-		b, err := cost.Evaluate(mm, hw.WaferWithGrid(rows, cols), parallel.Config{TATP: n}, o)
-		if err != nil {
-			return nil, err
+		jobs[i] = engine.Job{Model: mm, Wafer: hw.WaferWithGrid(rows, cols),
+			Config: parallel.Config{TATP: n}, Opts: o}
+	}
+	var series []pt
+	for i, r := range engine.Sweep(jobs) {
+		if r.Err != nil {
+			return nil, r.Err
 		}
+		b, n := r.Breakdown, degrees[i]
 		t.AddRow(fmt.Sprintf("%d", n), f1(b.ThroughputTokens), gb(b.Memory.Total()),
 			f1(b.Power), f2(b.PowerEfficiency))
 		series = append(series, pt{n, b.ThroughputTokens})
@@ -410,6 +429,10 @@ func Fig17Mixed() (*Table, error) {
 	}{{2048, 128}, {16384, 32}} {
 		m := model.Llama2_7B().WithSeq(scenario.seq, scenario.batch)
 		cfgs := parallel.EnumerateConfigs(w.Dies(), true, 0)
+		jobs := make([]engine.Job, len(cfgs))
+		for i, cfg := range cfgs {
+			jobs[i] = engine.Job{Model: m, Wafer: w, Config: cfg, Opts: cost.TEMPOptions()}
+		}
 		type res struct {
 			cfg  parallel.Config
 			b    cost.Breakdown
@@ -418,11 +441,11 @@ func Fig17Mixed() (*Table, error) {
 		var all []res
 		var bestTput, bestNoTATP float64
 		var bestCfg, bestNoTATPCfg parallel.Config
-		for _, cfg := range cfgs {
-			b, err := cost.Evaluate(m, w, cfg, cost.TEMPOptions())
-			if err != nil {
+		for i, r := range engine.Sweep(jobs) {
+			if r.Err != nil {
 				continue
 			}
+			b, cfg := r.Breakdown, cfgs[i]
 			feas := !b.OOM()
 			all = append(all, res{cfg, b, feas})
 			if feas && b.ThroughputTokens > bestTput {
@@ -469,13 +492,18 @@ func Fig18Convergence(quick bool) (*Table, error) {
 				batch = 32
 			}
 			m := base.WithSeq(seq, batch)
+			cfgs := parallel.EnumerateConfigs(w.Dies(), true, 0)
+			jobs := make([]engine.Job, len(cfgs))
+			for i, cfg := range cfgs {
+				jobs[i] = engine.Job{Model: m, Wafer: w, Config: cfg, Opts: cost.TEMPOptions()}
+			}
 			var bestTput, bestNoTATP float64
 			var bestCfg parallel.Config
-			for _, cfg := range parallel.EnumerateConfigs(w.Dies(), true, 0) {
-				b, err := cost.Evaluate(m, w, cfg, cost.TEMPOptions())
-				if err != nil || b.OOM() {
+			for i, r := range engine.Sweep(jobs) {
+				if r.Err != nil || r.Breakdown.OOM() {
 					continue
 				}
+				b, cfg := r.Breakdown, cfgs[i]
 				if b.ThroughputTokens > bestTput {
 					bestTput, bestCfg = b.ThroughputTokens, cfg
 				}

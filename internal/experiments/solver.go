@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"temp/internal/engine"
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
@@ -126,79 +127,86 @@ func DLSQuality() (*Table, error) {
 	return t, nil
 }
 
-// timeIt is a tiny helper for the cmd layer.
-func timeIt(f func() (*Table, error)) (*Table, time.Duration, error) {
-	start := time.Now()
-	tab, err := f()
-	return tab, time.Since(start), err
+// Runner pairs an experiment id with its regeneration function.
+type Runner struct {
+	ID  string
+	Run func(quick bool) (*Table, error)
+}
+
+// Runners returns every registered experiment in DESIGN.md order.
+// "dls-quality" is an internal validation table, listed last and
+// excluded from All.
+func Runners() []Runner {
+	return []Runner{
+		{"fig4b", Fig04Breakdown},
+		{"fig4c", func(bool) (*Table, error) { return Fig04Memory() }},
+		{"fig5", func(bool) (*Table, error) { return Fig05Challenges() }},
+		{"fig7", func(bool) (*Table, error) { return Fig07Utilization() }},
+		{"fig9", func(bool) (*Table, error) { return Fig09SweetSpot() }},
+		{"fig13", Fig13Training},
+		{"fig14", Fig14Power},
+		{"fig15", Fig15GPU},
+		{"fig16", Fig16Ablation},
+		{"fig17", func(bool) (*Table, error) { return Fig17Mixed() }},
+		{"fig18", Fig18Convergence},
+		{"fig19", Fig19MultiWafer},
+		{"fig20", Fig20Fault},
+		{"fig21", Fig21CostModel},
+		{"tabH", SearchTime},
+		{"dls-quality", func(bool) (*Table, error) { return DLSQuality() }},
+	}
+}
+
+// allRunners is the subset All regenerates (everything but the
+// internal validation table), selected by id so registry order can
+// change freely.
+func allRunners() []Runner {
+	var out []Runner
+	for _, r := range Runners() {
+		if r.ID != "dls-quality" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AllTimed runs every experiment concurrently on the evaluation
+// engine and reports each one's table and wall-clock time in
+// DESIGN.md order. Runners share the engine's memoization cache, so
+// figures sweeping the same configuration space (Fig. 13/14, the
+// baselines.Best calls of Figs. 4b/15/16) each pay for an evaluation
+// once. On error it returns the tables that precede the first
+// failing experiment.
+func AllTimed(quick bool) ([]*Table, []time.Duration, error) {
+	runners := allRunners()
+	tabs := make([]*Table, len(runners))
+	durs := make([]time.Duration, len(runners))
+	errs := make([]error, len(runners))
+	engine.Map(len(runners), func(i int) {
+		start := time.Now()
+		tabs[i], errs[i] = runners[i].Run(quick)
+		durs[i] = time.Since(start)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return tabs[:i], durs[:i], err
+		}
+	}
+	return tabs, durs, nil
 }
 
 // All runs every experiment in DESIGN.md order.
 func All(quick bool) ([]*Table, error) {
-	runners := []func() (*Table, error){
-		func() (*Table, error) { return Fig04Breakdown(quick) },
-		Fig04Memory,
-		Fig05Challenges,
-		Fig07Utilization,
-		Fig09SweetSpot,
-		func() (*Table, error) { return Fig13Training(quick) },
-		func() (*Table, error) { return Fig14Power(quick) },
-		func() (*Table, error) { return Fig15GPU(quick) },
-		func() (*Table, error) { return Fig16Ablation(quick) },
-		Fig17Mixed,
-		func() (*Table, error) { return Fig18Convergence(quick) },
-		func() (*Table, error) { return Fig19MultiWafer(quick) },
-		func() (*Table, error) { return Fig20Fault(quick) },
-		func() (*Table, error) { return Fig21CostModel(quick) },
-		func() (*Table, error) { return SearchTime(quick) },
-	}
-	var out []*Table
-	for _, r := range runners {
-		tab, _, err := timeIt(r)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, tab)
-	}
-	return out, nil
+	tabs, _, err := AllTimed(quick)
+	return tabs, err
 }
 
 // ByID returns the runner for one experiment id.
 func ByID(id string, quick bool) (*Table, error) {
-	switch id {
-	case "fig4b":
-		return Fig04Breakdown(quick)
-	case "fig4c":
-		return Fig04Memory()
-	case "fig5":
-		return Fig05Challenges()
-	case "fig7":
-		return Fig07Utilization()
-	case "fig9":
-		return Fig09SweetSpot()
-	case "fig13":
-		return Fig13Training(quick)
-	case "fig14":
-		return Fig14Power(quick)
-	case "fig15":
-		return Fig15GPU(quick)
-	case "fig16":
-		return Fig16Ablation(quick)
-	case "fig17":
-		return Fig17Mixed()
-	case "fig18":
-		return Fig18Convergence(quick)
-	case "fig19":
-		return Fig19MultiWafer(quick)
-	case "fig20":
-		return Fig20Fault(quick)
-	case "fig21":
-		return Fig21CostModel(quick)
-	case "tabH":
-		return SearchTime(quick)
-	case "dls-quality":
-		return DLSQuality()
-	default:
-		return nil, fmt.Errorf("experiments: unknown id %q", id)
+	for _, r := range Runners() {
+		if r.ID == id {
+			return r.Run(quick)
+		}
 	}
+	return nil, fmt.Errorf("experiments: unknown id %q", id)
 }

@@ -9,6 +9,7 @@ import (
 
 	"temp/internal/baselines"
 	"temp/internal/cost"
+	"temp/internal/engine"
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
@@ -16,16 +17,20 @@ import (
 
 // CompareAll evaluates the six baselines plus TEMP at each system's
 // best configuration (the Fig. 13/14 footing) and returns results in
-// A–F,TEMP order.
+// A–F,TEMP order. The per-system sweeps run concurrently on the
+// shared evaluation engine; a repeated comparison (Fig. 14 after
+// Fig. 13) is served from its cache.
 func CompareAll(m model.Config, w hw.Wafer) ([]baselines.Result, error) {
 	systems := append(baselines.Six(), baselines.TEMP())
-	out := make([]baselines.Result, 0, len(systems))
-	for _, s := range systems {
-		r, err := baselines.Best(s, m, w)
+	out := make([]baselines.Result, len(systems))
+	errs := make([]error, len(systems))
+	engine.Map(len(systems), func(i int) {
+		out[i], errs[i] = baselines.Best(systems[i], m, w)
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sim: %s on %s: %w", s.Name, m.Name, err)
+			return nil, fmt.Errorf("sim: %s on %s: %w", systems[i].Name, m.Name, err)
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }
@@ -91,8 +96,7 @@ func MultiWafer(s baselines.System, m model.Config, w hw.Wafer, wafers int) (bas
 	if isTEMP {
 		ppChoices = []int{wafers}
 	}
-	best := baselines.Result{System: s.Name}
-	found := false
+	var jobs []engine.Job
 	for _, pp := range ppChoices {
 		stageWafer := w
 		if pp > wafers {
@@ -106,14 +110,19 @@ func MultiWafer(s baselines.System, m model.Config, w hw.Wafer, wafers int) (bas
 		}
 		for _, cfg := range s.Configs(mesh(stageWafer)) {
 			cfg.PP = pp
-			b, err := cost.Evaluate(m, stageWafer, cfg, opts)
-			if err != nil || b.OOM() {
-				continue
-			}
-			if !found || b.StepTime < best.StepTime {
-				best = baselines.Result{System: s.Name, Config: cfg, Breakdown: b, Feasible: true}
-				found = true
-			}
+			jobs = append(jobs, engine.Job{Model: m, Wafer: stageWafer, Config: cfg, Opts: opts})
+		}
+	}
+	best := baselines.Result{System: s.Name}
+	found := false
+	for i, r := range engine.Sweep(jobs) {
+		if r.Err != nil || r.Breakdown.OOM() {
+			continue
+		}
+		b := r.Breakdown
+		if !found || b.StepTime < best.StepTime {
+			best = baselines.Result{System: s.Name, Config: jobs[i].Config, Breakdown: b, Feasible: true}
+			found = true
 		}
 	}
 	if !found {

@@ -16,6 +16,13 @@ import (
 
 // CostModel prices operators under candidate strategies. Both the
 // fast analytic model and the DNN surrogate satisfy it.
+//
+// Implementations must be safe for concurrent use: DLS prices each
+// GA generation's population across DLSOptions.Workers goroutines
+// (GOMAXPROCS by default), so Intra/Inter/MemoryOK may be called
+// from several goroutines at once. Stateless or read-only models
+// (like Analytic) qualify as-is; a stateful model must either
+// synchronize internally or be run with Workers: 1.
 type CostModel interface {
 	// Intra returns T_intra(op) of Eq. (2): compute overlapped with
 	// streaming plus exposed collectives, under the strategy.

@@ -1,0 +1,58 @@
+package solver
+
+import (
+	"testing"
+
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// TestDLSWorkerCountInvariance is the refactor's safety net: for a
+// fixed seed the dual-level search must return a bit-identical
+// assignment, cost and evaluation count whether the GA population is
+// priced serially or fanned out across workers. The RNG only drives
+// the serial variation steps, so any divergence means parallel
+// evaluation leaked into the search trajectory.
+func TestDLSWorkerCountInvariance(t *testing.T) {
+	w := hw.EvaluationWafer()
+	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	cases := []struct {
+		m    model.Config
+		seed int64
+	}{
+		{model.GPT3_6_7B(), 7},
+		{model.GPT3_6_7B(), 42},
+		{model.Llama3_70B(), 7},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.m.Name, func(t *testing.T) {
+			g := model.BlockGraph(tc.m)
+			cm := &Analytic{W: w, M: tc.m}
+			refAssign, refStats := DLS(g, space, cm, DLSOptions{Seed: tc.seed, Workers: 1})
+			for _, workers := range []int{2, 8} {
+				a, s := DLS(g, space, cm, DLSOptions{Seed: tc.seed, Workers: workers})
+				if s.FinalCost != refStats.FinalCost {
+					t.Errorf("workers=%d: FinalCost %v ≠ serial %v", workers, s.FinalCost, refStats.FinalCost)
+				}
+				if s.DPCost != refStats.DPCost {
+					t.Errorf("workers=%d: DPCost %v ≠ serial %v", workers, s.DPCost, refStats.DPCost)
+				}
+				if s.Evaluations != refStats.Evaluations {
+					t.Errorf("workers=%d: Evaluations %d ≠ serial %d (unique-key count must not depend on scheduling)",
+						workers, s.Evaluations, refStats.Evaluations)
+				}
+				if len(a) != len(refAssign) {
+					t.Fatalf("workers=%d: assignment length %d ≠ %d", workers, len(a), len(refAssign))
+				}
+				for i := range a {
+					if a[i] != refAssign[i] {
+						t.Fatalf("workers=%d: assignment diverged at op %d: %d ≠ %d",
+							workers, i, a[i], refAssign[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"temp/internal/engine"
 	"temp/internal/model"
 	"temp/internal/parallel"
 )
@@ -16,7 +19,8 @@ type Assignment []int
 
 // Stats records what a search did.
 type Stats struct {
-	// Evaluations counts Intra/Inter cost-model calls.
+	// Evaluations counts distinct Intra/Inter cost-model calls (the
+	// memoized unique-key count, identical at any worker count).
 	Evaluations int
 	// Nodes counts search-tree expansions (exhaustive search only);
 	// it is the quantity that explodes as Ω(|S|^m) in §III
@@ -43,6 +47,13 @@ type DLSOptions struct {
 	Seed int64
 	// DisableGA stops after dynamic programming (ablation).
 	DisableGA bool
+	// Workers bounds the parallel evaluation of each GA generation;
+	// 0 means GOMAXPROCS. The search result is bit-identical at any
+	// worker count: the RNG only drives the (serial) crossover and
+	// mutation steps, and cost evaluation is a pure function. Set 1
+	// for CostModel implementations that are not safe for concurrent
+	// use (see the CostModel contract).
+	Workers int
 }
 
 func (o DLSOptions) withDefaults() DLSOptions {
@@ -58,39 +69,71 @@ func (o DLSOptions) withDefaults() DLSOptions {
 	return o
 }
 
+// evalShards shards the memo maps so parallel GA workers do not
+// serialize on one lock; must be a power of two.
+const evalShards = 16
+
+type memoShard[K comparable] struct {
+	mu sync.RWMutex
+	m  map[K]float64
+}
+
+// get returns the memoized value for k, computing it at most once
+// per distinct key observed at insert time; fresh reports whether
+// this call stored a new entry (for deterministic evaluation
+// counting — duplicate concurrent computes of the same key return
+// the stored value and do not count).
+func (s *memoShard[K]) get(k K, compute func() float64) (v float64, fresh bool) {
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		return v, false
+	}
+	v = compute()
+	s.mu.Lock()
+	if old, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return old, false
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+	return v, true
+}
+
 // evalCounter wraps a CostModel to count evaluations and memoize.
+// It is safe for concurrent use: the memo maps are sharded behind
+// read-write locks and the counter is atomic, so parallel GA workers
+// share one memo. The count is the number of distinct keys
+// evaluated, which is identical in serial and parallel runs.
 type evalCounter struct {
 	cm    CostModel
 	ops   []model.Op
 	space []parallel.Config
-	n     int
+	n     atomic.Int64
 
-	intra map[[2]int]float64
-	inter map[[3]int]float64
-	memOK []int8 // -1 unknown, 0 no, 1 yes
+	intra [evalShards]memoShard[[2]int]
+	inter [evalShards]memoShard[[3]int]
+	mem   [evalShards]memoShard[int]
 }
 
 func newEvalCounter(cm CostModel, ops []model.Op, space []parallel.Config) *evalCounter {
-	e := &evalCounter{
-		cm: cm, ops: ops, space: space,
-		intra: map[[2]int]float64{},
-		inter: map[[3]int]float64{},
-		memOK: make([]int8, len(space)),
-	}
-	for i := range e.memOK {
-		e.memOK[i] = -1
+	e := &evalCounter{cm: cm, ops: ops, space: space}
+	for i := 0; i < evalShards; i++ {
+		e.intra[i].m = map[[2]int]float64{}
+		e.inter[i].m = map[[3]int]float64{}
+		e.mem[i].m = map[int]float64{}
 	}
 	return e
 }
 
 func (e *evalCounter) intraCost(op, cfg int) float64 {
-	k := [2]int{op, cfg}
-	if v, ok := e.intra[k]; ok {
-		return v
+	v, fresh := e.intra[(op*31+cfg)&(evalShards-1)].get([2]int{op, cfg}, func() float64 {
+		return e.cm.Intra(e.ops[op], e.space[cfg])
+	})
+	if fresh {
+		e.n.Add(1)
 	}
-	e.n++
-	v := e.cm.Intra(e.ops[op], e.space[cfg])
-	e.intra[k] = v
 	return v
 }
 
@@ -98,26 +141,26 @@ func (e *evalCounter) interCost(op int, a, b int) float64 {
 	if op == 0 {
 		return 0
 	}
-	k := [3]int{op, a, b}
-	if v, ok := e.inter[k]; ok {
-		return v
+	v, fresh := e.inter[(op*31+a*7+b)&(evalShards-1)].get([3]int{op, a, b}, func() float64 {
+		return e.cm.Inter(e.ops[op-1], e.ops[op], e.space[a], e.space[b])
+	})
+	if fresh {
+		e.n.Add(1)
 	}
-	e.n++
-	v := e.cm.Inter(e.ops[op-1], e.ops[op], e.space[a], e.space[b])
-	e.inter[k] = v
 	return v
 }
 
 func (e *evalCounter) memoryOK(cfg int) bool {
-	if e.memOK[cfg] < 0 {
-		e.n++
+	v, fresh := e.mem[cfg&(evalShards-1)].get(cfg, func() float64 {
 		if e.cm.MemoryOK(e.space[cfg]) {
-			e.memOK[cfg] = 1
-		} else {
-			e.memOK[cfg] = 0
+			return 1
 		}
+		return 0
+	})
+	if fresh {
+		e.n.Add(1)
 	}
-	return e.memOK[cfg] == 1
+	return v == 1
 }
 
 // oomPenalty dominates any latency; an assignment with an
@@ -148,7 +191,11 @@ func (e *evalCounter) assignmentCost(a Assignment) float64 {
 // the chain is cut at residual-free boundaries, a recursive dynamic
 // program finds the chain-optimal per-operator strategies, and a
 // genetic stage refines the joint assignment under the global memory
-// constraint. Returns the assignment, its cost, and search stats.
+// constraint. Each generation's population is priced in parallel
+// across opts.Workers goroutines through the shared memo; for a
+// fixed seed the returned assignment and cost are bit-identical at
+// any worker count. Returns the assignment, its cost, and search
+// stats.
 func DLS(g model.Graph, space []parallel.Config, cm CostModel, opts DLSOptions) (Assignment, Stats) {
 	opts = opts.withDefaults()
 	start := time.Now()
@@ -172,7 +219,9 @@ func DLS(g model.Graph, space []parallel.Config, cm CostModel, opts DLSOptions) 
 	bestCost := dpCost
 
 	// Level 2: genetic refinement (crossover, mutation, elitism) on
-	// the joint genome, seeded with the DP solution.
+	// the joint genome, seeded with the DP solution. Only the cost
+	// evaluation fans out; selection and variation stay serial so
+	// the RNG stream matches the single-threaded search exactly.
 	if !opts.DisableGA {
 		rng := rand.New(rand.NewSource(opts.Seed))
 		pop := make([]Assignment, opts.Population)
@@ -188,9 +237,12 @@ func DLS(g model.Graph, space []parallel.Config, cm CostModel, opts DLSOptions) 
 			}
 			pop[i] = ind
 		}
-		for i := range pop {
-			costs[i] = ev.assignmentCost(pop[i])
+		evalPop := func() {
+			engine.ForEach(opts.Workers, len(pop), func(i int) {
+				costs[i] = ev.assignmentCost(pop[i])
+			})
 		}
+		evalPop()
 		for gen := 0; gen < opts.Generations; gen++ {
 			stats.Generations++
 			next := make([]Assignment, 0, opts.Population)
@@ -210,8 +262,8 @@ func DLS(g model.Graph, space []parallel.Config, cm CostModel, opts DLSOptions) 
 				next = append(next, child)
 			}
 			pop = next
+			evalPop()
 			for i := range pop {
-				costs[i] = ev.assignmentCost(pop[i])
 				if costs[i] < bestCost {
 					bestCost = costs[i]
 					best = append(Assignment(nil), pop[i]...)
@@ -221,7 +273,7 @@ func DLS(g model.Graph, space []parallel.Config, cm CostModel, opts DLSOptions) 
 	}
 
 	stats.FinalCost = bestCost
-	stats.Evaluations = ev.n
+	stats.Evaluations = int(ev.n.Load())
 	stats.Elapsed = time.Since(start)
 	return best, stats
 }
@@ -296,12 +348,22 @@ func mutate(rng *rand.Rand, a Assignment, space int, rate float64) {
 // Exhaustive performs the joint search the paper's ILP baseline
 // stands for: full enumeration of |S|^m assignments with
 // branch-and-bound pruning on the (admissible) partial chain cost.
-// Practical only on reduced instances; the §VIII-H comparison runs
-// both searches on instances this one can finish.
+// The memory-feasibility penalty of every strategy is precomputed
+// once before the descent, so the inner loop replaces a map-backed
+// bound check with a slice lookup. Practical only on reduced
+// instances; the §VIII-H comparison runs both searches on instances
+// this one can finish.
 func Exhaustive(g model.Graph, space []parallel.Config, cm CostModel) (Assignment, Stats) {
 	start := time.Now()
 	ev := newEvalCounter(cm, g.Ops, space)
 	n := len(g.Ops)
+	// Hoist the per-config feasibility penalty out of the descent:
+	// every strategy is probed at depth 0 anyway, so this costs no
+	// extra cost-model calls.
+	pen := make([]float64, len(space))
+	for c := range space {
+		pen[c] = ev.penalty(c)
+	}
 	best := make(Assignment, n)
 	bestCost := math.Inf(1)
 	cur := make(Assignment, n)
@@ -319,7 +381,7 @@ func Exhaustive(g model.Graph, space []parallel.Config, cm CostModel) (Assignmen
 		for c := 0; c < len(space); c++ {
 			nodes++
 			cur[i] = c
-			v := ev.intraCost(i, c) + ev.penalty(c)
+			v := ev.intraCost(i, c) + pen[c]
 			if i > 0 {
 				v += ev.interCost(i, cur[i-1], c)
 			}
@@ -328,7 +390,7 @@ func Exhaustive(g model.Graph, space []parallel.Config, cm CostModel) (Assignmen
 	}
 	rec(0, 0)
 	return best, Stats{
-		Evaluations: ev.n,
+		Evaluations: int(ev.n.Load()),
 		Nodes:       nodes,
 		Elapsed:     time.Since(start),
 		FinalCost:   bestCost,
