@@ -6,9 +6,16 @@
 // writes each experiment's wall-clock time and headline observation
 // to a machine-readable file for perf tracking across revisions.
 //
+// Models and wafers resolve through the scenario registry: -model and
+// -wafer re-run the Table-II-driven experiments on a different
+// footing, and -scenario/-scenarios evaluate declarative JSON
+// scenarios outside the paper's frozen set entirely.
+//
 //	tempbench -exp fig13          # Fig. 13 training comparison
 //	tempbench -quick              # full suite on reduced model set
 //	tempbench -quick -json bench.json
+//	tempbench -exp fig13 -model llama3-70b -wafer wsc-6x8
+//	tempbench -scenarios scenarios/   # batch of JSON scenarios
 package main
 
 import (
@@ -21,6 +28,9 @@ import (
 
 	"temp/internal/engine"
 	"temp/internal/experiments"
+	"temp/internal/sim"
+	"temp/internal/spec"
+	"temp/internal/unit"
 )
 
 // record is one experiment's entry in the -json output. Seconds is
@@ -62,14 +72,121 @@ func writeJSON(path string, out output) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// scenarioTable renders a scenario batch in the experiments table
+// format, so scenario runs and paper artefacts read alike.
+func scenarioTable(results []sim.ScenarioResult) *experiments.Table {
+	t := &experiments.Table{
+		ID:      "scenarios",
+		Title:   "Declarative scenario batch",
+		Headers: []string{"scenario", "system", "config", "status", "step(s)", "tput tok/s", "mem/die", "fault-tput"},
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.AddRow(r.Name, "-", "-", "ERROR", "-", "-", "-", "-")
+			t.AddNote("%s: %v", r.Name, r.Err)
+			continue
+		}
+		status := "ok"
+		if !r.Result.Feasible {
+			status = "OOM"
+		}
+		ft := "-"
+		if r.Faulted {
+			ft = fmt.Sprintf("%.3f", r.FaultNormTput)
+		}
+		t.AddRow(r.Name, r.Result.System, r.Result.Config.String(), status,
+			fmt.Sprintf("%.3f", r.Result.StepTime),
+			fmt.Sprintf("%.1f", r.Result.ThroughputTokens),
+			unit.Bytes(r.Result.Memory.Total()), ft)
+	}
+	return t
+}
+
+func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int) error {
+	start := time.Now()
+	results := sim.RunScenarioSpecs(specs)
+	tab := scenarioTable(results)
+	tab.Fprint(os.Stdout)
+	if jsonPath != "" {
+		stats := engine.Default().Cache().Stats()
+		out := output{
+			Workers:      workers,
+			TotalSeconds: time.Since(start).Seconds(),
+			CacheHits:    stats.Hits, CacheMisses: stats.Misses,
+			Experiments: []record{toRecord(tab, time.Since(start))},
+		}
+		if err := writeJSON(jsonPath, out); err != nil {
+			return err
+		}
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("scenario %s: %w", r.Name, r.Err)
+		}
+	}
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment id (default: run all)")
 	quick := flag.Bool("quick", false, "reduced model set for fast runs")
 	list := flag.Bool("list", false, "list experiment ids")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
 	jsonPath := flag.String("json", "", "write per-experiment timings and headline metrics to this file")
+	modelNames := flag.String("model", "", "run Table-II experiments on these registered models (comma-separated)")
+	waferName := flag.String("wafer", "", "run experiments on this registered wafer")
+	scenario := flag.String("scenario", "", "run one scenario JSON file")
+	scenarios := flag.String("scenarios", "", "run every *.json scenario in a directory")
+	listM := flag.Bool("list-models", false, "list registered model names")
+	listW := flag.Bool("list-wafers", false, "list registered wafer names")
 	flag.Parse()
 	engine.SetWorkers(*workers)
+
+	switch {
+	case *listM:
+		for _, n := range spec.Models.Names() {
+			fmt.Println(n)
+		}
+		return
+	case *listW:
+		for _, n := range spec.Wafers.Names() {
+			fmt.Println(n)
+		}
+		return
+	case *scenario != "":
+		ss, err := spec.LoadScenario(*scenario)
+		if err == nil {
+			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", err)
+			os.Exit(1)
+		}
+		return
+	case *scenarios != "":
+		sss, err := spec.LoadScenarioDir(*scenarios)
+		if err == nil {
+			err = runScenarios(sss, *jsonPath, *workers)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *modelNames != "" {
+		if err := experiments.UseModels(*modelNames); err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *waferName != "" {
+		if err := experiments.UseWafer(*waferName); err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *list {
 		for _, r := range experiments.Runners() {

@@ -1,8 +1,13 @@
 // Command tempsim evaluates one training configuration on the wafer
-// simulator and prints the latency/memory/power breakdown.
+// simulator and prints the latency/memory/power breakdown. Models and
+// wafers resolve through the scenario registry, and whole scenarios
+// can be supplied as JSON files.
 //
 //	tempsim -model gpt3-6.7b -dp 4 -tatp 8
 //	tempsim -model llama3-70b -engine smap -tp 8 -dp 4 -recompute none
+//	tempsim -scenario examples/custom_scenario/scenario.json
+//	tempsim -scenarios scenarios/        # batch, one result per file
+//	tempsim -list-models                 # registry contents
 package main
 
 import (
@@ -17,52 +22,167 @@ import (
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
+	"temp/internal/sim"
+	"temp/internal/spec"
 	"temp/internal/unit"
 )
 
-func modelByName(name string) (model.Config, bool) {
-	all := append(model.EvaluationModels(),
-		model.Grok1_341B(), model.Llama3_405B(), model.GPT3_504B(),
-		model.DeepSeek7B(), model.Bloom176B(), model.Llama2_30B(), model.Llama2_70B())
-	key := strings.ToLower(strings.NewReplacer(" ", "", "-", "", "_", "", ".", "").Replace(name))
-	for _, m := range all {
-		mk := strings.ToLower(strings.NewReplacer(" ", "", "-", "", "_", "", ".", "").Replace(m.Name))
-		if mk == key || strings.Contains(mk, key) {
-			return m, true
-		}
+// printBreakdown renders one evaluation in tempsim's usual layout.
+func printBreakdown(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options, b cost.Breakdown) {
+	nw := o.Wafers
+	if nw < 1 {
+		nw = 1
 	}
-	return model.Config{}, false
+	fmt.Printf("model      %s on %s (%d dies, %d wafer(s))\n", m, w.Name, w.Dies(), nw)
+	fmt.Printf("config     %s engine=%s recompute=%s\n", cfg, o.Engine, o.Recompute)
+	fmt.Printf("step       %s\n", unit.Seconds(b.StepTime))
+	fmt.Printf("  compute  %s\n", unit.Seconds(b.ComputeTime))
+	fmt.Printf("  stream   %s (exposed)\n", unit.Seconds(b.StreamTime))
+	fmt.Printf("  coll     %s\n", unit.Seconds(b.CollectiveTime))
+	fmt.Printf("  bubble   %s\n", unit.Seconds(b.BubbleTime))
+	fmt.Printf("memory     %s / %s per die (OOM=%v)\n",
+		unit.Bytes(b.Memory.Total()), unit.Bytes(b.Memory.Capacity), b.OOM())
+	fmt.Printf("  weights=%s grads=%s optim=%s acts=%s stream=%s\n",
+		unit.Bytes(b.Memory.Weights), unit.Bytes(b.Memory.Grads),
+		unit.Bytes(b.Memory.Optimizer), unit.Bytes(b.Memory.Activations),
+		unit.Bytes(b.Memory.StreamBuf))
+	fmt.Printf("throughput %.1f tokens/s, power %.0f W, %.3f tokens/s/W, BW util %.1f%%\n",
+		b.ThroughputTokens, b.Power, b.PowerEfficiency, b.BWUtilization*100)
+}
+
+// printScenarioResult renders one batch entry compactly.
+func printScenarioResult(r sim.ScenarioResult) {
+	if r.Err != nil {
+		fmt.Printf("%-24s ERROR: %v\n", r.Name, r.Err)
+		return
+	}
+	status := "ok"
+	if !r.Result.Feasible {
+		status = "OOM"
+	}
+	line := fmt.Sprintf("%-24s %-12s %-32s %-4s step=%s tput=%.1f tok/s",
+		r.Name, r.Result.System, r.Result.Config.String(), status,
+		unit.Seconds(r.Result.StepTime), r.Result.ThroughputTokens)
+	if r.Faulted {
+		line += fmt.Sprintf(" fault-norm-tput=%.3f", r.FaultNormTput)
+	}
+	fmt.Println(line)
+}
+
+func runScenarioFile(path string) error {
+	ss, err := spec.LoadScenario(path)
+	if err != nil {
+		return err
+	}
+	sc, err := ss.Resolve()
+	if err != nil {
+		return err
+	}
+	// One pass: RunScenarios carries both the breakdown and the
+	// optional fault stage.
+	res := sim.RunScenarios([]spec.Scenario{sc})[0]
+	if res.Err != nil {
+		return res.Err
+	}
+	r := res.Result
+	opts := sc.System.Opts
+	if sc.Wafers > 1 {
+		opts.Wafers = sc.Wafers
+	}
+	fmt.Printf("scenario   %s (system %s)\n", sc.Name, sc.System.Name)
+	printBreakdown(sc.Model, sc.Wafer, r.Config, opts, r.Breakdown)
+	if !r.Feasible {
+		fmt.Println("status     OOM: no feasible configuration; showing lowest-memory attempt")
+	}
+	if res.Faulted {
+		fmt.Printf("fault      norm tput %.3f (link=%.2f core=%.2f, %d trials)\n",
+			res.FaultNormTput, sc.Fault.LinkRate, sc.Fault.CoreRate, sc.Fault.TrialCount())
+	}
+	return nil
 }
 
 func main() {
 	var (
-		name    = flag.String("model", "gpt3-6.7b", "model name (see Table II)")
-		rows    = flag.Int("rows", 4, "wafer die rows")
-		cols    = flag.Int("cols", 8, "wafer die columns")
-		dp      = flag.Int("dp", 1, "data parallel degree")
-		tp      = flag.Int("tp", 1, "tensor parallel degree")
-		sp      = flag.Int("sp", 1, "sequence parallel degree")
-		cp      = flag.Int("cp", 1, "context parallel degree")
-		tatp    = flag.Int("tatp", 1, "TATP stream parallel degree")
-		pp      = flag.Int("pp", 1, "pipeline degree across wafers")
-		wafers  = flag.Int("wafers", 1, "wafer count")
-		mapper  = flag.String("engine", "tcme", "mapping engine: smap|gmap|tcme")
-		rec     = flag.String("recompute", "selective", "recompute: none|selective|full")
-		fsdp    = flag.Bool("fsdp", false, "fully sharded data parallelism")
-		mesp    = flag.Bool("megatron-sp", false, "Megatron-3 fused sequence parallelism")
-		mb      = flag.Int("microbatch", 0, "sequences per rank per micro-step")
-		debugTr = flag.Bool("debug", false, "print the calibration trace")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
+		name      = flag.String("model", "gpt3-6.7b", "registered model name (-list-models)")
+		waferName = flag.String("wafer", "", "registered wafer name (-list-wafers); overrides -rows/-cols")
+		rows      = flag.Int("rows", 4, "wafer die rows")
+		cols      = flag.Int("cols", 8, "wafer die columns")
+		dp        = flag.Int("dp", 1, "data parallel degree")
+		tp        = flag.Int("tp", 1, "tensor parallel degree")
+		sp        = flag.Int("sp", 1, "sequence parallel degree")
+		cp        = flag.Int("cp", 1, "context parallel degree")
+		tatp      = flag.Int("tatp", 1, "TATP stream parallel degree")
+		pp        = flag.Int("pp", 1, "pipeline degree across wafers")
+		wafers    = flag.Int("wafers", 1, "wafer count")
+		mapper    = flag.String("engine", "tcme", "mapping engine: smap|gmap|tcme")
+		rec       = flag.String("recompute", "selective", "recompute: none|selective|full")
+		fsdp      = flag.Bool("fsdp", false, "fully sharded data parallelism")
+		mesp      = flag.Bool("megatron-sp", false, "Megatron-3 fused sequence parallelism")
+		mb        = flag.Int("microbatch", 0, "sequences per rank per micro-step")
+		debugTr   = flag.Bool("debug", false, "print the calibration trace")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
+		scenario  = flag.String("scenario", "", "run one scenario JSON file")
+		scenarios = flag.String("scenarios", "", "run every *.json scenario in a directory")
+		listM     = flag.Bool("list-models", false, "list registered model names")
+		listW     = flag.Bool("list-wafers", false, "list registered wafer names")
+		listS     = flag.Bool("list-systems", false, "list registered system names")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
 
-	m, ok := modelByName(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tempsim: unknown model %q\n", *name)
+	switch {
+	case *listM:
+		for _, n := range spec.Models.Names() {
+			fmt.Println(n)
+		}
+		return
+	case *listW:
+		for _, n := range spec.Wafers.Names() {
+			fmt.Println(n)
+		}
+		return
+	case *listS:
+		for _, n := range spec.Systems.Names() {
+			fmt.Println(n)
+		}
+		return
+	case *scenario != "":
+		if err := runScenarioFile(*scenario); err != nil {
+			fmt.Fprintln(os.Stderr, "tempsim:", err)
+			os.Exit(1)
+		}
+		return
+	case *scenarios != "":
+		specs, err := spec.LoadScenarioDir(*scenarios)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempsim:", err)
+			os.Exit(1)
+		}
+		failed := false
+		for _, r := range sim.RunScenarioSpecs(specs) {
+			printScenarioResult(r)
+			failed = failed || r.Err != nil
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	m, err := spec.LookupModel(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tempsim:", err)
 		os.Exit(1)
 	}
-	w := hw.WaferWithGrid(*rows, *cols)
+	var w hw.Wafer
+	if *waferName != "" {
+		if w, err = spec.LookupWafer(*waferName); err != nil {
+			fmt.Fprintln(os.Stderr, "tempsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		w = hw.WaferWithGrid(*rows, *cols)
+	}
 	cfg := parallel.Config{DP: *dp, TP: *tp, SP: *sp, CP: *cp, TATP: *tatp, PP: *pp,
 		FSDP: *fsdp, MegatronSP: *mesp}
 	o := cost.Options{Microbatch: *mb, Wafers: *wafers, DistributedOptimizer: true}
@@ -88,21 +208,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tempsim:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("model      %s on %s (%d dies, %d wafer(s))\n", m, w.Name, w.Dies(), *wafers)
-	fmt.Printf("config     %s engine=%s recompute=%s\n", cfg, o.Engine, o.Recompute)
-	fmt.Printf("step       %s\n", unit.Seconds(b.StepTime))
-	fmt.Printf("  compute  %s\n", unit.Seconds(b.ComputeTime))
-	fmt.Printf("  stream   %s (exposed)\n", unit.Seconds(b.StreamTime))
-	fmt.Printf("  coll     %s\n", unit.Seconds(b.CollectiveTime))
-	fmt.Printf("  bubble   %s\n", unit.Seconds(b.BubbleTime))
-	fmt.Printf("memory     %s / %s per die (OOM=%v)\n",
-		unit.Bytes(b.Memory.Total()), unit.Bytes(b.Memory.Capacity), b.OOM())
-	fmt.Printf("  weights=%s grads=%s optim=%s acts=%s stream=%s\n",
-		unit.Bytes(b.Memory.Weights), unit.Bytes(b.Memory.Grads),
-		unit.Bytes(b.Memory.Optimizer), unit.Bytes(b.Memory.Activations),
-		unit.Bytes(b.Memory.StreamBuf))
-	fmt.Printf("throughput %.1f tokens/s, power %.0f W, %.3f tokens/s/W, BW util %.1f%%\n",
-		b.ThroughputTokens, b.Power, b.PowerEfficiency, b.BWUtilization*100)
+	printBreakdown(m, w, cfg, o, b)
 	if *debugTr {
 		fmt.Println("trace     ", cost.Debug(m, w, cfg, o))
 	}

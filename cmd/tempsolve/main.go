@@ -1,10 +1,14 @@
 // Command tempsolve runs the dual-level wafer solver (DLWS) for a
 // model: the per-operator dual-level search over the hybrid strategy
 // space, followed by a full-simulator evaluation of the best uniform
-// configuration.
+// configuration. Models and wafers resolve through the scenario
+// registry; -scenario solves the model/wafer pair a JSON scenario
+// defines.
 //
 //	tempsolve -model gpt3-175b
 //	tempsolve -model llama3-70b -no-ga
+//	tempsolve -scenario examples/custom_scenario/scenario.json
+//	tempsolve -scenarios scenarios/
 package main
 
 import (
@@ -12,7 +16,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 
 	"temp/internal/baselines"
 	"temp/internal/engine"
@@ -20,42 +23,22 @@ import (
 	"temp/internal/model"
 	"temp/internal/parallel"
 	"temp/internal/solver"
+	"temp/internal/spec"
 	"temp/internal/unit"
 )
 
-func main() {
-	var (
-		name    = flag.String("model", "gpt3-6.7b", "model name")
-		rows    = flag.Int("rows", 4, "wafer die rows")
-		cols    = flag.Int("cols", 8, "wafer die columns")
-		noGA    = flag.Bool("no-ga", false, "stop after chain dynamic programming")
-		seed    = flag.Int64("seed", 7, "genetic-stage seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
-	)
-	flag.Parse()
-	engine.SetWorkers(*workers)
-
-	var m model.Config
-	found := false
-	key := strings.ToLower(strings.NewReplacer(" ", "", "-", "", ".", "").Replace(*name))
-	for _, c := range append(model.EvaluationModels(), model.Grok1_341B(), model.Llama3_405B(), model.GPT3_504B()) {
-		ck := strings.ToLower(strings.NewReplacer(" ", "", "-", "", ".", "").Replace(c.Name))
-		if strings.Contains(ck, key) {
-			m, found = c, true
-			break
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "tempsolve: unknown model %q\n", *name)
-		os.Exit(1)
-	}
-	w := hw.WaferWithGrid(*rows, *cols)
+// solve runs the dual-level search plus full-simulator cross-check
+// for one model/wafer pair.
+func solve(m model.Config, w hw.Wafer, seed int64, noGA bool, workers int) error {
 	g := model.BlockGraph(m)
 	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	if len(space) == 0 {
+		return fmt.Errorf("no power-of-two strategy space for %d dies on %s", w.Dies(), w.Name)
+	}
 	cm := &solver.Analytic{W: w, M: m}
 
 	assign, stats := solver.DLS(g, space, cm,
-		solver.DLSOptions{Seed: *seed, DisableGA: *noGA, Workers: *workers})
+		solver.DLSOptions{Seed: seed, DisableGA: noGA, Workers: workers})
 	fmt.Printf("model        %s on %s\n", m, w.Name)
 	fmt.Printf("search space %d strategies × %d operators\n", len(space), len(g.Ops))
 	fmt.Printf("search time  %s (%d cost-model evaluations, %d GA generations)\n",
@@ -71,9 +54,95 @@ func main() {
 	// Cross-check against the full simulator sweep.
 	best, err := baselines.Best(baselines.TEMP(), m, w)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tempsolve:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("full-simulator best: %s → step %s, %.1f tokens/s (OOM=%v)\n",
 		best.Config, unit.Seconds(best.StepTime), best.ThroughputTokens, best.OOM())
+	return nil
+}
+
+// solveScenario resolves a scenario spec and solves its model/wafer.
+func solveScenario(ss spec.ScenarioSpec, seed int64, noGA bool, workers int) error {
+	sc, err := ss.Resolve()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario     %s\n", sc.Name)
+	return solve(sc.Model, sc.Wafer, seed, noGA, workers)
+}
+
+func main() {
+	var (
+		name      = flag.String("model", "gpt3-6.7b", "registered model name (-list-models)")
+		waferName = flag.String("wafer", "", "registered wafer name (-list-wafers); overrides -rows/-cols")
+		rows      = flag.Int("rows", 4, "wafer die rows")
+		cols      = flag.Int("cols", 8, "wafer die columns")
+		noGA      = flag.Bool("no-ga", false, "stop after chain dynamic programming")
+		seed      = flag.Int64("seed", 7, "genetic-stage seed")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
+		scenario  = flag.String("scenario", "", "solve the model/wafer of one scenario JSON file")
+		scenarios = flag.String("scenarios", "", "solve every *.json scenario in a directory")
+		listM     = flag.Bool("list-models", false, "list registered model names")
+		listW     = flag.Bool("list-wafers", false, "list registered wafer names")
+	)
+	flag.Parse()
+	engine.SetWorkers(*workers)
+
+	switch {
+	case *listM:
+		for _, n := range spec.Models.Names() {
+			fmt.Println(n)
+		}
+		return
+	case *listW:
+		for _, n := range spec.Wafers.Names() {
+			fmt.Println(n)
+		}
+		return
+	case *scenario != "":
+		ss, err := spec.LoadScenario(*scenario)
+		if err == nil {
+			err = solveScenario(ss, *seed, *noGA, *workers)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempsolve:", err)
+			os.Exit(1)
+		}
+		return
+	case *scenarios != "":
+		sss, err := spec.LoadScenarioDir(*scenarios)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempsolve:", err)
+			os.Exit(1)
+		}
+		for i, ss := range sss {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := solveScenario(ss, *seed, *noGA, *workers); err != nil {
+				fmt.Fprintln(os.Stderr, "tempsolve:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	m, err := spec.LookupModel(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tempsolve:", err)
+		os.Exit(1)
+	}
+	var w hw.Wafer
+	if *waferName != "" {
+		if w, err = spec.LookupWafer(*waferName); err != nil {
+			fmt.Fprintln(os.Stderr, "tempsolve:", err)
+			os.Exit(1)
+		}
+	} else {
+		w = hw.WaferWithGrid(*rows, *cols)
+	}
+	if err := solve(m, w, *seed, *noGA, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "tempsolve:", err)
+		os.Exit(1)
+	}
 }

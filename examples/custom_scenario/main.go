@@ -1,0 +1,70 @@
+// Custom scenario: define an off-paper wafer (2×16 dies with HBM3-
+// class memory and 6 TB/s links) and an off-paper model (Falcon 40B)
+// entirely in JSON, then run it end-to-end through the declarative
+// scenario layer — no Go constructors, no recompilation. The same
+// file drives `tempbench -scenario` and `tempsim -scenario`.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+
+	"temp"
+)
+
+//go:embed scenario.json
+var scenarioJSON []byte
+
+func main() {
+	// The registries already know every paper constructor by name.
+	fmt.Printf("registered wafers: %v\n", temp.RegisteredWafers.Names())
+	fmt.Printf("registered models: %d (Table II, §VIII-E, Fig. 4)\n\n", len(temp.RegisteredModels.Names()))
+
+	// Parse and resolve the declarative scenario. Validation catches
+	// malformed specs (bad grids, zero layers, unknown engines) here,
+	// before anything is evaluated.
+	ss, err := temp.ParseScenario(scenarioJSON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := ss.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %q:\n", sc.Name)
+	fmt.Printf("  model  %s (%.1fB params)\n", sc.Model, float64(sc.Model.Params())/1e9)
+	fmt.Printf("  wafer  %s: %d dies, %.0f GB HBM/die, %.0f TFLOPS/die\n",
+		sc.Wafer.Name, sc.Wafer.Dies(), sc.Wafer.Die.MemCapacity()/1e9, sc.Wafer.Die.PeakFLOPS/1e12)
+	fmt.Printf("  system %s (envelope caps TATP at %d)\n\n", sc.System.Name, sc.System.Envelope.MaxTATP)
+
+	// Sweep the system's configuration space for the best feasible
+	// configuration — the same footing every paper figure uses.
+	best, err := temp.RunScenario(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best config %s:\n", best.Config)
+	fmt.Printf("  step latency     %.3fs\n", best.StepTime)
+	fmt.Printf("  per-die memory   %.1f GB (capacity %.1f GB, OOM=%v)\n",
+		best.Memory.Total()/1e9, best.Memory.Capacity/1e9, best.OOM())
+	fmt.Printf("  throughput       %.0f tokens/s\n", best.ThroughputTokens)
+	fmt.Printf("  power efficiency %.2f tokens/s/W\n\n", best.PowerEfficiency)
+
+	// Round-trip: the winning setup serializes back to a spec, so a
+	// swept scenario can be pinned and replayed exactly.
+	pinned := ss
+	cfgSpec := temp.ConfigSpec{DP: best.Config.DP, TP: best.Config.TP, SP: best.Config.SP,
+		CP: best.Config.CP, TATP: best.Config.TATP}
+	pinned.Config = &cfgSpec
+	pinnedSc, err := pinned.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := temp.RunScenario(pinnedSc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pinned replay of %s: step %.3fs (identical=%v)\n",
+		best.Config, replay.StepTime, replay.StepTime == best.StepTime)
+}

@@ -11,6 +11,7 @@ package baselines
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"temp/internal/cost"
 	"temp/internal/engine"
@@ -22,11 +23,72 @@ import (
 // System is one evaluated training system.
 type System struct {
 	Name string
+	// Scheme identifies the partitioning scheme the system derives
+	// from ("megatron1", "mesp", "fsdp" or "temp"); the scenario layer
+	// reconstructs systems from it.
+	Scheme string
 	// Opts carries the engine and execution conventions.
 	Opts cost.Options
+	// Envelope caps the configuration space Best sweeps; the zero
+	// envelope is unbounded.
+	Envelope Envelope
 	// Configs enumerates the candidate hybrid configurations for a
-	// die budget.
+	// die budget, before the envelope is applied.
 	Configs func(dies int) []parallel.Config
+}
+
+// Space returns the system's candidate configurations for a die
+// budget with the envelope applied — the space Best actually sweeps.
+func (s System) Space(dies int) []parallel.Config {
+	return s.Envelope.Filter(s.Configs(dies))
+}
+
+// Envelope restricts a system's hybrid-configuration space: each
+// non-zero field caps the degree of one parallel strategy. Scenario
+// specs use it to carve sub-spaces out of a scheme's full enumeration
+// (e.g. "TEMP but TATP at most 8") without defining new schemes.
+type Envelope struct {
+	MaxDP, MaxTP, MaxSP, MaxCP, MaxTATP int
+}
+
+// Zero reports whether the envelope imposes no restriction.
+func (e Envelope) Zero() bool { return e == Envelope{} }
+
+// Allows reports whether a configuration fits inside the envelope.
+func (e Envelope) Allows(c parallel.Config) bool {
+	c = c.Normalize()
+	if e.MaxDP > 0 && c.DP > e.MaxDP {
+		return false
+	}
+	if e.MaxTP > 0 && c.TP > e.MaxTP {
+		return false
+	}
+	if e.MaxSP > 0 && c.SP > e.MaxSP {
+		return false
+	}
+	if e.MaxCP > 0 && c.CP > e.MaxCP {
+		return false
+	}
+	if e.MaxTATP > 0 && c.TATP > e.MaxTATP {
+		return false
+	}
+	return true
+}
+
+// Filter returns the configurations the envelope allows. The zero
+// envelope returns the input slice unchanged, so envelope-free systems
+// keep their exact historical sweep.
+func (e Envelope) Filter(cfgs []parallel.Config) []parallel.Config {
+	if e.Zero() {
+		return cfgs
+	}
+	out := make([]parallel.Config, 0, len(cfgs))
+	for _, c := range cfgs {
+		if e.Allows(c) {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // megatron1Configs: DP × TP only (the paper's Megatron-1 hierarchy
@@ -101,7 +163,8 @@ func tempConfigs(dies int) []parallel.Config {
 // Figs. 4 and 13.
 func Megatron1(e cost.Engine) System {
 	return System{
-		Name: "Mega+" + e.String(),
+		Name:   "Mega+" + e.String(),
+		Scheme: "megatron1",
 		Opts: cost.Options{
 			Engine:           e,
 			Recompute:        cost.RecomputeNone,
@@ -116,6 +179,7 @@ func Megatron1(e cost.Engine) System {
 func MeSP(e cost.Engine) System {
 	return System{
 		Name:    "MeSP+" + e.String(),
+		Scheme:  "mesp",
 		Opts:    cost.Options{Engine: e, Recompute: cost.RecomputeSelective, DistributedOptimizer: true},
 		Configs: mespConfigs,
 	}
@@ -125,6 +189,7 @@ func MeSP(e cost.Engine) System {
 func FSDP(e cost.Engine) System {
 	return System{
 		Name:    "FSDP+" + e.String(),
+		Scheme:  "fsdp",
 		Opts:    cost.Options{Engine: e, Recompute: cost.RecomputeFull, DistributedOptimizer: true},
 		Configs: fsdpConfigs,
 	}
@@ -134,9 +199,43 @@ func FSDP(e cost.Engine) System {
 func TEMP() System {
 	return System{
 		Name:    "TEMP",
+		Scheme:  "temp",
 		Opts:    cost.TEMPOptions(),
 		Configs: tempConfigs,
 	}
+}
+
+// FromScheme builds a system from its declarative description: a
+// partitioning scheme name, a mapping engine, and an optional
+// configuration-space envelope. It is the constructor behind
+// spec.SystemSpec. Scheme names are matched case-insensitively;
+// Megatron-1 accepts "megatron1"/"mega", Megatron-3 accepts
+// "mesp"/"megatron3". With the zero envelope and a scheme's canonical
+// engine the returned system sweeps exactly the space the named
+// constructor (Megatron1, MeSP, FSDP, TEMP) does.
+func FromScheme(scheme string, e cost.Engine, env Envelope) (System, error) {
+	var s System
+	switch strings.ToLower(strings.TrimSpace(scheme)) {
+	case "megatron1", "mega", "megatron-1":
+		s = Megatron1(e)
+	case "mesp", "megatron3", "megatron-3":
+		s = MeSP(e)
+	case "fsdp":
+		s = FSDP(e)
+	case "temp", "tatp":
+		s = TEMP()
+		if e != s.Opts.Engine {
+			// TEMP under a baseline mapper: the partition scheme keeps
+			// TATP, only the mapping engine degrades (as in Fig. 7's
+			// scattered-placement study).
+			s.Opts.Engine = e
+			s.Name = "TEMP+" + e.String()
+		}
+	default:
+		return System{}, fmt.Errorf("baselines: unknown scheme %q (want megatron1|mesp|fsdp|temp)", scheme)
+	}
+	s.Envelope = env
+	return s, nil
 }
 
 // Six returns the paper's six baselines in A–F order:
@@ -166,7 +265,7 @@ type Result struct {
 // Feasible=false (the "OOM" bars of Fig. 13).
 func Best(s System, m model.Config, w hw.Wafer) (Result, error) {
 	dies := w.Dies()
-	cfgs := s.Configs(dies)
+	cfgs := s.Space(dies)
 	if len(cfgs) == 0 {
 		return Result{}, fmt.Errorf("baselines: %s has no configurations for %d dies", s.Name, dies)
 	}

@@ -155,3 +155,42 @@ func TestBestCluster(t *testing.T) {
 		t.Errorf("cluster TP %d exceeds node size", r.Config.TP)
 	}
 }
+
+func TestFromSchemeMatchesConstructors(t *testing.T) {
+	cases := []struct {
+		scheme string
+		engine cost.Engine
+		want   System
+	}{
+		{"megatron1", cost.SMap, Megatron1(cost.SMap)},
+		{"mesp", cost.GMap, MeSP(cost.GMap)},
+		{"fsdp", cost.GMap, FSDP(cost.GMap)},
+		{"temp", cost.TCMEEngine, TEMP()},
+	}
+	for _, tc := range cases {
+		got, err := FromScheme(tc.scheme, tc.engine, Envelope{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.scheme, err)
+		}
+		if got.Name != tc.want.Name || got.Opts != tc.want.Opts || got.Scheme != tc.want.Scheme {
+			t.Errorf("%s: FromScheme = %+v, want %+v", tc.scheme, got, tc.want)
+		}
+	}
+	if _, err := FromScheme("zero-infinity", cost.GMap, Envelope{}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestEnvelopeCapsBest(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	sys := TEMP()
+	sys.Envelope = Envelope{MaxTATP: 1}
+	r, err := Best(sys, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config.Normalize().TATP != 1 {
+		t.Errorf("envelope MaxTATP=1 violated: best config %s", r.Config)
+	}
+}

@@ -17,9 +17,13 @@ import (
 	"temp/internal/unit"
 )
 
-// evalModels returns the Table II models; quick mode keeps the three
-// spanning sizes so CI-grade runs stay fast.
+// evalModels returns the Table II models (or the override set from
+// the registry); quick mode keeps the three spanning sizes so
+// CI-grade runs stay fast.
 func evalModels(quick bool) []model.Config {
+	if ms := overriddenModels(); ms != nil {
+		return ms
+	}
 	if quick {
 		return []model.Config{model.GPT3_6_7B(), model.Llama3_70B(), model.GPT3_175B()}
 	}
@@ -35,7 +39,7 @@ func Fig04Breakdown(quick bool) (*Table, error) {
 		Title:   "Megatron training-time breakdown and D2D utilization on the WSC",
 		Headers: []string{"model", "collective%", "bw-util%"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	models := append(evalModels(quick), model.DeepSeek7B())
 	if !quick {
 		models = append(models, model.DeepSeek67B(), model.DeepSeekV2_236B())
@@ -64,7 +68,7 @@ func Fig04Memory() (*Table, error) {
 		Title:   "Memory overhead of Megatron vs replication-free ideal (per die)",
 		Headers: []string{"model", "system", "weights", "grads", "optim", "acts", "total", "OOM"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	for _, m := range []model.Config{model.DeepSeek7B(), model.Llama2_70B(), model.Bloom176B()} {
 		mega := cost.MemoryPerDie(m, w, (parallel.Config{DP: 4, TP: 8}).Normalize(),
 			cost.Options{Engine: cost.GMap, Recompute: cost.RecomputeNone, Microbatch: 1, NoFlashAttention: true}, m.Layers)
@@ -245,7 +249,7 @@ func Fig13Training(quick bool) (*Table, error) {
 		Headers: []string{"model", "system", "config", "status", "step(s)",
 			"comp(s)", "comm(s)", "mem/die", "TEMP speedup"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	sums := map[string]float64{}
 	counts := map[string]int{}
 	for _, m := range evalModels(quick) {
@@ -292,7 +296,7 @@ func Fig14Power(quick bool) (*Table, error) {
 		Headers: []string{"model", "system", "power W", "comp%", "comm%", "dram%",
 			"tok/s/W", "vs TEMP"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	sums := map[string]float64{}
 	counts := map[string]int{}
 	for _, m := range evalModels(quick) {
@@ -392,7 +396,7 @@ func Fig16Ablation(quick bool) (*Table, error) {
 		Title:   "Ablation: Base, Base+TATP, Base+TATP+TCME",
 		Headers: []string{"model", "base tok/s", "+TATP", "+TATP+TCME", "TATP gain", "TCME gain"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	var gTATP, gTCME float64
 	var n int
 	for _, m := range evalModels(quick) {
@@ -423,7 +427,7 @@ func Fig17Mixed() (*Table, error) {
 		Title:   "Mixed parallelism on Llama2 7B (TCME engine)",
 		Headers: []string{"seq", "config", "status", "tput tok/s", "norm"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	for _, scenario := range []struct {
 		seq, batch int
 	}{{2048, 128}, {16384, 32}} {
@@ -480,7 +484,7 @@ func Fig18Convergence(quick bool) (*Table, error) {
 		Title:   "Optimal TATP degree across model scale and sequence length",
 		Headers: []string{"model", "seq", "best config", "tatp", "gain vs no-TATP"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	models := []model.Config{model.GPT3_6_7B(), model.GPT3_76B(), model.GPT3_175B()}
 	if quick {
 		models = models[:2]
@@ -531,7 +535,7 @@ func Fig19MultiWafer(quick bool) (*Table, error) {
 		Title:   "Multi-wafer training of large models",
 		Headers: []string{"model", "wafers", "system", "config", "step(s)", "bubble%", "vs TEMP"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	cases := []struct {
 		m      model.Config
 		wafers int
@@ -582,7 +586,7 @@ func Fig20Fault(quick bool) (*Table, error) {
 		Title:   "Fault tolerance: normalized throughput vs fault rate",
 		Headers: []string{"fault", "rate", "norm tput"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	m := model.GPT3_6_7B()
 	cfg := parallel.Config{DP: 4, TATP: 8}
 	o := cost.TEMPOptions()

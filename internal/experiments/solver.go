@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"temp/internal/engine"
-	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
 	"temp/internal/solver"
@@ -22,7 +21,7 @@ func Fig21CostModel(quick bool) (*Table, error) {
 		Title:   "DNN cost-model accuracy vs linear-regression baseline",
 		Headers: []string{"category", "model", "corr", "err%", "per-call"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	nTrain, nTest := 1500, 500
 	if quick {
 		nTrain, nTest = 600, 200
@@ -52,7 +51,7 @@ func SearchTime(quick bool) (*Table, error) {
 		Title:   "Search time: DLS vs exhaustive joint search (ILP stand-in)",
 		Headers: []string{"model", "ops", "space", "dls(ms)", "dls cost", "exh(ms)", "exh cost", "speedup"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	models := []model.Config{model.GPT3_6_7B(), model.Llama2_7B()}
 	if !quick {
 		models = append(models, model.GPT3_76B())
@@ -115,7 +114,7 @@ func DLSQuality() (*Table, error) {
 		Title:   "DLS solution quality vs chain-DP-only (GA ablation)",
 		Headers: []string{"model", "dp cost", "dls cost", "improvement"},
 	}
-	w := hw.EvaluationWafer()
+	w := evalWafer()
 	for _, m := range []model.Config{model.GPT3_6_7B(), model.Llama3_70B()} {
 		g := model.BlockGraph(m)
 		space := parallel.EnumerateConfigs(w.Dies(), true, 0)

@@ -27,6 +27,12 @@ type Injection struct {
 	CoresPerDie int
 }
 
+// Active reports whether the injection perturbs anything; inactive
+// injections let scenario runners skip the fault stage entirely.
+func (in Injection) Active() bool {
+	return in.LinkRate > 0 || in.CoreRate > 0
+}
+
 // Apply injects faults into a topology using the given source of
 // randomness. Link bundles (both directions) fail together.
 func (in Injection) Apply(t *mesh.Topology, rng *rand.Rand) {

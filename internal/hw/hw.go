@@ -135,10 +135,43 @@ func (w Wafer) Validate() error {
 	if w.Die.PeakFLOPS <= 0 {
 		return fmt.Errorf("hw: wafer %q has non-positive die FLOPS", w.Name)
 	}
+	if w.Die.HBMBytes <= 0 {
+		return fmt.Errorf("hw: wafer %q has non-positive die HBM capacity", w.Name)
+	}
+	if w.Die.HBMBandwidth <= 0 {
+		return fmt.Errorf("hw: wafer %q has non-positive die HBM bandwidth", w.Name)
+	}
 	if w.Link.Bandwidth <= 0 {
 		return fmt.Errorf("hw: wafer %q has non-positive link bandwidth", w.Name)
 	}
 	return nil
+}
+
+// Custom builds a wafer from an arbitrary die array and component
+// descriptions — the FromSpec entry point of the declarative scenario
+// layer. Off-wafer and inter-wafer parameters that are zero inherit
+// the §VIII-A evaluation defaults, so a spec only has to state what it
+// changes.
+func Custom(name string, rows, cols int, die Die, link D2D) Wafer {
+	ref := EvaluationWafer()
+	if name == "" {
+		name = fmt.Sprintf("wsc-%dx%d", rows, cols)
+	}
+	w := Wafer{
+		Name:                name,
+		Rows:                rows,
+		Cols:                cols,
+		Die:                 die,
+		Link:                link,
+		IOBandwidth:         ref.IOBandwidth,
+		InterWaferBandwidth: ref.InterWaferBandwidth,
+		InterWaferLatency:   ref.InterWaferLatency,
+	}
+	if die.VectorFLOPS <= 0 {
+		// Vector units scale with the PE array unless stated.
+		w.Die.VectorFLOPS = die.PeakFLOPS / 16
+	}
+	return w
 }
 
 // TableIDie returns the compute die of Table I: 500 mm² logic,

@@ -175,6 +175,41 @@ func EvaluationModels() []Config {
 	return []Config{GPT3_6_7B(), Llama2_7B(), Llama3_70B(), GPT3_76B(), GPT3_175B(), OPT_175B()}
 }
 
+// Zoo returns every named model in the repository — Table II, the
+// multi-wafer models of §VIII-E and the motivation models of Fig. 4 —
+// in paper order. The scenario registry is seeded from it.
+func Zoo() []Config {
+	return append(EvaluationModels(),
+		Grok1_341B(), Llama3_405B(), GPT3_504B(),
+		DeepSeek7B(), DeepSeek67B(), DeepSeekV2_236B(),
+		Bloom176B(), Llama2_30B(), Llama2_70B())
+}
+
+// Validate checks the structural invariants a configuration must
+// satisfy before the cost model can price it: positive shape
+// dimensions and a hidden dimension the attention heads divide.
+func (c Config) Validate() error {
+	if c.Layers <= 0 {
+		return fmt.Errorf("model: %q has %d layers, need ≥ 1", c.Name, c.Layers)
+	}
+	if c.Hidden <= 0 {
+		return fmt.Errorf("model: %q has non-positive hidden dim %d", c.Name, c.Hidden)
+	}
+	if c.Heads <= 0 {
+		return fmt.Errorf("model: %q has non-positive head count %d", c.Name, c.Heads)
+	}
+	if c.Hidden%c.Heads != 0 {
+		return fmt.Errorf("model: %q hidden dim %d is not divisible by %d heads", c.Name, c.Hidden, c.Heads)
+	}
+	if c.Batch <= 0 || c.Seq <= 0 {
+		return fmt.Errorf("model: %q has non-positive batch/seq (%d, %d)", c.Name, c.Batch, c.Seq)
+	}
+	if c.FFNMult <= 0 {
+		return fmt.Errorf("model: %q has non-positive FFN multiplier %d", c.Name, c.FFNMult)
+	}
+	return nil
+}
+
 // WithSeq returns a copy with sequence length (and optionally batch)
 // overridden; used by the long-sequence studies (Fig. 17/18).
 func (c Config) WithSeq(seq, batch int) Config {

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+
+	"temp/internal/baselines"
+	"temp/internal/engine"
+	"temp/internal/fault"
+	"temp/internal/spec"
+)
+
+// RunScenario evaluates one resolved scenario:
+//
+//   - an explicit configuration is priced directly through the
+//     evaluation engine (memoized, worker-bounded),
+//   - Wafers > 1 runs the §VIII-E multi-wafer assembly,
+//   - otherwise the system's configuration space is swept for its
+//     best feasible configuration (the footing every figure uses).
+func RunScenario(sc spec.Scenario) (baselines.Result, error) {
+	if sc.Config != nil {
+		opts := sc.System.Opts
+		if sc.Wafers > 1 {
+			opts.Wafers = sc.Wafers
+		}
+		b, err := engine.Evaluate(sc.Model, sc.Wafer, *sc.Config, opts)
+		if err != nil {
+			return baselines.Result{}, fmt.Errorf("sim: scenario %q: %w", sc.Name, err)
+		}
+		return baselines.Result{
+			System: sc.System.Name, Config: *sc.Config,
+			Breakdown: b, Feasible: !b.OOM(),
+		}, nil
+	}
+	if sc.Wafers > 1 {
+		return MultiWafer(sc.System, sc.Model, sc.Wafer, sc.Wafers)
+	}
+	return baselines.Best(sc.System, sc.Model, sc.Wafer)
+}
+
+// ScenarioResult pairs one scenario with its outcome. Err is set when
+// the scenario could not be evaluated (e.g. nothing placeable).
+type ScenarioResult struct {
+	Name   string
+	Result baselines.Result
+	// FaultNormTput is the §VIII-F normalized throughput under the
+	// scenario's fault injection; valid only when Faulted is true.
+	FaultNormTput float64
+	Faulted       bool
+	Err           error
+}
+
+// runOne evaluates a scenario including its optional fault stage.
+func runOne(sc spec.Scenario) ScenarioResult {
+	r, err := RunScenario(sc)
+	out := ScenarioResult{Name: sc.Name, Result: r, Err: err}
+	if err != nil || sc.Fault == nil {
+		return out
+	}
+	in := fault.Injection{
+		LinkRate:    sc.Fault.LinkRate,
+		CoreRate:    sc.Fault.CoreRate,
+		CoresPerDie: sc.Fault.CoresPerDie,
+	}
+	if !in.Active() {
+		return out
+	}
+	opts := sc.System.Opts
+	if sc.Wafers > 1 {
+		opts.Wafers = sc.Wafers
+	}
+	out.FaultNormTput = fault.NormalizedThroughput(sc.Model, sc.Wafer, r.Config, opts,
+		in, sc.Fault.TrialCount(), sc.Fault.RandSeed())
+	out.Faulted = true
+	return out
+}
+
+// RunScenarios fans a scenario batch out over the evaluation engine
+// and returns results in input order regardless of completion order.
+// Results are deterministic: the cost model is pure and each
+// scenario's fault stage seeds its own RNG, so any worker count
+// produces the same output.
+func RunScenarios(scs []spec.Scenario) []ScenarioResult {
+	out := make([]ScenarioResult, len(scs))
+	engine.Map(len(scs), func(i int) {
+		out[i] = runOne(scs[i])
+	})
+	return out
+}
+
+// RunScenarioSpecs resolves and runs serialized scenario specs. A
+// spec that fails to resolve contributes an error result rather than
+// aborting the batch.
+func RunScenarioSpecs(specs []spec.ScenarioSpec) []ScenarioResult {
+	scs := make([]spec.Scenario, len(specs))
+	errs := make([]error, len(specs))
+	for i, s := range specs {
+		scs[i], errs[i] = s.Resolve()
+	}
+	out := make([]ScenarioResult, len(specs))
+	engine.Map(len(specs), func(i int) {
+		if errs[i] != nil {
+			out[i] = ScenarioResult{Name: specs[i].Name, Err: errs[i]}
+			return
+		}
+		out[i] = runOne(scs[i])
+	})
+	return out
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"temp/internal/engine"
+	"temp/internal/spec"
+)
+
+// batchSpecs builds a mixed scenario batch: registry-named sweep,
+// fully-inline off-paper wafer+model, explicit pinned configuration,
+// multi-wafer, and fault injection.
+func batchSpecs(t *testing.T) []spec.ScenarioSpec {
+	t.Helper()
+	raw := []string{
+		`{"name":"paper-sweep","model":"gpt3-6.7b","wafer":"wsc-4x8","system":"MeSP+GMap"}`,
+		`{"name":"off-paper","model":{"name":"TinyNet","heads":16,"hidden":2048,"layers":12,"batch":64},
+		  "wafer":{"name":"wsc-2x8","rows":2,"cols":8,"die":{"hbm_bytes":48e9}},
+		  "system":{"scheme":"temp","envelope":{"max_tatp":8}}}`,
+		`{"name":"pinned","model":"llama2-7b","wafer":"wsc-4x8","config":{"dp":4,"tatp":8}}`,
+		`{"name":"multi-wafer","model":"gpt3-175b","wafer":"wsc-4x8","system":"TEMP","wafers":2}`,
+		`{"name":"faulted","model":"gpt3-6.7b","wafer":"wsc-4x8","config":{"dp":4,"tatp":8},
+		  "fault":{"link_rate":0.1,"trials":4,"seed":7}}`,
+	}
+	out := make([]spec.ScenarioSpec, len(raw))
+	for i, r := range raw {
+		s, err := spec.ParseScenario([]byte(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestRunScenariosDeterministic: the same batch evaluated serially and
+// with a parallel worker pool yields identical results in input order.
+func TestRunScenariosDeterministic(t *testing.T) {
+	specs := batchSpecs(t)
+	prev := engine.Workers()
+	defer engine.SetWorkers(prev)
+
+	engine.SetWorkers(1)
+	serial := RunScenarioSpecs(specs)
+	engine.SetWorkers(8)
+	parallel8 := RunScenarioSpecs(specs)
+
+	if len(serial) != len(specs) || len(parallel8) != len(specs) {
+		t.Fatalf("result count: serial %d, parallel %d, want %d", len(serial), len(parallel8), len(specs))
+	}
+	for i := range serial {
+		if serial[i].Err != nil {
+			t.Fatalf("scenario %s failed: %v", specs[i].Name, serial[i].Err)
+		}
+		if serial[i].Name != specs[i].Name {
+			t.Errorf("result %d out of input order: %s vs %s", i, serial[i].Name, specs[i].Name)
+		}
+		if !reflect.DeepEqual(serial[i], parallel8[i]) {
+			t.Errorf("scenario %s differs between -workers 1 and -workers 8:\n  %+v\n  %+v",
+				specs[i].Name, serial[i], parallel8[i])
+		}
+	}
+}
+
+// TestOffPaperScenarioEndToEnd: a wafer grid, model shape and system
+// not present in the paper runs end-to-end and produces a cost
+// breakdown (the scenario-layer acceptance path).
+func TestOffPaperScenarioEndToEnd(t *testing.T) {
+	ss, err := spec.ParseScenario([]byte(`{
+		"name": "novel",
+		"model": {"name":"MidNet 13B","heads":40,"hidden":5120,"layers":40,"batch":64,"seq":4096},
+		"wafer": {"name":"wsc-8x8-fat","rows":8,"cols":8,
+			"die":{"hbm_bytes":96e9,"peak_flops":2.0e15},
+			"link":{"bandwidth":5e12}},
+		"system": {"scheme":"fsdp","engine":"gmap"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ss.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StepTime <= 0 || r.Memory.Total() <= 0 {
+		t.Fatalf("degenerate breakdown: step %v, mem %v", r.StepTime, r.Memory.Total())
+	}
+	if !r.Feasible {
+		t.Error("13B-class model should fit an 8x8 wafer with 96GB HBM dies under FSDP")
+	}
+	if r.System != "FSDP+GMap" {
+		t.Errorf("system = %s, want FSDP+GMap", r.System)
+	}
+}
+
+// TestScenarioFaultStage: the fault stage reports a normalized
+// throughput in (0, 1]; a zero-rate injection is skipped.
+func TestScenarioFaultStage(t *testing.T) {
+	ss, err := spec.ParseScenario([]byte(`{
+		"name":"f","model":"gpt3-6.7b","wafer":"wsc-4x8",
+		"config":{"dp":4,"tatp":8},
+		"fault":{"core_rate":0.05,"cores_per_die":64,"trials":4,"seed":11}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := RunScenarioSpecs([]spec.ScenarioSpec{ss})
+	if rs[0].Err != nil {
+		t.Fatal(rs[0].Err)
+	}
+	if !rs[0].Faulted {
+		t.Fatal("fault stage did not run")
+	}
+	if rs[0].FaultNormTput <= 0 || rs[0].FaultNormTput > 1.0001 {
+		t.Errorf("normalized throughput = %v, want (0,1]", rs[0].FaultNormTput)
+	}
+}

@@ -108,7 +108,7 @@ func MultiWafer(s baselines.System, m model.Config, w hw.Wafer, wafers int) (bas
 			stageWafer.InterWaferBandwidth = w.InterWaferBandwidth
 			stageWafer.InterWaferLatency = w.InterWaferLatency
 		}
-		for _, cfg := range s.Configs(mesh(stageWafer)) {
+		for _, cfg := range s.Space(mesh(stageWafer)) {
 			cfg.PP = pp
 			jobs = append(jobs, engine.Job{Model: m, Wafer: stageWafer, Config: cfg, Opts: opts})
 		}

@@ -1,0 +1,273 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"temp/internal/baselines"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so typos
+// inside nested inline specs surface as errors exactly like top-level
+// ones (custom UnmarshalJSON methods do not inherit the outer
+// decoder's DisallowUnknownFields setting).
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// ModelRef names a registered model ("gpt3-175b") or defines one
+// inline. In JSON it is either a string or a ModelSpec object.
+type ModelRef struct {
+	Name string
+	Spec *ModelSpec
+}
+
+// UnmarshalJSON accepts a registry name or an inline spec.
+func (r *ModelRef) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		return json.Unmarshal(b, &r.Name)
+	}
+	r.Spec = &ModelSpec{}
+	return strictUnmarshal(b, r.Spec)
+}
+
+// MarshalJSON renders the name form when no inline spec is present.
+func (r ModelRef) MarshalJSON() ([]byte, error) {
+	if r.Spec != nil {
+		return json.Marshal(r.Spec)
+	}
+	return json.Marshal(r.Name)
+}
+
+// resolve builds the model.
+func (r ModelRef) resolve() (model.Config, error) {
+	if r.Spec != nil {
+		return r.Spec.Model()
+	}
+	if r.Name == "" {
+		return model.Config{}, fmt.Errorf("spec: scenario has no model (name or inline spec)")
+	}
+	return LookupModel(r.Name)
+}
+
+// WaferRef names a registered wafer or defines one inline.
+type WaferRef struct {
+	Name string
+	Spec *WaferSpec
+}
+
+// UnmarshalJSON accepts a registry name or an inline spec.
+func (r *WaferRef) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		return json.Unmarshal(b, &r.Name)
+	}
+	r.Spec = &WaferSpec{}
+	return strictUnmarshal(b, r.Spec)
+}
+
+// MarshalJSON renders the name form when no inline spec is present.
+func (r WaferRef) MarshalJSON() ([]byte, error) {
+	if r.Spec != nil {
+		return json.Marshal(r.Spec)
+	}
+	return json.Marshal(r.Name)
+}
+
+// resolve builds the wafer.
+func (r WaferRef) resolve() (hw.Wafer, error) {
+	if r.Spec != nil {
+		return r.Spec.Wafer()
+	}
+	if r.Name == "" {
+		return hw.Wafer{}, fmt.Errorf("spec: scenario has no wafer (name or inline spec)")
+	}
+	return LookupWafer(r.Name)
+}
+
+// SystemRef names a registered system or defines one inline. The
+// empty reference resolves to TEMP.
+type SystemRef struct {
+	Name string
+	Spec *SystemSpec
+}
+
+// UnmarshalJSON accepts a registry name or an inline spec.
+func (r *SystemRef) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		return json.Unmarshal(b, &r.Name)
+	}
+	r.Spec = &SystemSpec{}
+	return strictUnmarshal(b, r.Spec)
+}
+
+// MarshalJSON renders the name form when no inline spec is present.
+func (r SystemRef) MarshalJSON() ([]byte, error) {
+	if r.Spec != nil {
+		return json.Marshal(r.Spec)
+	}
+	return json.Marshal(r.Name)
+}
+
+// resolve builds the system.
+func (r SystemRef) resolve() (baselines.System, error) {
+	if r.Spec != nil {
+		return r.Spec.System()
+	}
+	if r.Name == "" {
+		return baselines.TEMP(), nil
+	}
+	return LookupSystem(r.Name)
+}
+
+// ScenarioSpec is one serializable evaluation scenario: a model on a
+// wafer under a system, either swept over the system's configuration
+// space or pinned to one explicit configuration, optionally across
+// multiple wafers and under fault injection.
+type ScenarioSpec struct {
+	Name   string    `json:"name,omitempty"`
+	Model  ModelRef  `json:"model"`
+	Wafer  WaferRef  `json:"wafer"`
+	System SystemRef `json:"system,omitempty"`
+	// Config pins one configuration; nil sweeps the system's space.
+	Config *ConfigSpec `json:"config,omitempty"`
+	// Wafers > 1 evaluates the §VIII-E multi-wafer assembly.
+	Wafers int `json:"wafers,omitempty"`
+	// Seq/Batch override the model's sequence length and batch size
+	// (the Fig. 17/18 long-sequence studies).
+	Seq   int `json:"seq,omitempty"`
+	Batch int `json:"batch,omitempty"`
+	// Fault adds §VIII-F fault injection on top of the evaluation.
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// Scenario is a resolved, validated ScenarioSpec: concrete domain
+// objects ready for sim.RunScenario.
+type Scenario struct {
+	Name   string
+	Model  model.Config
+	Wafer  hw.Wafer
+	System baselines.System
+	// Config is nil when the scenario sweeps the system's space.
+	Config *parallel.Config
+	Wafers int
+	Fault  *FaultSpec
+}
+
+// Validate resolves the spec and reports the first problem.
+func (s ScenarioSpec) Validate() error {
+	_, err := s.Resolve()
+	return err
+}
+
+// Resolve builds and validates every referenced component.
+func (s ScenarioSpec) Resolve() (Scenario, error) {
+	m, err := s.Model.resolve()
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if s.Seq > 0 {
+		m = m.WithSeq(s.Seq, s.Batch)
+	} else if s.Batch > 0 {
+		m.Batch = s.Batch
+	}
+	w, err := s.Wafer.resolve()
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	sys, err := s.System.resolve()
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	sc := Scenario{
+		Name: s.Name, Model: m, Wafer: w, System: sys,
+		Wafers: s.Wafers, Fault: s.Fault,
+	}
+	if sc.Wafers < 1 {
+		sc.Wafers = 1
+	}
+	dies := w.Dies()
+	if s.Config != nil {
+		cfg := s.Config.Config()
+		if cfg.Degree() != dies {
+			return Scenario{}, fmt.Errorf("scenario %q: config %s has degree %d but wafer %s has %d dies",
+				s.Name, cfg, cfg.Degree(), w.Name, dies)
+		}
+		sc.Config = &cfg
+	} else if dies&(dies-1) != 0 {
+		// The sweep enumerates power-of-two degrees whose product must
+		// equal the die count; a non-power-of-two grid has an empty
+		// space. Pinning an explicit config is still allowed above.
+		return Scenario{}, fmt.Errorf("scenario %q: wafer %s has %d dies (%dx%d), not a power of two; config sweeps need power-of-two grids (or pin an explicit config)",
+			s.Name, w.Name, dies, w.Rows, w.Cols)
+	}
+	if sc.Fault != nil && (sc.Fault.LinkRate < 0 || sc.Fault.LinkRate > 1 ||
+		sc.Fault.CoreRate < 0 || sc.Fault.CoreRate > 1) {
+		return Scenario{}, fmt.Errorf("scenario %q: fault rates must lie in [0,1]", s.Name)
+	}
+	return sc, nil
+}
+
+// ParseScenario decodes one scenario spec from JSON, rejecting
+// unknown fields so typos surface as errors instead of silently
+// evaluating the wrong scenario.
+func ParseScenario(data []byte) (ScenarioSpec, error) {
+	var s ScenarioSpec
+	if err := strictUnmarshal(data, &s); err != nil {
+		return ScenarioSpec{}, fmt.Errorf("spec: parsing scenario: %w", err)
+	}
+	return s, nil
+}
+
+// LoadScenario reads one scenario spec from a JSON file. A missing
+// name defaults to the file's base name.
+func LoadScenario(path string) (ScenarioSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("spec: %w", err)
+	}
+	s, err := ParseScenario(data)
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Name == "" {
+		s.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return s, nil
+}
+
+// LoadScenarioDir reads every *.json file in a directory (sorted by
+// file name) as a scenario batch.
+func LoadScenarioDir(dir string) ([]ScenarioSpec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("spec: no *.json scenarios in %s", dir)
+	}
+	out := make([]ScenarioSpec, 0, len(paths))
+	for _, p := range paths {
+		s, err := LoadScenario(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

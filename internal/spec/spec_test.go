@@ -1,0 +1,316 @@
+package spec
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"temp/internal/baselines"
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// evalConfig returns a configuration that covers a wafer's dies with
+// the DP × TATP=8 split the Fig. 7 study uses.
+func evalConfig(w hw.Wafer) parallel.Config {
+	return parallel.Config{DP: w.Dies() / 8, TATP: 8}
+}
+
+// TestWaferRoundTrip: every registered wafer survives ToSpec → JSON →
+// FromSpec with an identical cost-model breakdown.
+func TestWaferRoundTrip(t *testing.T) {
+	m := model.GPT3_6_7B()
+	for _, name := range Wafers.Names() {
+		w, ok := Wafers.Lookup(name)
+		if !ok {
+			t.Fatalf("registered wafer %q does not look up", name)
+		}
+		data, err := json.Marshal(WaferSpecOf(w))
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var s WaferSpec
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		w2, err := s.Wafer()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		if !reflect.DeepEqual(w, w2) {
+			t.Errorf("%s: wafer changed across round-trip:\n  was %+v\n  got %+v", name, w, w2)
+		}
+		cfg := evalConfig(w)
+		b1, err1 := cost.Evaluate(m, w, cfg, cost.TEMPOptions())
+		b2, err2 := cost.Evaluate(m, w2, cfg, cost.TEMPOptions())
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: evaluate: %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(b1, b2) {
+			t.Errorf("%s: breakdown changed across round-trip", name)
+		}
+	}
+}
+
+// TestModelRoundTrip: every registered model survives ToSpec → JSON →
+// FromSpec with an identical cost-model breakdown.
+func TestModelRoundTrip(t *testing.T) {
+	w := hw.EvaluationWafer()
+	cfg := evalConfig(w)
+	for _, name := range Models.Names() {
+		m, ok := Models.Lookup(name)
+		if !ok {
+			t.Fatalf("registered model %q does not look up", name)
+		}
+		data, err := json.Marshal(ModelSpecOf(m))
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var s ModelSpec
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		m2, err := s.Model()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		if m != m2 {
+			t.Errorf("%s: model changed across round-trip:\n  was %+v\n  got %+v", name, m, m2)
+		}
+		b1, err1 := cost.Evaluate(m, w, cfg, cost.TEMPOptions())
+		b2, err2 := cost.Evaluate(m2, w, cfg, cost.TEMPOptions())
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: evaluate: %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(b1, b2) {
+			t.Errorf("%s: breakdown changed across round-trip", name)
+		}
+	}
+}
+
+// TestSystemRoundTrip: every registered system survives ToSpec → JSON
+// → FromSpec with an identical best-configuration sweep result.
+func TestSystemRoundTrip(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	for _, name := range Systems.Names() {
+		sys, ok := Systems.Lookup(name)
+		if !ok {
+			t.Fatalf("registered system %q does not look up", name)
+		}
+		ss, err := SystemSpecOf(sys)
+		if err != nil {
+			t.Fatalf("%s: to spec: %v", name, err)
+		}
+		data, err := json.Marshal(ss)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var parsed SystemSpec
+		if err := json.Unmarshal(data, &parsed); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		sys2, err := parsed.System()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		if sys2.Name != sys.Name || sys2.Opts != sys.Opts || sys2.Envelope != sys.Envelope {
+			t.Fatalf("%s: system changed across round-trip: %+v vs %+v", name, sys, sys2)
+		}
+		if !reflect.DeepEqual(sys.Space(w.Dies()), sys2.Space(w.Dies())) {
+			t.Fatalf("%s: configuration space changed across round-trip", name)
+		}
+		r1, err1 := baselines.Best(sys, m, w)
+		r2, err2 := baselines.Best(sys2, m, w)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: best: %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("%s: best result changed across round-trip", name)
+		}
+	}
+}
+
+// TestScenarioSpecJSONRoundTrip: a scenario using registry names
+// serializes to the compact string form and back.
+func TestScenarioSpecJSONRoundTrip(t *testing.T) {
+	in := `{"name":"x","model":"gpt3-175b","wafer":"wsc-4x8","system":"TEMP"}`
+	s, err := ParseScenario([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Model.Name != "gpt3-175b" || s.Wafer.Name != "wsc-4x8" {
+		t.Fatalf("name refs not preserved: %+v", s)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseScenario(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v (json %s)", err, data)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Errorf("scenario spec changed across JSON round-trip")
+	}
+	sc, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Model.Name != "GPT-3 175B" || sc.Wafer.Name != "wsc-4x8" || sc.System.Name != "TEMP" {
+		t.Errorf("resolution wrong: %s / %s / %s", sc.Model.Name, sc.Wafer.Name, sc.System.Name)
+	}
+}
+
+// TestValidationErrors: malformed specs fail with diagnostics instead
+// of evaluating garbage.
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{
+			"non-power-of-two grid sweep",
+			`{"model":"gpt3-6.7b","wafer":{"rows":3,"cols":5}}`,
+			"not a power of two",
+		},
+		{
+			"zero layers",
+			`{"model":{"name":"bad","heads":8,"hidden":1024,"layers":0},"wafer":"wsc-4x8"}`,
+			"layers",
+		},
+		{
+			"unknown engine",
+			`{"model":"gpt3-6.7b","wafer":"wsc-4x8","system":{"scheme":"mesp","engine":"warp"}}`,
+			"unknown engine",
+		},
+		{
+			"unknown scheme",
+			`{"model":"gpt3-6.7b","wafer":"wsc-4x8","system":{"scheme":"zero3"}}`,
+			"unknown scheme",
+		},
+		{
+			"unknown model name",
+			`{"model":"gpt5","wafer":"wsc-4x8"}`,
+			"unknown model",
+		},
+		{
+			"unknown wafer name",
+			`{"model":"gpt3-6.7b","wafer":"wse-3"}`,
+			"unknown wafer",
+		},
+		{
+			"config degree mismatch",
+			`{"model":"gpt3-6.7b","wafer":"wsc-4x8","config":{"dp":4,"tatp":4}}`,
+			"degree",
+		},
+		{
+			"heads not dividing hidden",
+			`{"model":{"name":"bad","heads":7,"hidden":1024,"layers":4},"wafer":"wsc-4x8"}`,
+			"divisible",
+		},
+	}
+	for _, tc := range cases {
+		s, err := ParseScenario([]byte(tc.json))
+		if err == nil {
+			err = s.Validate()
+		}
+		if err == nil {
+			t.Errorf("%s: validated unexpectedly", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Typos in field names are errors, not silently ignored — at the
+	// top level and inside nested inline specs (the refs' custom
+	// unmarshalers must re-apply DisallowUnknownFields).
+	if _, err := ParseScenario([]byte(`{"model":"gpt3-6.7b","wafer":"wsc-4x8","cofnig":{}}`)); err == nil {
+		t.Error("unknown top-level JSON field accepted")
+	}
+	nested := `{"model":{"name":"X","heads":8,"hidden":1024,"layers":4,"batchsize":32},"wafer":"wsc-4x8"}`
+	if _, err := ParseScenario([]byte(nested)); err == nil {
+		t.Error("unknown field inside inline model spec accepted")
+	}
+	nestedWafer := `{"model":"gpt3-6.7b","wafer":{"rows":4,"cols":8,"hbm":1}}`
+	if _, err := ParseScenario([]byte(nestedWafer)); err == nil {
+		t.Error("unknown field inside inline wafer spec accepted")
+	}
+}
+
+// TestRegistryLookup: canonicalized and substring matching mirrors the
+// historical CLI behavior.
+func TestRegistryLookup(t *testing.T) {
+	for _, q := range []string{"gpt3-6.7b", "GPT-3 6.7B", "gpt3_6_7b", "llama3 405B"} {
+		if _, ok := Models.Lookup(q); !ok {
+			t.Errorf("model query %q did not resolve", q)
+		}
+	}
+	m, ok := Models.Lookup("opt")
+	if !ok || m.Name != "OPT 175B" {
+		t.Errorf("substring query 'opt' resolved to %q", m.Name)
+	}
+	if _, ok := Models.Lookup("nonexistent-model"); ok {
+		t.Error("bogus model resolved")
+	}
+	if s, ok := Systems.Lookup("mega+smap"); !ok || s.Name != "Mega+SMap" {
+		t.Errorf("system query resolved to %q", s.Name)
+	}
+	if w, ok := Wafers.Lookup("wsc-6x8"); !ok || w.Rows != 6 {
+		t.Errorf("wafer query resolved to %+v", w)
+	}
+}
+
+// TestSystemSpecDefaults: scheme defaults fill engine and the zero
+// envelope reproduces the named constructors exactly.
+func TestSystemSpecDefaults(t *testing.T) {
+	sys, err := SystemSpec{Scheme: "temp"}.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Opts.Engine != cost.TCMEEngine || sys.Name != "TEMP" {
+		t.Errorf("temp scheme default = %+v", sys)
+	}
+	sys, err = SystemSpec{Scheme: "mesp"}.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Opts.Engine != cost.GMap {
+		t.Errorf("mesp default engine = %v, want GMap", sys.Opts.Engine)
+	}
+	ref := baselines.MeSP(cost.GMap)
+	if sys.Opts != ref.Opts || !reflect.DeepEqual(sys.Space(32), ref.Space(32)) {
+		t.Error("spec-built MeSP differs from constructor")
+	}
+}
+
+// TestEnvelopeFilter: envelopes cap the swept space without touching
+// the unrestricted path.
+func TestEnvelopeFilter(t *testing.T) {
+	full := baselines.TEMP()
+	capped, err := SystemSpec{Scheme: "temp", Envelope: &EnvelopeSpec{MaxTATP: 4}}.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSpace := full.Space(32)
+	cappedSpace := capped.Space(32)
+	if len(cappedSpace) >= len(fullSpace) {
+		t.Fatalf("envelope did not shrink space: %d vs %d", len(cappedSpace), len(fullSpace))
+	}
+	for _, c := range cappedSpace {
+		if c.Normalize().TATP > 4 {
+			t.Errorf("config %s escaped the envelope", c)
+		}
+	}
+	// The zero envelope returns the identical slice (no copy), so the
+	// historical sweeps stay bit-identical.
+	if !reflect.DeepEqual(fullSpace, full.Configs(32)) {
+		t.Error("zero envelope altered the space")
+	}
+}

@@ -13,7 +13,10 @@
 //   - the baseline systems (Megatron-1, MeSP, FSDP × SMap/GMap),
 //   - the dual-level wafer solver (chain DP + genetic refinement),
 //   - fault injection and the experiment runners that regenerate
-//     every table and figure of the paper's evaluation.
+//     every table and figure of the paper's evaluation,
+//   - the declarative scenario layer: JSON specs for wafers, models,
+//     systems and scenarios, name-keyed registries, and batch
+//     scenario evaluation over the concurrent engine.
 //
 // Quickstart:
 //
@@ -33,6 +36,7 @@ import (
 	"temp/internal/parallel"
 	"temp/internal/sim"
 	"temp/internal/solver"
+	"temp/internal/spec"
 )
 
 // Hardware configurations (Table I, §VIII-A).
@@ -53,6 +57,8 @@ var (
 	ReferenceWafer = hw.ReferenceWafer
 	// WaferWithGrid resizes the evaluation wafer.
 	WaferWithGrid = hw.WaferWithGrid
+	// CustomWafer builds a wafer from arbitrary die/link components.
+	CustomWafer = hw.Custom
 	// A100Cluster is the 32-GPU comparison system of Fig. 15.
 	A100Cluster = hw.A100Cluster
 )
@@ -167,6 +173,56 @@ type (
 var (
 	EvaluateWithFaults        = fault.Evaluate
 	FaultNormalizedThroughput = fault.NormalizedThroughput
+)
+
+// Declarative scenario layer (internal/spec): serializable JSON specs
+// for wafers, models, systems and whole evaluation scenarios, plus the
+// name-keyed registries the CLIs resolve against.
+type (
+	WaferSpec    = spec.WaferSpec
+	DieSpec      = spec.DieSpec
+	LinkSpec     = spec.LinkSpec
+	ModelSpec    = spec.ModelSpec
+	SystemSpec   = spec.SystemSpec
+	ConfigSpec   = spec.ConfigSpec
+	ScenarioSpec = spec.ScenarioSpec
+	// Scenario is a resolved, validated ScenarioSpec.
+	Scenario = spec.Scenario
+	// ScenarioResult pairs one scenario with its evaluation outcome.
+	ScenarioResult = sim.ScenarioResult
+	// SystemEnvelope caps a system's swept configuration space.
+	SystemEnvelope = baselines.Envelope
+)
+
+// Scenario entry points and registries.
+var (
+	// LoadScenario / LoadScenarioDir read scenario JSON files.
+	LoadScenario    = spec.LoadScenario
+	LoadScenarioDir = spec.LoadScenarioDir
+	// ParseScenario decodes one scenario spec from JSON bytes.
+	ParseScenario = spec.ParseScenario
+	// RunScenario evaluates one resolved scenario; RunScenarios fans a
+	// batch out over the evaluation engine in input order.
+	RunScenario  = sim.RunScenario
+	RunScenarios = sim.RunScenarios
+	// RunScenarioSpecs resolves and runs serialized specs.
+	RunScenarioSpecs = sim.RunScenarioSpecs
+	// RegisteredWafers/Models/Systems are the name-keyed registries,
+	// pre-populated with every paper constructor.
+	RegisteredWafers  = spec.Wafers
+	RegisteredModels  = spec.Models
+	RegisteredSystems = spec.Systems
+	// LookupWafer/Model/System resolve registry names.
+	LookupWafer  = spec.LookupWafer
+	LookupModel  = spec.LookupModel
+	LookupSystem = spec.LookupSystem
+	// SystemFromScheme builds a system from scheme × engine ×
+	// envelope.
+	SystemFromScheme = baselines.FromScheme
+	// WaferSpecOf/ModelSpecOf/SystemSpecOf are the ToSpec round-trips.
+	WaferSpecOf  = spec.WaferSpecOf
+	ModelSpecOf  = spec.ModelSpecOf
+	SystemSpecOf = spec.SystemSpecOf
 )
 
 // ExperimentTable is a regenerated paper artefact.
