@@ -126,7 +126,11 @@ func BenchmarkAblationSolverLevels(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			var stats solver.Stats
 			for i := 0; i < b.N; i++ {
-				_, stats = solver.DLS(g, space, cm, tc.opts)
+				var err error
+				_, stats, err = solver.DLS(g, space, cm, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(stats.FinalCost*1e3, "chain-cost-ms")
 			b.ReportMetric(float64(stats.Evaluations), "model-evals")

@@ -15,7 +15,9 @@
 //	tempbench -quick              # full suite on reduced model set
 //	tempbench -quick -json bench.json
 //	tempbench -exp fig13 -model llama3-70b -wafer wsc-6x8
+//	tempbench -exp strategies     # search-strategy comparison table
 //	tempbench -scenarios scenarios/   # batch of JSON scenarios
+//	tempbench -scenario s.json -strategy portfolio -budget 20000
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"temp/internal/engine"
 	"temp/internal/experiments"
 	"temp/internal/sim"
+	"temp/internal/solver"
 	"temp/internal/spec"
 	"temp/internal/unit"
 )
@@ -78,11 +81,11 @@ func scenarioTable(results []sim.ScenarioResult) *experiments.Table {
 	t := &experiments.Table{
 		ID:      "scenarios",
 		Title:   "Declarative scenario batch",
-		Headers: []string{"scenario", "system", "config", "status", "step(s)", "tput tok/s", "mem/die", "fault-tput"},
+		Headers: []string{"scenario", "system", "config", "status", "step(s)", "tput tok/s", "mem/die", "fault-tput", "solver"},
 	}
 	for _, r := range results {
 		if r.Err != nil {
-			t.AddRow(r.Name, "-", "-", "ERROR", "-", "-", "-", "-")
+			t.AddRow(r.Name, "-", "-", "ERROR", "-", "-", "-", "-", "-")
 			t.AddNote("%s: %v", r.Name, r.Err)
 			continue
 		}
@@ -94,17 +97,21 @@ func scenarioTable(results []sim.ScenarioResult) *experiments.Table {
 		if r.Faulted {
 			ft = fmt.Sprintf("%.3f", r.FaultNormTput)
 		}
+		sv := "-"
+		if r.Solver != nil {
+			sv = fmt.Sprintf("%s %.3fms", r.Solver.Strategy, r.Solver.FinalCost*1e3)
+		}
 		t.AddRow(r.Name, r.Result.System, r.Result.Config.String(), status,
 			fmt.Sprintf("%.3f", r.Result.StepTime),
 			fmt.Sprintf("%.1f", r.Result.ThroughputTokens),
-			unit.Bytes(r.Result.Memory.Total()), ft)
+			unit.Bytes(r.Result.Memory.Total()), ft, sv)
 	}
 	return t
 }
 
-func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int) error {
+func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, override *spec.SolverStage) error {
 	start := time.Now()
-	results := sim.RunScenarioSpecs(specs)
+	results := sim.RunScenarioSpecsWithSolver(specs, override)
 	tab := scenarioTable(results)
 	tab.Fprint(os.Stdout)
 	if jsonPath != "" {
@@ -137,8 +144,12 @@ func main() {
 	waferName := flag.String("wafer", "", "run experiments on this registered wafer")
 	scenario := flag.String("scenario", "", "run one scenario JSON file")
 	scenarios := flag.String("scenarios", "", "run every *.json scenario in a directory")
+	strategy := flag.String("strategy", "", "add/override a solver stage on scenario runs (-list-strategies)")
+	budget := flag.String("budget", "", "solver-stage budget: eval count, duration, or both (\"20000,30s\")")
+	seed := flag.Int64("seed", 7, "solver-stage randomness seed")
 	listM := flag.Bool("list-models", false, "list registered model names")
 	listW := flag.Bool("list-wafers", false, "list registered wafer names")
+	listSt := flag.Bool("list-strategies", false, "list registered search strategies")
 	flag.Parse()
 	engine.SetWorkers(*workers)
 
@@ -153,10 +164,19 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	case *listSt:
+		for _, n := range solver.StrategyNames() {
+			fmt.Println(n)
+		}
+		return
 	case *scenario != "":
 		ss, err := spec.LoadScenario(*scenario)
+		var override *spec.SolverStage
 		if err == nil {
-			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers)
+			override, err = spec.SolverOverride(*strategy, *budget, *seed, *workers)
+		}
+		if err == nil {
+			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers, override)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
@@ -165,8 +185,12 @@ func main() {
 		return
 	case *scenarios != "":
 		sss, err := spec.LoadScenarioDir(*scenarios)
+		var override *spec.SolverStage
 		if err == nil {
-			err = runScenarios(sss, *jsonPath, *workers)
+			override, err = spec.SolverOverride(*strategy, *budget, *seed, *workers)
+		}
+		if err == nil {
+			err = runScenarios(sss, *jsonPath, *workers, override)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)

@@ -1,13 +1,17 @@
 // Command tempsim evaluates one training configuration on the wafer
 // simulator and prints the latency/memory/power breakdown. Models and
 // wafers resolve through the scenario registry, and whole scenarios
-// can be supplied as JSON files.
+// can be supplied as JSON files. -strategy adds (or overrides) a
+// partition-mapping search stage on scenario runs, solved by any
+// registered strategy under an optional -budget.
 //
 //	tempsim -model gpt3-6.7b -dp 4 -tatp 8
 //	tempsim -model llama3-70b -engine smap -tp 8 -dp 4 -recompute none
 //	tempsim -scenario examples/custom_scenario/scenario.json
+//	tempsim -scenario scenario.json -strategy portfolio -budget 30s
 //	tempsim -scenarios scenarios/        # batch, one result per file
 //	tempsim -list-models                 # registry contents
+//	tempsim -list-strategies             # search strategies
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"temp/internal/model"
 	"temp/internal/parallel"
 	"temp/internal/sim"
+	"temp/internal/solver"
 	"temp/internal/spec"
 	"temp/internal/unit"
 )
@@ -66,10 +71,25 @@ func printScenarioResult(r sim.ScenarioResult) {
 	if r.Faulted {
 		line += fmt.Sprintf(" fault-norm-tput=%.3f", r.FaultNormTput)
 	}
+	if r.Solver != nil {
+		line += fmt.Sprintf(" solver=%s cost=%.3fms", r.Solver.Strategy, r.Solver.FinalCost*1e3)
+	}
 	fmt.Println(line)
 }
 
-func runScenarioFile(path string) error {
+// printSolverOutcome renders a scenario's search stage.
+func printSolverOutcome(o *sim.SolverOutcome) {
+	name := o.Strategy
+	if o.Winner != "" {
+		name += " (winner " + o.Winner + ")"
+	}
+	fmt.Printf("solver     %s: seed %.3fms -> final %.3fms (%d evals, %s)\n",
+		name, o.DPCost*1e3, o.FinalCost*1e3, o.Evaluations, o.Elapsed)
+	fmt.Printf("           dominant per-op strategy %s (%.0f%% of operators)\n",
+		o.Dominant, o.Share*100)
+}
+
+func runScenarioFile(path string, override *spec.SolverStage) error {
 	ss, err := spec.LoadScenario(path)
 	if err != nil {
 		return err
@@ -78,8 +98,11 @@ func runScenarioFile(path string) error {
 	if err != nil {
 		return err
 	}
-	// One pass: RunScenarios carries both the breakdown and the
-	// optional fault stage.
+	if override != nil {
+		sc.Solver = override
+	}
+	// One pass: RunScenarios carries the breakdown plus the optional
+	// solver and fault stages.
 	res := sim.RunScenarios([]spec.Scenario{sc})[0]
 	if res.Err != nil {
 		return res.Err
@@ -97,6 +120,9 @@ func runScenarioFile(path string) error {
 	if res.Faulted {
 		fmt.Printf("fault      norm tput %.3f (link=%.2f core=%.2f, %d trials)\n",
 			res.FaultNormTput, sc.Fault.LinkRate, sc.Fault.CoreRate, sc.Fault.TrialCount())
+	}
+	if res.Solver != nil {
+		printSolverOutcome(res.Solver)
 	}
 	return nil
 }
@@ -123,9 +149,13 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
 		scenario  = flag.String("scenario", "", "run one scenario JSON file")
 		scenarios = flag.String("scenarios", "", "run every *.json scenario in a directory")
+		strategy  = flag.String("strategy", "", "add/override a solver stage on scenario runs (-list-strategies)")
+		budget    = flag.String("budget", "", "solver-stage budget: eval count, duration, or both (\"20000,30s\")")
+		seed      = flag.Int64("seed", 7, "solver-stage randomness seed")
 		listM     = flag.Bool("list-models", false, "list registered model names")
 		listW     = flag.Bool("list-wafers", false, "list registered wafer names")
 		listS     = flag.Bool("list-systems", false, "list registered system names")
+		listSt    = flag.Bool("list-strategies", false, "list registered search strategies")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
@@ -146,20 +176,34 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	case *listSt:
+		for _, n := range solver.StrategyNames() {
+			fmt.Println(n)
+		}
+		return
 	case *scenario != "":
-		if err := runScenarioFile(*scenario); err != nil {
+		override, err := spec.SolverOverride(*strategy, *budget, *seed, *workers)
+		if err == nil {
+			err = runScenarioFile(*scenario, override)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempsim:", err)
 			os.Exit(1)
 		}
 		return
 	case *scenarios != "":
+		override, err := spec.SolverOverride(*strategy, *budget, *seed, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempsim:", err)
+			os.Exit(1)
+		}
 		specs, err := spec.LoadScenarioDir(*scenarios)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempsim:", err)
 			os.Exit(1)
 		}
 		failed := false
-		for _, r := range sim.RunScenarioSpecs(specs) {
+		for _, r := range sim.RunScenarioSpecsWithSolver(specs, override) {
 			printScenarioResult(r)
 			failed = failed || r.Err != nil
 		}

@@ -1,17 +1,23 @@
-// Command tempsolve runs the dual-level wafer solver (DLWS) for a
-// model: the per-operator dual-level search over the hybrid strategy
-// space, followed by a full-simulator evaluation of the best uniform
-// configuration. Models and wafers resolve through the scenario
-// registry; -scenario solves the model/wafer pair a JSON scenario
-// defines.
+// Command tempsolve runs the partition-mapping search for a model:
+// any registered search strategy (the paper's dual-level GA, simulated
+// annealing, random-restart hill-climb, chain-DP only, or a portfolio
+// racing them) over the hybrid strategy space, followed by a
+// full-simulator evaluation of the best uniform configuration. Models
+// and wafers resolve through the scenario registry; -scenario solves
+// the model/wafer pair a JSON scenario defines (honouring its solver
+// stage unless -strategy overrides it).
 //
 //	tempsolve -model gpt3-175b
+//	tempsolve -model llama3-70b -strategy portfolio
+//	tempsolve -model llama3-70b -strategy anneal -budget 20000,30s
 //	tempsolve -model llama3-70b -no-ga
 //	tempsolve -scenario examples/custom_scenario/scenario.json
 //	tempsolve -scenarios scenarios/
+//	tempsolve -list-strategies
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +33,9 @@ import (
 	"temp/internal/unit"
 )
 
-// solve runs the dual-level search plus full-simulator cross-check
-// for one model/wafer pair.
-func solve(m model.Config, w hw.Wafer, seed int64, noGA bool, workers int) error {
+// solve runs the search strategy plus full-simulator cross-check for
+// one model/wafer pair.
+func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget) error {
 	g := model.BlockGraph(m)
 	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 	if len(space) == 0 {
@@ -37,13 +43,31 @@ func solve(m model.Config, w hw.Wafer, seed int64, noGA bool, workers int) error
 	}
 	cm := &solver.Analytic{W: w, M: m}
 
-	assign, stats := solver.DLS(g, space, cm,
-		solver.DLSOptions{Seed: seed, DisableGA: noGA, Workers: workers})
+	assign, stats := st.Solve(context.Background(),
+		solver.Problem{Graph: g, Space: space, Model: cm}, b)
 	fmt.Printf("model        %s on %s\n", m, w.Name)
+	fmt.Printf("strategy     %s", stats.Strategy)
+	if stats.Winner != "" {
+		fmt.Printf(" (winner %s of %d racers)", stats.Winner, len(stats.Sub))
+	}
+	fmt.Println()
 	fmt.Printf("search space %d strategies × %d operators\n", len(space), len(g.Ops))
-	fmt.Printf("search time  %s (%d cost-model evaluations, %d GA generations)\n",
-		stats.Elapsed, stats.Evaluations, stats.Generations)
-	fmt.Printf("chain-DP cost %.3fms, final cost %.3fms\n", stats.DPCost*1e3, stats.FinalCost*1e3)
+	fmt.Printf("search time  %s (%d cost-model evaluations", stats.Elapsed, stats.Evaluations)
+	switch {
+	case stats.Generations > 0:
+		fmt.Printf(", %d GA generations", stats.Generations)
+	case stats.Restarts > 0:
+		fmt.Printf(", %d moves over %d restarts", stats.Iterations, stats.Restarts)
+	case stats.Iterations > 0:
+		fmt.Printf(", %d moves", stats.Iterations)
+	}
+	fmt.Println(")")
+	if len(stats.Checkpoints) > 0 {
+		last := stats.Checkpoints[len(stats.Checkpoints)-1]
+		fmt.Printf("checkpoints  %d (last: iter %d, cost %.3fms)\n",
+			len(stats.Checkpoints), last.Iteration, last.Cost*1e3)
+	}
+	fmt.Printf("seed cost %.3fms, final cost %.3fms\n", stats.DPCost*1e3, stats.FinalCost*1e3)
 	fmt.Println("per-operator strategies:")
 	for i, op := range g.Ops {
 		fmt.Printf("  %-14s %s\n", op.Name, space[assign[i]])
@@ -62,13 +86,23 @@ func solve(m model.Config, w hw.Wafer, seed int64, noGA bool, workers int) error
 }
 
 // solveScenario resolves a scenario spec and solves its model/wafer.
-func solveScenario(ss spec.ScenarioSpec, seed int64, noGA bool, workers int) error {
+// The scenario's own solver stage applies unless the CLI overrides
+// the strategy.
+func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, override bool) error {
 	sc, err := ss.Resolve()
 	if err != nil {
 		return err
 	}
+	if !override && sc.Solver != nil {
+		st = sc.Solver.Strategy
+		workers := b.Workers
+		b = sc.Solver.Budget
+		if b.Workers == 0 {
+			b.Workers = workers
+		}
+	}
 	fmt.Printf("scenario     %s\n", sc.Name)
-	return solve(sc.Model, sc.Wafer, seed, noGA, workers)
+	return solve(sc.Model, sc.Wafer, st, b)
 }
 
 func main() {
@@ -77,16 +111,24 @@ func main() {
 		waferName = flag.String("wafer", "", "registered wafer name (-list-wafers); overrides -rows/-cols")
 		rows      = flag.Int("rows", 4, "wafer die rows")
 		cols      = flag.Int("cols", 8, "wafer die columns")
-		noGA      = flag.Bool("no-ga", false, "stop after chain dynamic programming")
-		seed      = flag.Int64("seed", 7, "genetic-stage seed")
+		strategy  = flag.String("strategy", "ga", "search strategy (-list-strategies)")
+		budget    = flag.String("budget", "", "search budget: eval count, duration, or both (\"20000,30s\")")
+		noGA      = flag.Bool("no-ga", false, "stop after chain dynamic programming (alias for -strategy dp)")
+		seed      = flag.Int64("seed", 7, "search randomness seed")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
 		scenario  = flag.String("scenario", "", "solve the model/wafer of one scenario JSON file")
 		scenarios = flag.String("scenarios", "", "solve every *.json scenario in a directory")
 		listM     = flag.Bool("list-models", false, "list registered model names")
 		listW     = flag.Bool("list-wafers", false, "list registered wafer names")
+		listS     = flag.Bool("list-strategies", false, "list registered search strategies")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tempsolve:", err)
+		os.Exit(1)
+	}
 
 	switch {
 	case *listM:
@@ -99,29 +141,61 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	case *listS:
+		for _, n := range solver.StrategyNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	strategyName := *strategy
+	overridden := *noGA
+	strategySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "strategy" || f.Name == "budget" {
+			overridden = true
+		}
+		if f.Name == "strategy" {
+			strategySet = true
+		}
+	})
+	if *noGA {
+		if strategySet && strategyName != "dp" {
+			fail(fmt.Errorf("-no-ga conflicts with -strategy %s (it is an alias for -strategy dp)", strategyName))
+		}
+		strategyName = "dp"
+	}
+	st, err := solver.NewStrategy(strategyName, solver.Params{"seed": float64(*seed)})
+	if err != nil {
+		fail(err)
+	}
+	b, err := spec.ParseBudget(*budget)
+	if err != nil {
+		fail(err)
+	}
+	b.Workers = *workers
+
+	switch {
 	case *scenario != "":
 		ss, err := spec.LoadScenario(*scenario)
 		if err == nil {
-			err = solveScenario(ss, *seed, *noGA, *workers)
+			err = solveScenario(ss, st, b, overridden)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tempsolve:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	case *scenarios != "":
 		sss, err := spec.LoadScenarioDir(*scenarios)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tempsolve:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		for i, ss := range sss {
 			if i > 0 {
 				fmt.Println()
 			}
-			if err := solveScenario(ss, *seed, *noGA, *workers); err != nil {
-				fmt.Fprintln(os.Stderr, "tempsolve:", err)
-				os.Exit(1)
+			if err := solveScenario(ss, st, b, overridden); err != nil {
+				fail(err)
 			}
 		}
 		return
@@ -129,20 +203,17 @@ func main() {
 
 	m, err := spec.LookupModel(*name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tempsolve:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	var w hw.Wafer
 	if *waferName != "" {
 		if w, err = spec.LookupWafer(*waferName); err != nil {
-			fmt.Fprintln(os.Stderr, "tempsolve:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	} else {
 		w = hw.WaferWithGrid(*rows, *cols)
 	}
-	if err := solve(m, w, *seed, *noGA, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "tempsolve:", err)
-		os.Exit(1)
+	if err := solve(m, w, st, b); err != nil {
+		fail(err)
 	}
 }

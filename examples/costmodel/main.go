@@ -35,7 +35,10 @@ func main() {
 	g := temp.BlockGraph(m)
 	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 	cm := &temp.AnalyticCostModel{W: w, M: m}
-	assign, stats := temp.DLS(g, space, cm, temp.DLSOptions{Seed: 7})
+	assign, stats, err := temp.DLS(g, space, cm, temp.DLSOptions{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("  searched %d strategies × %d ops in %s (%d evaluations)\n",
 		len(space), len(g.Ops), stats.Elapsed, stats.Evaluations)
 	for i, op := range g.Ops[:4] {

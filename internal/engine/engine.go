@@ -40,34 +40,26 @@ type Result struct {
 // path; must be a power of two.
 const shardCount = 64
 
-type cacheShard struct {
-	mu sync.RWMutex
-	m  map[Job]Result
-}
-
 // Cache is a goroutine-safe sharded memoization cache over
-// cost.Evaluate. The cost model is deterministic, so concurrent
-// misses on the same key may compute twice but always store the same
-// value; hit/miss counters track effectiveness.
+// cost.Evaluate, built on the shared Memo helper. The cost model is
+// deterministic, so concurrent misses on the same key may compute
+// twice but always store the same value; hit/miss counters track
+// effectiveness.
 type Cache struct {
-	shards [shardCount]cacheShard
+	memo   *Memo[Job, Result]
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	c := &Cache{}
-	for i := range c.shards {
-		c.shards[i].m = make(map[Job]Result)
-	}
-	return c
+	return &Cache{memo: NewMemo[Job, Result](shardCount, jobHash)}
 }
 
-// shardIndex mixes the discriminating key fields with FNV-1a. Only
+// jobHash mixes the discriminating key fields with FNV-1a. Only
 // shard selection depends on it, so it hashes a representative
 // subset of the key, not every field.
-func shardIndex(j Job) int {
+func jobHash(j Job) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
@@ -102,7 +94,7 @@ func shardIndex(j Job) int {
 	mix(uint64(j.Opts.Recompute))
 	mix(uint64(j.Opts.Microbatch))
 	mix(uint64(j.Opts.Wafers))
-	return int(h & (shardCount - 1))
+	return h
 }
 
 // Evaluate returns the memoized cost-model result for one job.
@@ -110,21 +102,16 @@ func (c *Cache) Evaluate(j Job) (cost.Breakdown, error) {
 	// Normalize so equivalent configurations share one entry; the
 	// cost model normalizes internally, so the result is identical.
 	j.Config = j.Config.Normalize()
-	sh := &c.shards[shardIndex(j)]
-	sh.mu.RLock()
-	r, ok := sh.m[j]
-	sh.mu.RUnlock()
-	if ok {
+	r, fresh := c.memo.Get(j, func() Result {
+		b, err := cost.Evaluate(j.Model, j.Wafer, j.Config, j.Opts)
+		return Result{Breakdown: b, Err: err}
+	})
+	if fresh {
+		c.misses.Add(1)
+	} else {
 		c.hits.Add(1)
-		return r.Breakdown, r.Err
 	}
-	c.misses.Add(1)
-	b, err := cost.Evaluate(j.Model, j.Wafer, j.Config, j.Opts)
-	r = Result{Breakdown: b, Err: err}
-	sh.mu.Lock()
-	sh.m[j] = r
-	sh.mu.Unlock()
-	return b, err
+	return r.Breakdown, r.Err
 }
 
 // Stats reports cache effectiveness counters.
@@ -135,13 +122,7 @@ type Stats struct {
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() Stats {
-	s := Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
-	for i := range c.shards {
-		c.shards[i].mu.RLock()
-		s.Entries += len(c.shards[i].m)
-		c.shards[i].mu.RUnlock()
-	}
-	return s
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.memo.Len()}
 }
 
 // Pool couples a worker count with a cache. The zero worker count
@@ -195,24 +176,21 @@ func (p *Pool) Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.
 
 // evaluate serves a job from the cache, acquiring a worker token
 // only for the miss path (the actual cost-model computation).
-func (p *Pool) evaluate(j Job) (b cost.Breakdown, err error) {
+func (p *Pool) evaluate(j Job) (cost.Breakdown, error) {
 	j.Config = j.Config.Normalize()
-	sh := &p.cache.shards[shardIndex(j)]
-	sh.mu.RLock()
-	r, ok := sh.m[j]
-	sh.mu.RUnlock()
-	if ok {
-		p.cache.hits.Add(1)
-		return r.Breakdown, r.Err
-	}
-	p.cache.misses.Add(1)
-	p.Do(func() {
-		b, err = cost.Evaluate(j.Model, j.Wafer, j.Config, j.Opts)
+	r, fresh := p.cache.memo.Get(j, func() Result {
+		var res Result
+		p.Do(func() {
+			res.Breakdown, res.Err = cost.Evaluate(j.Model, j.Wafer, j.Config, j.Opts)
+		})
+		return res
 	})
-	sh.mu.Lock()
-	sh.m[j] = Result{Breakdown: b, Err: err}
-	sh.mu.Unlock()
-	return b, err
+	if fresh {
+		p.cache.misses.Add(1)
+	} else {
+		p.cache.hits.Add(1)
+	}
+	return r.Breakdown, r.Err
 }
 
 // Sweep fans the jobs out across the pool's workers and returns

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -62,7 +63,10 @@ func SearchTime(quick bool) (*Table, error) {
 		g := model.BlockGraph(m)
 		space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 		cm := &solver.Analytic{W: w, M: m}
-		_, dls := solver.DLS(g, space, cm, solver.DLSOptions{Seed: 7})
+		_, dls, err := solver.DLS(g, space, cm, solver.DLSOptions{Seed: 7})
+		if err != nil {
+			return nil, err
+		}
 		// The exhaustive baseline explodes on the full chain; run it
 		// on the attention segment (the paper's ILP runs for 40h on
 		// the full problem — we compare on what terminates).
@@ -119,10 +123,57 @@ func DLSQuality() (*Table, error) {
 		g := model.BlockGraph(m)
 		space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 		cm := &solver.Analytic{W: w, M: m}
-		_, full := solver.DLS(g, space, cm, solver.DLSOptions{Seed: 7})
+		_, full, err := solver.DLS(g, space, cm, solver.DLSOptions{Seed: 7})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(m.Name, f3(full.DPCost*1e3), f3(full.FinalCost*1e3),
 			f3(full.DPCost/full.FinalCost))
 	}
+	return t, nil
+}
+
+// Strategies compares every registered search strategy on the shared
+// evaluator core: solution cost, effort and wall-clock per strategy,
+// with the GA (the paper's dual-level search) as the reference row.
+// Strategies resolve by registry name, exactly like -strategy on the
+// CLIs, so a newly registered strategy shows up without code changes
+// here.
+func Strategies(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "strategies",
+		Title:   "Search strategies: solution cost and effort per registered strategy",
+		Headers: []string{"model", "strategy", "cost(ms)", "vs ga", "evals", "time(ms)"},
+	}
+	w := evalWafer()
+	models := []model.Config{model.GPT3_6_7B()}
+	if !quick {
+		models = append(models, model.Llama3_70B())
+	}
+	for _, m := range models {
+		g := model.BlockGraph(m)
+		space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+		p := solver.Problem{Graph: g, Space: space, Model: &solver.Analytic{W: w, M: m}}
+		var gaCost float64
+		for _, name := range solver.StrategyNames() {
+			st, err := solver.NewStrategy(name, solver.Params{"seed": 7})
+			if err != nil {
+				return nil, err
+			}
+			_, s := st.Solve(context.Background(), p, solver.Budget{})
+			if name == "ga" {
+				gaCost = s.FinalCost
+			}
+			vs := "-"
+			if gaCost > 0 {
+				vs = f3(s.FinalCost / gaCost)
+			}
+			t.AddRow(m.Name, name, f3(s.FinalCost*1e3), vs,
+				fmt.Sprintf("%d", s.Evaluations),
+				f2(float64(s.Elapsed.Microseconds())/1e3))
+		}
+	}
+	t.AddNote("ga is the paper's dual-level search; portfolio races ga/anneal/hillclimb and returns the best")
 	return t, nil
 }
 
@@ -152,17 +203,19 @@ func Runners() []Runner {
 		{"fig20", Fig20Fault},
 		{"fig21", Fig21CostModel},
 		{"tabH", SearchTime},
+		{"strategies", Strategies},
 		{"dls-quality", func(bool) (*Table, error) { return DLSQuality() }},
 	}
 }
 
 // allRunners is the subset All regenerates (everything but the
-// internal validation table), selected by id so registry order can
-// change freely.
+// internal validation tables — "strategies" is an on-demand
+// optimizer-axis comparison, not a paper artefact), selected by id so
+// registry order can change freely.
 func allRunners() []Runner {
 	var out []Runner
 	for _, r := range Runners() {
-		if r.ID != "dls-quality" {
+		if r.ID != "dls-quality" && r.ID != "strategies" {
 			out = append(out, r)
 		}
 	}

@@ -1,11 +1,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"temp/internal/baselines"
 	"temp/internal/engine"
 	"temp/internal/fault"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/solver"
 	"temp/internal/spec"
 )
 
@@ -37,6 +42,28 @@ func RunScenario(sc spec.Scenario) (baselines.Result, error) {
 	return baselines.Best(sc.System, sc.Model, sc.Wafer)
 }
 
+// SolverOutcome reports a scenario's optional partition-mapping
+// search stage: which strategy ran, what it found, and the dominant
+// per-operator configuration it assigns.
+type SolverOutcome struct {
+	// Strategy is the strategy that ran; Winner names the portfolio
+	// racer that produced the result (empty otherwise).
+	Strategy string
+	Winner   string
+	// DPCost and FinalCost are the chain-DP seed and refined costs.
+	DPCost, FinalCost float64
+	// Evaluations counts distinct cost-model terms priced.
+	Evaluations int
+	// Elapsed is the search wall-clock time.
+	Elapsed time.Duration
+	// Dominant is the configuration most operators are assigned;
+	// Share is its fraction of operators.
+	Dominant parallel.Config
+	Share    float64
+	// Assignment is the per-operator strategy-space assignment.
+	Assignment solver.Assignment
+}
+
 // ScenarioResult pairs one scenario with its outcome. Err is set when
 // the scenario could not be evaluated (e.g. nothing placeable).
 type ScenarioResult struct {
@@ -46,13 +73,47 @@ type ScenarioResult struct {
 	// scenario's fault injection; valid only when Faulted is true.
 	FaultNormTput float64
 	Faulted       bool
-	Err           error
+	// Solver is the optional search-stage outcome.
+	Solver *SolverOutcome
+	Err    error
 }
 
-// runOne evaluates a scenario including its optional fault stage.
+// runSolverStage runs a scenario's search stage on the analytic cost
+// model: the registered strategy searches the per-operator strategy
+// space of the scenario's model/wafer pair under the stage's budget.
+// Deterministic: the strategy is seeded and the evaluator is pure.
+func runSolverStage(sc spec.Scenario) *SolverOutcome {
+	g := model.BlockGraph(sc.Model)
+	space := parallel.EnumerateConfigs(sc.Wafer.Dies(), true, 0)
+	p := solver.Problem{Graph: g, Space: space, Model: &solver.Analytic{W: sc.Wafer, M: sc.Model}}
+	b := sc.Solver.Budget
+	if b.Workers == 0 {
+		// Spec-declared stages inherit the engine's -workers bound so
+		// scenario batches do not oversubscribe the machine.
+		b.Workers = engine.Workers()
+	}
+	a, stats := sc.Solver.Strategy.Solve(context.Background(), p, b)
+	idx, share := solver.Uniform(a)
+	out := &SolverOutcome{
+		Strategy: stats.Strategy, Winner: stats.Winner,
+		DPCost: stats.DPCost, FinalCost: stats.FinalCost,
+		Evaluations: stats.Evaluations, Elapsed: stats.Elapsed,
+		Share: share, Assignment: a,
+	}
+	if len(space) > 0 {
+		out.Dominant = space[idx]
+	}
+	return out
+}
+
+// runOne evaluates a scenario including its optional solver and fault
+// stages.
 func runOne(sc spec.Scenario) ScenarioResult {
 	r, err := RunScenario(sc)
 	out := ScenarioResult{Name: sc.Name, Result: r, Err: err}
+	if err == nil && sc.Solver != nil {
+		out.Solver = runSolverStage(sc)
+	}
 	if err != nil || sc.Fault == nil {
 		return out
 	}
@@ -91,10 +152,21 @@ func RunScenarios(scs []spec.Scenario) []ScenarioResult {
 // spec that fails to resolve contributes an error result rather than
 // aborting the batch.
 func RunScenarioSpecs(specs []spec.ScenarioSpec) []ScenarioResult {
+	return RunScenarioSpecsWithSolver(specs, nil)
+}
+
+// RunScenarioSpecsWithSolver is RunScenarioSpecs with an optional
+// solver-stage override: when non-nil, every scenario in the batch
+// runs the given search stage in place of (or in addition to) the one
+// its spec declares — the CLI -strategy/-budget flags.
+func RunScenarioSpecsWithSolver(specs []spec.ScenarioSpec, override *spec.SolverStage) []ScenarioResult {
 	scs := make([]spec.Scenario, len(specs))
 	errs := make([]error, len(specs))
 	for i, s := range specs {
 		scs[i], errs[i] = s.Resolve()
+		if errs[i] == nil && override != nil {
+			scs[i].Solver = override
+		}
 	}
 	out := make([]ScenarioResult, len(specs))
 	engine.Map(len(specs), func(i int) {

@@ -118,3 +118,59 @@ func TestScenarioFaultStage(t *testing.T) {
 		t.Errorf("normalized throughput = %v, want (0,1]", rs[0].FaultNormTput)
 	}
 }
+
+// TestScenarioSolverStage runs a scenario whose spec declares a
+// solver stage: the outcome must carry the strategy's search result,
+// deterministically across worker counts (modulo wall-clock).
+func TestScenarioSolverStage(t *testing.T) {
+	raw := `{"name":"solved","model":"gpt3-6.7b","wafer":"wsc-4x8",
+	  "solver":{"strategy":"portfolio","seed":7,"budget":{"checkpoint":10}}}`
+	ss, err := spec.ParseScenario([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := engine.Workers()
+	defer engine.SetWorkers(prev)
+
+	engine.SetWorkers(1)
+	serial := RunScenarioSpecs([]spec.ScenarioSpec{ss})[0]
+	engine.SetWorkers(8)
+	parallel8 := RunScenarioSpecs([]spec.ScenarioSpec{ss})[0]
+
+	for _, r := range []ScenarioResult{serial, parallel8} {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Solver == nil {
+			t.Fatal("no solver outcome")
+		}
+		if r.Solver.Strategy != "portfolio" || r.Solver.Winner == "" {
+			t.Errorf("outcome strategy %q winner %q", r.Solver.Strategy, r.Solver.Winner)
+		}
+		if r.Solver.FinalCost <= 0 || r.Solver.FinalCost > r.Solver.DPCost*(1+1e-9) {
+			t.Errorf("degenerate solver costs: dp %v final %v", r.Solver.DPCost, r.Solver.FinalCost)
+		}
+		if len(r.Solver.Assignment) == 0 || r.Solver.Share <= 0 {
+			t.Errorf("missing assignment/dominant share: %+v", r.Solver)
+		}
+	}
+	if serial.Solver.FinalCost != parallel8.Solver.FinalCost ||
+		serial.Solver.Winner != parallel8.Solver.Winner ||
+		!reflect.DeepEqual(serial.Solver.Assignment, parallel8.Solver.Assignment) {
+		t.Errorf("solver stage differs across worker counts:\n  %+v\n  %+v",
+			serial.Solver, parallel8.Solver)
+	}
+
+	// The override hook replaces the declared stage.
+	stage, err := (&spec.SolverSpec{Strategy: "dp"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := RunScenarioSpecsWithSolver([]spec.ScenarioSpec{ss}, stage)[0]
+	if over.Err != nil {
+		t.Fatal(over.Err)
+	}
+	if over.Solver == nil || over.Solver.Strategy != "dp" {
+		t.Fatalf("override not applied: %+v", over.Solver)
+	}
+}

@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Anneal is simulated annealing over the joint assignment: single-gene
+// moves priced through the delta evaluator (at most three cost-model
+// terms per move instead of the full chain), Metropolis acceptance,
+// and a geometric cooling schedule scaled to the chain-DP seed cost.
+// Deterministic per seed; runs serially (the delta evaluation makes
+// each move so cheap that fan-out would cost more than it buys).
+type Anneal struct {
+	// Seed drives the move and acceptance randomness.
+	Seed int64
+	// Iterations is the move count (default 6000).
+	Iterations int
+	// T0 is the initial temperature; 0 scales it to 5% of the seed
+	// assignment's cost.
+	T0 float64
+	// Cool is the per-iteration geometric cooling factor; 0 derives
+	// the factor that decays T0 by 1e4 over the run.
+	Cool float64
+}
+
+// newAnneal builds the registered "anneal" strategy from params.
+func newAnneal(p Params) (Strategy, error) {
+	if err := p.checkKnown("anneal", "iterations", "t0", "cool", "seed"); err != nil {
+		return nil, err
+	}
+	a := &Anneal{
+		Seed:       p.seed(),
+		Iterations: int(p.value("iterations", 0)),
+		T0:         p.value("t0", 0),
+		Cool:       p.value("cool", 0),
+	}
+	if a.Iterations < 0 {
+		return nil, fmt.Errorf("solver: anneal iterations %d is negative", a.Iterations)
+	}
+	if a.T0 < 0 || a.Cool < 0 || a.Cool > 1 {
+		return nil, fmt.Errorf("solver: anneal t0 %v / cool %v out of range", a.T0, a.Cool)
+	}
+	return a, nil
+}
+
+// Name implements Strategy.
+func (s *Anneal) Name() string { return "anneal" }
+
+// Solve implements Strategy.
+func (s *Anneal) Solve(ctx context.Context, p Problem, b Budget) (Assignment, Stats) {
+	stats := Stats{Strategy: s.Name()}
+	if !p.valid() {
+		return nil, stats
+	}
+	iters := s.Iterations
+	if iters == 0 {
+		iters = 6000
+	}
+	ev := p.evaluator()
+	r := newRun(b, ev, &stats)
+
+	seed := p.seedAssignment(ev, b)
+	inc := ev.incremental(seed)
+	curCost := inc.cost()
+	stats.DPCost = curCost
+	best := append(Assignment(nil), seed...)
+	bestCost := curCost
+
+	t := s.T0
+	if t == 0 {
+		t = 0.05 * math.Max(curCost, 1e-12)
+	}
+	cool := s.Cool
+	if cool == 0 {
+		// Decay T0 by 1e4 across the run.
+		cool = math.Pow(1e-4, 1/float64(iters))
+	}
+
+	rng := rand.New(rand.NewSource(s.Seed))
+	n := len(p.Graph.Ops)
+	for it := 0; it < iters; it++ {
+		if r.stop(ctx) {
+			break
+		}
+		stats.Iterations++
+		i := rng.Intn(n)
+		c := rng.Intn(len(p.Space))
+		if c == inc.assign[i] {
+			t *= cool
+			continue
+		}
+		cand := inc.moveCost(i, c)
+		d := cand - curCost
+		if d < 0 || rng.Float64() < math.Exp(-d/t) {
+			inc.apply(i, c)
+			curCost = cand
+			if curCost < bestCost {
+				bestCost = curCost
+				best = append(best[:0], inc.assign...)
+			}
+		}
+		t *= cool
+		r.checkpoint(it+1, best, bestCost)
+	}
+
+	r.finish(bestCost)
+	return best, stats
+}

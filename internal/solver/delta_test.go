@@ -1,0 +1,102 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// TestDeltaCostMatchesFullRecomputation drives the incremental
+// evaluator through randomized single-gene moves and asserts every
+// priced move equals a full assignmentCost recomputation with EXACT
+// float equality — the delta path reuses the same memoized terms and
+// sums them in the same order, so there is no tolerance to hide
+// behind.
+func TestDeltaCostMatchesFullRecomputation(t *testing.T) {
+	for _, m := range []model.Config{model.GPT3_6_7B(), model.GPT3_175B()} {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			w := hw.EvaluationWafer()
+			g := model.BlockGraph(m)
+			space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+			ev := newEvaluator(&Analytic{W: w, M: m}, g.Ops, space)
+
+			rng := rand.New(rand.NewSource(13))
+			start := make(Assignment, len(g.Ops))
+			for i := range start {
+				start[i] = rng.Intn(len(space))
+			}
+			inc := ev.incremental(start)
+			if got, want := inc.cost(), ev.assignmentCost(start); got != want {
+				t.Fatalf("initial incremental cost %v ≠ assignmentCost %v", got, want)
+			}
+
+			scratch := append(Assignment(nil), start...)
+			for move := 0; move < 500; move++ {
+				i := rng.Intn(len(scratch))
+				c := rng.Intn(len(space))
+				// Price the move without applying it.
+				got := inc.moveCost(i, c)
+				old := scratch[i]
+				scratch[i] = c
+				want := ev.assignmentCost(scratch)
+				if got != want {
+					t.Fatalf("move %d (op %d → cfg %d): delta cost %v ≠ full recomputation %v",
+						move, i, c, got, want)
+				}
+				// Apply every other move so the walk visits varied
+				// assignments; revert the rest.
+				if move%2 == 0 {
+					inc.apply(i, c)
+					if inc.cost() != want {
+						t.Fatalf("move %d: applied cost %v ≠ full recomputation %v", move, inc.cost(), want)
+					}
+				} else {
+					scratch[i] = old
+				}
+			}
+			// After the walk the cached view must still agree.
+			if got, want := inc.cost(), ev.assignmentCost(inc.assign); got != want {
+				t.Fatalf("final incremental cost %v ≠ assignmentCost %v", got, want)
+			}
+		})
+	}
+}
+
+// TestDLSOptionsValidate is the table-driven guard that invalid
+// options error instead of being silently clamped.
+func TestDLSOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    DLSOptions
+		wantErr bool
+	}{
+		{"zero-defaults", DLSOptions{}, false},
+		{"explicit", DLSOptions{Population: 16, Generations: 10, MutationRate: 0.2}, false},
+		{"workers", DLSOptions{Workers: 8}, false},
+		{"mutation-one", DLSOptions{MutationRate: 1}, false},
+		{"negative-population", DLSOptions{Population: -1}, true},
+		{"negative-generations", DLSOptions{Generations: -5}, true},
+		{"negative-mutation", DLSOptions{MutationRate: -0.1}, true},
+		{"mutation-above-one", DLSOptions{MutationRate: 1.01}, true},
+		{"negative-workers", DLSOptions{Workers: -2}, true},
+	}
+	g, space, cm := setup()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+			// DLS must surface the same verdict.
+			_, _, err = DLS(g, space, cm, tc.opts)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("DLS error = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -30,9 +30,15 @@ func TestDLSWorkerCountInvariance(t *testing.T) {
 		t.Run(tc.m.Name, func(t *testing.T) {
 			g := model.BlockGraph(tc.m)
 			cm := &Analytic{W: w, M: tc.m}
-			refAssign, refStats := DLS(g, space, cm, DLSOptions{Seed: tc.seed, Workers: 1})
+			refAssign, refStats, err := DLS(g, space, cm, DLSOptions{Seed: tc.seed, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, workers := range []int{2, 8} {
-				a, s := DLS(g, space, cm, DLSOptions{Seed: tc.seed, Workers: workers})
+				a, s, err := DLS(g, space, cm, DLSOptions{Seed: tc.seed, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
 				if s.FinalCost != refStats.FinalCost {
 					t.Errorf("workers=%d: FinalCost %v ≠ serial %v", workers, s.FinalCost, refStats.FinalCost)
 				}

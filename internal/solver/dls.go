@@ -1,14 +1,11 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"temp/internal/engine"
 	"temp/internal/model"
 	"temp/internal/parallel"
 )
@@ -16,25 +13,6 @@ import (
 // Assignment maps each operator of the block graph to an index into
 // the strategy space.
 type Assignment []int
-
-// Stats records what a search did.
-type Stats struct {
-	// Evaluations counts distinct Intra/Inter cost-model calls (the
-	// memoized unique-key count, identical at any worker count).
-	Evaluations int
-	// Nodes counts search-tree expansions (exhaustive search only);
-	// it is the quantity that explodes as Ω(|S|^m) in §III
-	// challenge 3.
-	Nodes int
-	// Elapsed is the wall-clock search time.
-	Elapsed time.Duration
-	// DPCost is the chain-optimal cost found by dynamic programming.
-	DPCost float64
-	// FinalCost is the cost after genetic refinement.
-	FinalCost float64
-	// Generations the GA ran.
-	Generations int
-}
 
 // DLSOptions tunes the dual-level search.
 type DLSOptions struct {
@@ -56,293 +34,49 @@ type DLSOptions struct {
 	Workers int
 }
 
-func (o DLSOptions) withDefaults() DLSOptions {
-	if o.Population == 0 {
-		o.Population = 32
+// Validate rejects structurally invalid options. Zero values are
+// legal (they select defaults); negative sizes and out-of-range
+// rates, which the pre-framework search silently accepted, are
+// errors.
+func (o DLSOptions) Validate() error {
+	if o.Population < 0 {
+		return fmt.Errorf("solver: population %d is negative", o.Population)
 	}
-	if o.Generations == 0 {
-		o.Generations = 40
+	if o.Generations < 0 {
+		return fmt.Errorf("solver: generations %d is negative", o.Generations)
 	}
-	if o.MutationRate == 0 {
-		o.MutationRate = 0.15
+	if o.MutationRate < 0 || o.MutationRate > 1 {
+		return fmt.Errorf("solver: mutation rate %v outside [0,1]", o.MutationRate)
 	}
-	return o
-}
-
-// evalShards shards the memo maps so parallel GA workers do not
-// serialize on one lock; must be a power of two.
-const evalShards = 16
-
-type memoShard[K comparable] struct {
-	mu sync.RWMutex
-	m  map[K]float64
-}
-
-// get returns the memoized value for k, computing it at most once
-// per distinct key observed at insert time; fresh reports whether
-// this call stored a new entry (for deterministic evaluation
-// counting — duplicate concurrent computes of the same key return
-// the stored value and do not count).
-func (s *memoShard[K]) get(k K, compute func() float64) (v float64, fresh bool) {
-	s.mu.RLock()
-	v, ok := s.m[k]
-	s.mu.RUnlock()
-	if ok {
-		return v, false
+	if o.Workers < 0 {
+		return fmt.Errorf("solver: workers %d is negative", o.Workers)
 	}
-	v = compute()
-	s.mu.Lock()
-	if old, ok := s.m[k]; ok {
-		s.mu.Unlock()
-		return old, false
-	}
-	s.m[k] = v
-	s.mu.Unlock()
-	return v, true
-}
-
-// evalCounter wraps a CostModel to count evaluations and memoize.
-// It is safe for concurrent use: the memo maps are sharded behind
-// read-write locks and the counter is atomic, so parallel GA workers
-// share one memo. The count is the number of distinct keys
-// evaluated, which is identical in serial and parallel runs.
-type evalCounter struct {
-	cm    CostModel
-	ops   []model.Op
-	space []parallel.Config
-	n     atomic.Int64
-
-	intra [evalShards]memoShard[[2]int]
-	inter [evalShards]memoShard[[3]int]
-	mem   [evalShards]memoShard[int]
-}
-
-func newEvalCounter(cm CostModel, ops []model.Op, space []parallel.Config) *evalCounter {
-	e := &evalCounter{cm: cm, ops: ops, space: space}
-	for i := 0; i < evalShards; i++ {
-		e.intra[i].m = map[[2]int]float64{}
-		e.inter[i].m = map[[3]int]float64{}
-		e.mem[i].m = map[int]float64{}
-	}
-	return e
-}
-
-func (e *evalCounter) intraCost(op, cfg int) float64 {
-	v, fresh := e.intra[(op*31+cfg)&(evalShards-1)].get([2]int{op, cfg}, func() float64 {
-		return e.cm.Intra(e.ops[op], e.space[cfg])
-	})
-	if fresh {
-		e.n.Add(1)
-	}
-	return v
-}
-
-func (e *evalCounter) interCost(op int, a, b int) float64 {
-	if op == 0 {
-		return 0
-	}
-	v, fresh := e.inter[(op*31+a*7+b)&(evalShards-1)].get([3]int{op, a, b}, func() float64 {
-		return e.cm.Inter(e.ops[op-1], e.ops[op], e.space[a], e.space[b])
-	})
-	if fresh {
-		e.n.Add(1)
-	}
-	return v
-}
-
-func (e *evalCounter) memoryOK(cfg int) bool {
-	v, fresh := e.mem[cfg&(evalShards-1)].get(cfg, func() float64 {
-		if e.cm.MemoryOK(e.space[cfg]) {
-			return 1
-		}
-		return 0
-	})
-	if fresh {
-		e.n.Add(1)
-	}
-	return v == 1
-}
-
-// oomPenalty dominates any latency; an assignment with an
-// out-of-memory gene can never beat a feasible one.
-const oomPenalty = 1e6
-
-func (e *evalCounter) penalty(cfg int) float64 {
-	if e.memoryOK(cfg) {
-		return 0
-	}
-	return oomPenalty
-}
-
-// assignmentCost totals the chain objective of Eq. (4) plus an OOM
-// penalty for strategies that exceed per-die memory.
-func (e *evalCounter) assignmentCost(a Assignment) float64 {
-	var total float64
-	for i, cfg := range a {
-		total += e.intraCost(i, cfg) + e.penalty(cfg)
-		if i > 0 {
-			total += e.interCost(i, a[i-1], cfg)
-		}
-	}
-	return total
+	return nil
 }
 
 // DLS runs the dual-level search of Fig. 12(b) over the block graph:
 // the chain is cut at residual-free boundaries, a recursive dynamic
 // program finds the chain-optimal per-operator strategies, and a
 // genetic stage refines the joint assignment under the global memory
-// constraint. Each generation's population is priced in parallel
-// across opts.Workers goroutines through the shared memo; for a
-// fixed seed the returned assignment and cost are bit-identical at
-// any worker count. Returns the assignment, its cost, and search
-// stats.
-func DLS(g model.Graph, space []parallel.Config, cm CostModel, opts DLSOptions) (Assignment, Stats) {
-	opts = opts.withDefaults()
-	start := time.Now()
-	ev := newEvalCounter(cm, g.Ops, space)
-
-	// Level 1: dynamic programming per residual-free segment. The
-	// segment boundaries cut the O(N²) joint space into independent
-	// chains (§VII-B); transitions across boundaries are still
-	// charged via interCost when totalling.
-	assign := make(Assignment, len(g.Ops))
-	offset := 0
-	for _, seg := range g.Segments() {
-		segAssign := chainDP(ev, offset, len(seg))
-		copy(assign[offset:], segAssign)
-		offset += len(seg)
+// constraint. It is the GA strategy behind the pre-framework entry
+// point: for a fixed seed the returned assignment and cost are
+// bit-identical at any worker count. Invalid options (negative sizes,
+// out-of-range rates) are reported instead of silently clamped.
+func DLS(g model.Graph, space []parallel.Config, cm CostModel, opts DLSOptions) (Assignment, Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, Stats{}, err
 	}
-	dpCost := ev.assignmentCost(assign)
-
-	stats := Stats{DPCost: dpCost}
-	best := append(Assignment(nil), assign...)
-	bestCost := dpCost
-
-	// Level 2: genetic refinement (crossover, mutation, elitism) on
-	// the joint genome, seeded with the DP solution. Only the cost
-	// evaluation fans out; selection and variation stay serial so
-	// the RNG stream matches the single-threaded search exactly.
-	if !opts.DisableGA {
-		rng := rand.New(rand.NewSource(opts.Seed))
-		pop := make([]Assignment, opts.Population)
-		costs := make([]float64, opts.Population)
-		pop[0] = append(Assignment(nil), assign...)
-		for i := 1; i < opts.Population; i++ {
-			ind := append(Assignment(nil), assign...)
-			// Diversify: re-roll a few genes.
-			for j := range ind {
-				if rng.Float64() < 0.3 {
-					ind[j] = rng.Intn(len(space))
-				}
-			}
-			pop[i] = ind
-		}
-		evalPop := func() {
-			engine.ForEach(opts.Workers, len(pop), func(i int) {
-				costs[i] = ev.assignmentCost(pop[i])
-			})
-		}
-		evalPop()
-		for gen := 0; gen < opts.Generations; gen++ {
-			stats.Generations++
-			next := make([]Assignment, 0, opts.Population)
-			// Elitism: carry the best individual forward.
-			eliteIdx := 0
-			for i := range costs {
-				if costs[i] < costs[eliteIdx] {
-					eliteIdx = i
-				}
-			}
-			next = append(next, append(Assignment(nil), pop[eliteIdx]...))
-			for len(next) < opts.Population {
-				a := tournament(rng, pop, costs)
-				b := tournament(rng, pop, costs)
-				child := crossover(rng, a, b)
-				mutate(rng, child, len(space), opts.MutationRate)
-				next = append(next, child)
-			}
-			pop = next
-			evalPop()
-			for i := range pop {
-				if costs[i] < bestCost {
-					bestCost = costs[i]
-					best = append(Assignment(nil), pop[i]...)
-				}
-			}
-		}
+	ga := &GA{
+		Population:   opts.Population,
+		Generations:  opts.Generations,
+		MutationRate: opts.MutationRate,
+		Seed:         opts.Seed,
+		dpOnly:       opts.DisableGA,
 	}
-
-	stats.FinalCost = bestCost
-	stats.Evaluations = int(ev.n.Load())
-	stats.Elapsed = time.Since(start)
-	return best, stats
-}
-
-// chainDP solves the per-operator assignment of a chain segment
-// [offset, offset+n) optimally in O(n·|S|²).
-func chainDP(ev *evalCounter, offset, n int) Assignment {
-	s := len(ev.space)
-	cost := make([][]float64, n)
-	from := make([][]int, n)
-	for i := range cost {
-		cost[i] = make([]float64, s)
-		from[i] = make([]int, s)
-	}
-	for c := 0; c < s; c++ {
-		cost[0][c] = ev.intraCost(offset, c) + ev.penalty(c)
-	}
-	for i := 1; i < n; i++ {
-		for c := 0; c < s; c++ {
-			best := math.Inf(1)
-			bestFrom := 0
-			for p := 0; p < s; p++ {
-				v := cost[i-1][p] + ev.interCost(offset+i, p, c)
-				if v < best {
-					best = v
-					bestFrom = p
-				}
-			}
-			cost[i][c] = best + ev.intraCost(offset+i, c) + ev.penalty(c)
-			from[i][c] = bestFrom
-		}
-	}
-	// Trace back from the cheapest terminal state.
-	bestC := 0
-	for c := 1; c < s; c++ {
-		if cost[n-1][c] < cost[n-1][bestC] {
-			bestC = c
-		}
-	}
-	out := make(Assignment, n)
-	out[n-1] = bestC
-	for i := n - 1; i > 0; i-- {
-		out[i-1] = from[i][out[i]]
-	}
-	return out
-}
-
-func tournament(rng *rand.Rand, pop []Assignment, costs []float64) Assignment {
-	a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
-	if costs[a] <= costs[b] {
-		return pop[a]
-	}
-	return pop[b]
-}
-
-func crossover(rng *rand.Rand, a, b Assignment) Assignment {
-	child := make(Assignment, len(a))
-	cut := rng.Intn(len(a))
-	copy(child, a[:cut])
-	copy(child[cut:], b[cut:])
-	return child
-}
-
-func mutate(rng *rand.Rand, a Assignment, space int, rate float64) {
-	for i := range a {
-		if rng.Float64() < rate {
-			a[i] = rng.Intn(space)
-		}
-	}
+	a, s := ga.Solve(context.Background(),
+		Problem{Graph: g, Space: space, Model: cm},
+		Budget{Workers: opts.Workers})
+	return a, s, nil
 }
 
 // Exhaustive performs the joint search the paper's ILP baseline
@@ -355,7 +89,7 @@ func mutate(rng *rand.Rand, a Assignment, space int, rate float64) {
 // this one can finish.
 func Exhaustive(g model.Graph, space []parallel.Config, cm CostModel) (Assignment, Stats) {
 	start := time.Now()
-	ev := newEvalCounter(cm, g.Ops, space)
+	ev := newEvaluator(cm, g.Ops, space)
 	n := len(g.Ops)
 	// Hoist the per-config feasibility penalty out of the descent:
 	// every strategy is probed at depth 0 anyway, so this costs no
@@ -390,6 +124,7 @@ func Exhaustive(g model.Graph, space []parallel.Config, cm CostModel) (Assignmen
 	}
 	rec(0, 0)
 	return best, Stats{
+		Strategy:    "exhaustive",
 		Evaluations: int(ev.n.Load()),
 		Nodes:       nodes,
 		Elapsed:     time.Since(start),

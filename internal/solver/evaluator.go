@@ -1,0 +1,254 @@
+package solver
+
+import (
+	"math"
+	"sync/atomic"
+
+	"temp/internal/engine"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// evalShards shards the memo maps so parallel workers do not
+// serialize on one lock.
+const evalShards = 16
+
+// evaluator wraps a CostModel to count evaluations and memoize. It is
+// the shared pricing core every search strategy runs on: the memo
+// maps are the engine's sharded Memo helper and the counter is
+// atomic, so parallel workers share one memo. The count is the number
+// of distinct keys evaluated, which is identical in serial and
+// parallel runs.
+type evaluator struct {
+	cm    CostModel
+	ops   []model.Op
+	space []parallel.Config
+	n     atomic.Int64
+
+	intra *engine.Memo[[2]int, float64]
+	inter *engine.Memo[[3]int, float64]
+	mem   *engine.Memo[int, float64]
+}
+
+func newEvaluator(cm CostModel, ops []model.Op, space []parallel.Config) *evaluator {
+	return &evaluator{
+		cm: cm, ops: ops, space: space,
+		intra: engine.NewMemo[[2]int, float64](evalShards, func(k [2]int) uint64 {
+			return uint64(k[0]*31 + k[1])
+		}),
+		inter: engine.NewMemo[[3]int, float64](evalShards, func(k [3]int) uint64 {
+			return uint64(k[0]*31 + k[1]*7 + k[2])
+		}),
+		mem: engine.NewMemo[int, float64](evalShards, func(k int) uint64 {
+			return uint64(k)
+		}),
+	}
+}
+
+func (e *evaluator) intraCost(op, cfg int) float64 {
+	v, fresh := e.intra.Get([2]int{op, cfg}, func() float64 {
+		return e.cm.Intra(e.ops[op], e.space[cfg])
+	})
+	if fresh {
+		e.n.Add(1)
+	}
+	return v
+}
+
+func (e *evaluator) interCost(op int, a, b int) float64 {
+	if op == 0 {
+		return 0
+	}
+	v, fresh := e.inter.Get([3]int{op, a, b}, func() float64 {
+		return e.cm.Inter(e.ops[op-1], e.ops[op], e.space[a], e.space[b])
+	})
+	if fresh {
+		e.n.Add(1)
+	}
+	return v
+}
+
+func (e *evaluator) memoryOK(cfg int) bool {
+	v, fresh := e.mem.Get(cfg, func() float64 {
+		if e.cm.MemoryOK(e.space[cfg]) {
+			return 1
+		}
+		return 0
+	})
+	if fresh {
+		e.n.Add(1)
+	}
+	return v == 1
+}
+
+// oomPenalty dominates any latency; an assignment with an
+// out-of-memory gene can never beat a feasible one.
+const oomPenalty = 1e6
+
+func (e *evaluator) penalty(cfg int) float64 {
+	if e.memoryOK(cfg) {
+		return 0
+	}
+	return oomPenalty
+}
+
+// assignmentCost totals the chain objective of Eq. (4) plus an OOM
+// penalty for strategies that exceed per-die memory.
+func (e *evaluator) assignmentCost(a Assignment) float64 {
+	var total float64
+	for i, cfg := range a {
+		total += e.intraCost(i, cfg) + e.penalty(cfg)
+		if i > 0 {
+			total += e.interCost(i, a[i-1], cfg)
+		}
+	}
+	return total
+}
+
+// seedDP runs the level-1 chain dynamic program per residual-free
+// segment (§VII-B) and returns the joint DP assignment — the seed
+// every local-search strategy starts from.
+func (e *evaluator) seedDP(g model.Graph) Assignment {
+	assign := make(Assignment, len(g.Ops))
+	offset := 0
+	for _, seg := range g.Segments() {
+		segAssign := chainDP(e, offset, len(seg))
+		copy(assign[offset:], segAssign)
+		offset += len(seg)
+	}
+	return assign
+}
+
+// chainDP solves the per-operator assignment of a chain segment
+// [offset, offset+n) optimally in O(n·|S|²).
+func chainDP(ev *evaluator, offset, n int) Assignment {
+	s := len(ev.space)
+	cost := make([][]float64, n)
+	from := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]float64, s)
+		from[i] = make([]int, s)
+	}
+	for c := 0; c < s; c++ {
+		cost[0][c] = ev.intraCost(offset, c) + ev.penalty(c)
+	}
+	for i := 1; i < n; i++ {
+		for c := 0; c < s; c++ {
+			best := math.Inf(1)
+			bestFrom := 0
+			for p := 0; p < s; p++ {
+				v := cost[i-1][p] + ev.interCost(offset+i, p, c)
+				if v < best {
+					best = v
+					bestFrom = p
+				}
+			}
+			cost[i][c] = best + ev.intraCost(offset+i, c) + ev.penalty(c)
+			from[i][c] = bestFrom
+		}
+	}
+	// Trace back from the cheapest terminal state.
+	bestC := 0
+	for c := 1; c < s; c++ {
+		if cost[n-1][c] < cost[n-1][bestC] {
+			bestC = c
+		}
+	}
+	out := make(Assignment, n)
+	out[n-1] = bestC
+	for i := n - 1; i > 0; i-- {
+		out[i-1] = from[i][out[i]]
+	}
+	return out
+}
+
+// incremental is the delta-cost view of one working assignment: it
+// caches the per-position intra+penalty and inter terms, so pricing a
+// one-gene move recomputes only the (at most three) affected
+// cost-model terms instead of the full chain. Totals are summed in
+// exactly assignmentCost's left-to-right order over the same memoized
+// term values, so they equal a full recomputation bit-for-bit.
+type incremental struct {
+	ev     *evaluator
+	assign Assignment
+	// intraPen[i] is intraCost(i, assign[i]) + penalty(assign[i]),
+	// added as one expression like assignmentCost does.
+	intraPen []float64
+	// inter[i] couples op i-1 → i; inter[0] is always zero.
+	inter []float64
+}
+
+// incremental snapshots a starting assignment (copied, not aliased).
+func (e *evaluator) incremental(a Assignment) *incremental {
+	inc := &incremental{
+		ev:       e,
+		assign:   append(Assignment(nil), a...),
+		intraPen: make([]float64, len(a)),
+		inter:    make([]float64, len(a)),
+	}
+	for i, cfg := range inc.assign {
+		inc.intraPen[i] = e.intraCost(i, cfg) + e.penalty(cfg)
+		if i > 0 {
+			inc.inter[i] = e.interCost(i, inc.assign[i-1], cfg)
+		}
+	}
+	return inc
+}
+
+// cost totals the cached terms; bit-identical to
+// assignmentCost(inc.assign).
+func (inc *incremental) cost() float64 {
+	var total float64
+	for i := range inc.assign {
+		total += inc.intraPen[i]
+		if i > 0 {
+			total += inc.inter[i]
+		}
+	}
+	return total
+}
+
+// moveCost prices the assignment with gene i set to cfg without
+// applying the move. Only the affected terms hit the cost model; the
+// rest come from the cache.
+func (inc *incremental) moveCost(i, cfg int) float64 {
+	ip := inc.ev.intraCost(i, cfg) + inc.ev.penalty(cfg)
+	var inPrev, inNext float64
+	if i > 0 {
+		inPrev = inc.ev.interCost(i, inc.assign[i-1], cfg)
+	}
+	if i+1 < len(inc.assign) {
+		inNext = inc.ev.interCost(i+1, cfg, inc.assign[i+1])
+	}
+	var total float64
+	for j := range inc.assign {
+		t := inc.intraPen[j]
+		if j == i {
+			t = ip
+		}
+		total += t
+		if j > 0 {
+			e := inc.inter[j]
+			switch j {
+			case i:
+				e = inPrev
+			case i + 1:
+				e = inNext
+			}
+			total += e
+		}
+	}
+	return total
+}
+
+// apply commits the move, refreshing the affected cached terms.
+func (inc *incremental) apply(i, cfg int) {
+	inc.assign[i] = cfg
+	inc.intraPen[i] = inc.ev.intraCost(i, cfg) + inc.ev.penalty(cfg)
+	if i > 0 {
+		inc.inter[i] = inc.ev.interCost(i, inc.assign[i-1], cfg)
+	}
+	if i+1 < len(inc.assign) {
+		inc.inter[i+1] = inc.ev.interCost(i+1, cfg, inc.assign[i+1])
+	}
+}

@@ -1,0 +1,186 @@
+package solver
+
+import (
+	"context"
+	"math/rand"
+
+	"temp/internal/engine"
+)
+
+// GA is the paper's dual-level search (Fig. 12(b)) as a pluggable
+// strategy: chain dynamic programming seeds the population, then a
+// genetic stage (tournament selection, one-point crossover, per-gene
+// mutation, elitism) refines the joint assignment under the global
+// memory constraint. Each generation's population is priced in
+// parallel across Budget.Workers goroutines through the shared memo;
+// for a fixed seed the returned assignment and cost are bit-identical
+// at any worker count — and bit-identical to the pre-framework
+// solver.DLS for the same options.
+type GA struct {
+	// Population and Generations size the genetic stage; zero values
+	// take defaults (32, 40).
+	Population, Generations int
+	// MutationRate per gene (default 0.15).
+	MutationRate float64
+	// Seed drives the GA's randomness.
+	Seed int64
+	// dpOnly stops after dynamic programming (the DLS -no-ga
+	// ablation; exposed as the registered "dp" strategy).
+	dpOnly bool
+}
+
+// newGA builds the registered "ga" strategy from params.
+func newGA(p Params) (Strategy, error) {
+	if err := p.checkKnown("ga", "population", "generations", "mutation", "seed"); err != nil {
+		return nil, err
+	}
+	g := &GA{
+		Population:   int(p.value("population", 0)),
+		Generations:  int(p.value("generations", 0)),
+		MutationRate: p.value("mutation", 0),
+		Seed:         p.seed(),
+	}
+	if err := (DLSOptions{Population: g.Population, Generations: g.Generations,
+		MutationRate: g.MutationRate}).Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Name implements Strategy.
+func (s *GA) Name() string {
+	if s.dpOnly {
+		return "dp"
+	}
+	return "ga"
+}
+
+// Solve implements Strategy. The search trajectory is exactly the
+// pre-framework DLS: the budget and checkpoint hooks only observe it
+// (they never touch the RNG stream), so an unlimited budget
+// reproduces the historical assignments bit-identically per seed.
+func (s *GA) Solve(ctx context.Context, p Problem, b Budget) (Assignment, Stats) {
+	stats := Stats{Strategy: s.Name()}
+	if !p.valid() {
+		return nil, stats
+	}
+	population := s.Population
+	if population == 0 {
+		population = 32
+	}
+	generations := s.Generations
+	if generations == 0 {
+		generations = 40
+	}
+	mutation := s.MutationRate
+	if mutation == 0 {
+		mutation = 0.15
+	}
+
+	ev := p.evaluator()
+	r := newRun(b, ev, &stats)
+
+	// Level 1: dynamic programming per residual-free segment. The
+	// segment boundaries cut the O(N²) joint space into independent
+	// chains (§VII-B); transitions across boundaries are still
+	// charged via interCost when totalling.
+	assign := p.seedAssignment(ev, b)
+	dpCost := ev.assignmentCost(assign)
+	stats.DPCost = dpCost
+	best := append(Assignment(nil), assign...)
+	bestCost := dpCost
+
+	// Level 2: genetic refinement (crossover, mutation, elitism) on
+	// the joint genome, seeded with the DP solution. Only the cost
+	// evaluation fans out; selection and variation stay serial so
+	// the RNG stream matches the single-threaded search exactly.
+	if !s.dpOnly {
+		rng := rand.New(rand.NewSource(s.Seed))
+		pop := make([]Assignment, population)
+		costs := make([]float64, population)
+		pop[0] = append(Assignment(nil), assign...)
+		for i := 1; i < population; i++ {
+			ind := append(Assignment(nil), assign...)
+			// Diversify: re-roll a few genes.
+			for j := range ind {
+				if rng.Float64() < 0.3 {
+					ind[j] = rng.Intn(len(p.Space))
+				}
+			}
+			pop[i] = ind
+		}
+		evalPop := func() {
+			engine.ForEach(b.Workers, len(pop), func(i int) {
+				costs[i] = ev.assignmentCost(pop[i])
+			})
+		}
+		evalPop()
+		for gen := 0; gen < generations; gen++ {
+			if r.stop(ctx) {
+				break
+			}
+			stats.Generations++
+			next := make([]Assignment, 0, population)
+			// Elitism: carry the best individual forward.
+			eliteIdx := 0
+			for i := range costs {
+				if costs[i] < costs[eliteIdx] {
+					eliteIdx = i
+				}
+			}
+			next = append(next, append(Assignment(nil), pop[eliteIdx]...))
+			for len(next) < population {
+				a := tournament(rng, pop, costs)
+				b := tournament(rng, pop, costs)
+				child := crossover(rng, a, b)
+				mutate(rng, child, len(p.Space), mutation)
+				next = append(next, child)
+			}
+			pop = next
+			evalPop()
+			for i := range pop {
+				if costs[i] < bestCost {
+					bestCost = costs[i]
+					best = append(Assignment(nil), pop[i]...)
+				}
+			}
+			r.checkpoint(gen+1, best, bestCost)
+		}
+	}
+
+	r.finish(bestCost)
+	return best, stats
+}
+
+// newDP builds the registered "dp" strategy: chain dynamic
+// programming only, no genetic refinement (the DisableGA ablation).
+func newDP(p Params) (Strategy, error) {
+	if err := p.checkKnown("dp", "seed"); err != nil {
+		return nil, err
+	}
+	return &GA{Seed: p.seed(), dpOnly: true}, nil
+}
+
+func tournament(rng *rand.Rand, pop []Assignment, costs []float64) Assignment {
+	a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+	if costs[a] <= costs[b] {
+		return pop[a]
+	}
+	return pop[b]
+}
+
+func crossover(rng *rand.Rand, a, b Assignment) Assignment {
+	child := make(Assignment, len(a))
+	cut := rng.Intn(len(a))
+	copy(child, a[:cut])
+	copy(child[cut:], b[cut:])
+	return child
+}
+
+func mutate(rng *rand.Rand, a Assignment, space int, rate float64) {
+	for i := range a {
+		if rng.Float64() < rate {
+			a[i] = rng.Intn(space)
+		}
+	}
+}

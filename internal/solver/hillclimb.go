@@ -1,0 +1,125 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+)
+
+// HillClimb is a random-restart stochastic hill-climb: every restart
+// starts from the chain-DP seed (the first verbatim, later ones with
+// a fraction of genes re-rolled), then accepts random single-gene
+// moves only when they improve, priced through the delta evaluator.
+// Deterministic per seed.
+type HillClimb struct {
+	// Seed drives the perturbation and move randomness.
+	Seed int64
+	// Restarts is the restart count (default 4).
+	Restarts int
+	// Iterations is the move count per restart (default 2000).
+	Iterations int
+	// Perturb is the per-gene re-roll probability on restarts after
+	// the first (default 0.3, matching the GA's diversification).
+	Perturb float64
+}
+
+// newHillClimb builds the registered "hillclimb" strategy from
+// params.
+func newHillClimb(p Params) (Strategy, error) {
+	if err := p.checkKnown("hillclimb", "restarts", "iterations", "perturb", "seed"); err != nil {
+		return nil, err
+	}
+	h := &HillClimb{
+		Seed:       p.seed(),
+		Restarts:   int(p.value("restarts", 0)),
+		Iterations: int(p.value("iterations", 0)),
+		Perturb:    p.value("perturb", 0),
+	}
+	if h.Restarts < 0 || h.Iterations < 0 {
+		return nil, fmt.Errorf("solver: hillclimb restarts %d / iterations %d negative", h.Restarts, h.Iterations)
+	}
+	if h.Perturb < 0 || h.Perturb > 1 {
+		return nil, fmt.Errorf("solver: hillclimb perturb %v outside [0,1]", h.Perturb)
+	}
+	return h, nil
+}
+
+// Name implements Strategy.
+func (s *HillClimb) Name() string { return "hillclimb" }
+
+// Solve implements Strategy.
+func (s *HillClimb) Solve(ctx context.Context, p Problem, b Budget) (Assignment, Stats) {
+	stats := Stats{Strategy: s.Name()}
+	if !p.valid() {
+		return nil, stats
+	}
+	restarts := s.Restarts
+	if restarts == 0 {
+		restarts = 4
+	}
+	iters := s.Iterations
+	if iters == 0 {
+		iters = 2000
+	}
+	perturb := s.Perturb
+	if perturb == 0 {
+		perturb = 0.3
+	}
+
+	ev := p.evaluator()
+	r := newRun(b, ev, &stats)
+
+	seed := p.seedAssignment(ev, b)
+	best := append(Assignment(nil), seed...)
+	bestCost := ev.assignmentCost(seed)
+	stats.DPCost = bestCost
+
+	rng := rand.New(rand.NewSource(s.Seed))
+	n := len(p.Graph.Ops)
+	for restart := 0; restart < restarts; restart++ {
+		if r.stop(ctx) {
+			break
+		}
+		stats.Restarts++
+		start := append(Assignment(nil), seed...)
+		if restart > 0 {
+			for j := range start {
+				if rng.Float64() < perturb {
+					start[j] = rng.Intn(len(p.Space))
+				}
+			}
+		}
+		inc := ev.incremental(start)
+		cur := inc.cost()
+		if cur < bestCost {
+			bestCost = cur
+			best = append(best[:0], inc.assign...)
+		}
+		for it := 0; it < iters; it++ {
+			if r.stop(ctx) {
+				break
+			}
+			stats.Iterations++
+			i := rng.Intn(n)
+			c := rng.Intn(len(p.Space))
+			if c == inc.assign[i] {
+				continue
+			}
+			if cand := inc.moveCost(i, c); cand < cur {
+				inc.apply(i, c)
+				cur = cand
+				// Track the global best move-by-move so checkpoints
+				// (and deadline cut-offs) never report a stale
+				// snapshot.
+				if cur < bestCost {
+					bestCost = cur
+					best = append(best[:0], inc.assign...)
+				}
+			}
+			r.checkpoint(stats.Iterations, best, bestCost)
+		}
+	}
+
+	r.finish(bestCost)
+	return best, stats
+}

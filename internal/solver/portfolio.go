@@ -1,0 +1,95 @@
+package solver
+
+import (
+	"context"
+
+	"temp/internal/engine"
+)
+
+// Portfolio races several strategies on the same problem across the
+// engine's worker pool and returns the best assignment any of them
+// finds. Each racer gets its own evaluator (so per-racer stats stay
+// deterministic) and a serial inner budget — the race itself is the
+// parallelism. The first racer is the GA with the portfolio's own
+// seed, so the portfolio never returns a worse assignment than the
+// GA baseline under the same budget; ties break toward the earlier
+// racer.
+type Portfolio struct {
+	// Subs are the raced strategies. Empty defaults to
+	// {ga, anneal, hillclimb} seeded from Seed.
+	Subs []Strategy
+	// Seed derives the default racers' seeds.
+	Seed int64
+}
+
+// newPortfolio builds the registered "portfolio" strategy from
+// params.
+func newPortfolio(p Params) (Strategy, error) {
+	if err := p.checkKnown("portfolio", "seed"); err != nil {
+		return nil, err
+	}
+	return &Portfolio{Seed: p.seed()}, nil
+}
+
+// Name implements Strategy.
+func (s *Portfolio) Name() string { return "portfolio" }
+
+// racers returns the configured or default sub-strategies.
+func (s *Portfolio) racers() []Strategy {
+	if len(s.Subs) > 0 {
+		return s.Subs
+	}
+	return []Strategy{
+		&GA{Seed: s.Seed},
+		&Anneal{Seed: s.Seed + 1},
+		&HillClimb{Seed: s.Seed + 2},
+	}
+}
+
+// Solve implements Strategy. Budget.MaxEvals applies per racer (each
+// owns its evaluator, so every racer searches under the same eval
+// budget); Budget.Deadline is global — it is converted to a shared
+// context deadline before the race, so total wall-clock stays bounded
+// even when the workers bound serializes racers.
+func (s *Portfolio) Solve(ctx context.Context, p Problem, b Budget) (Assignment, Stats) {
+	stats := Stats{Strategy: s.Name()}
+	if !p.valid() {
+		return nil, stats
+	}
+	subs := s.racers()
+	inner := b
+	inner.Workers = 1
+	if b.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.Deadline)
+		defer cancel()
+		inner.Deadline = 0
+	}
+	assigns := make([]Assignment, len(subs))
+	subStats := make([]Stats, len(subs))
+	engine.ForEach(b.Workers, len(subs), func(i int) {
+		assigns[i], subStats[i] = subs[i].Solve(ctx, p, inner)
+	})
+
+	winner := 0
+	for i := 1; i < len(subs); i++ {
+		if subStats[i].FinalCost < subStats[winner].FinalCost {
+			winner = i
+		}
+	}
+	stats.Sub = subStats
+	stats.Winner = subStats[winner].Strategy
+	stats.DPCost = subStats[winner].DPCost
+	stats.FinalCost = subStats[winner].FinalCost
+	stats.Generations = subStats[winner].Generations
+	stats.Iterations = subStats[winner].Iterations
+	stats.Restarts = subStats[winner].Restarts
+	stats.Checkpoints = subStats[winner].Checkpoints
+	for _, ss := range subStats {
+		stats.Evaluations += ss.Evaluations
+		if ss.Elapsed > stats.Elapsed {
+			stats.Elapsed = ss.Elapsed
+		}
+	}
+	return assigns[winner], stats
+}

@@ -8,6 +8,16 @@ import (
 	"temp/internal/parallel"
 )
 
+// mustDLS runs DLS failing the test on option errors.
+func mustDLS(t *testing.T, g model.Graph, space []parallel.Config, cm CostModel, opts DLSOptions) (Assignment, Stats) {
+	t.Helper()
+	a, s, err := DLS(g, space, cm, opts)
+	if err != nil {
+		t.Fatalf("DLS: %v", err)
+	}
+	return a, s
+}
+
 func setup() (model.Graph, []parallel.Config, *Analytic) {
 	m := model.GPT3_6_7B()
 	w := hw.EvaluationWafer()
@@ -62,7 +72,7 @@ func TestChainDPOptimalOnTinyInstance(t *testing.T) {
 	cm := &Analytic{W: w, M: m}
 
 	_, exh := Exhaustive(sub, space, cm)
-	assign, dls := DLS(sub, space, cm, DLSOptions{Seed: 3, DisableGA: true})
+	assign, dls := mustDLS(t, sub, space, cm, DLSOptions{Seed: 3, DisableGA: true})
 	if len(assign) != len(sub.Ops) {
 		t.Fatalf("assignment length %d", len(assign))
 	}
@@ -74,7 +84,7 @@ func TestChainDPOptimalOnTinyInstance(t *testing.T) {
 
 func TestGANeverWorsensDP(t *testing.T) {
 	g, space, cm := setup()
-	_, withGA := DLS(g, space, cm, DLSOptions{Seed: 11})
+	_, withGA := mustDLS(t, g, space, cm, DLSOptions{Seed: 11})
 	if withGA.FinalCost > withGA.DPCost*(1+1e-9) {
 		t.Errorf("GA worsened DP result: %v → %v", withGA.DPCost, withGA.FinalCost)
 	}
@@ -85,8 +95,8 @@ func TestGANeverWorsensDP(t *testing.T) {
 
 func TestDLSDeterministic(t *testing.T) {
 	g, space, cm := setup()
-	a1, s1 := DLS(g, space, cm, DLSOptions{Seed: 5})
-	a2, s2 := DLS(g, space, cm, DLSOptions{Seed: 5})
+	a1, s1 := mustDLS(t, g, space, cm, DLSOptions{Seed: 5})
+	a2, s2 := mustDLS(t, g, space, cm, DLSOptions{Seed: 5})
 	if s1.FinalCost != s2.FinalCost {
 		t.Errorf("same seed, different costs: %v vs %v", s1.FinalCost, s2.FinalCost)
 	}
@@ -105,7 +115,7 @@ func TestDLSFasterThanExhaustive(t *testing.T) {
 	cm := &Analytic{W: w, M: m}
 	sub := model.Graph{Model: m, Ops: g.Ops[:6]}
 
-	_, dls := DLS(g, space, cm, DLSOptions{Seed: 7})
+	_, dls := mustDLS(t, g, space, cm, DLSOptions{Seed: 7})
 	_, exh := Exhaustive(sub, space, cm)
 	// DLS effort is polynomial (memoized model calls); the joint
 	// search expands a tree that grows geometrically per operator.
@@ -122,7 +132,7 @@ func TestDLSAvoidsOOMConfigs(t *testing.T) {
 	g := model.BlockGraph(m)
 	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 	cm := &Analytic{W: w, M: m}
-	assign, stats := DLS(g, space, cm, DLSOptions{Seed: 9})
+	assign, stats := mustDLS(t, g, space, cm, DLSOptions{Seed: 9})
 	if stats.FinalCost >= 1e6 {
 		t.Fatalf("DLS could not find a memory-feasible assignment (cost %v)", stats.FinalCost)
 	}
@@ -154,7 +164,7 @@ func TestExhaustivePruningCorrect(t *testing.T) {
 	cm := &Analytic{W: w, M: m}
 	best, stats := Exhaustive(sub, space, cm)
 
-	ev := newEvalCounter(cm, sub.Ops, space)
+	ev := newEvaluator(cm, sub.Ops, space)
 	bruteBest := 1e300
 	var cur Assignment = make([]int, 3)
 	for a := 0; a < len(space); a++ {

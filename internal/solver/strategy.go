@@ -1,0 +1,272 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// Problem is one partition-mapping search instance: the block graph,
+// the candidate strategy space and the cost model pricing them. Every
+// Strategy solves the same Problem shape over the shared evaluator
+// core, so strategies compose (the portfolio races them) and swap
+// freely behind the CLIs and scenario specs.
+type Problem struct {
+	// Graph is the operator chain being assigned (model.BlockGraph).
+	Graph model.Graph
+	// Space is the candidate strategy space
+	// (parallel.EnumerateConfigs).
+	Space []parallel.Config
+	// Model prices operators; see the CostModel concurrency contract.
+	Model CostModel
+}
+
+// valid reports whether the problem has anything to search.
+func (p Problem) valid() bool {
+	return len(p.Graph.Ops) > 0 && len(p.Space) > 0
+}
+
+// evaluator builds a fresh shared pricing core for one Solve call.
+func (p Problem) evaluator() *evaluator {
+	return newEvaluator(p.Model, p.Graph.Ops, p.Space)
+}
+
+// seedAssignment returns the search's starting point: the budget's
+// Resume snapshot when present (and the right length), otherwise the
+// chain-DP seed.
+func (p Problem) seedAssignment(ev *evaluator, b Budget) Assignment {
+	if len(b.Resume) == len(p.Graph.Ops) && len(b.Resume) > 0 {
+		return append(Assignment(nil), b.Resume...)
+	}
+	return ev.seedDP(p.Graph)
+}
+
+// Budget bounds one Solve call. The zero Budget is unlimited: each
+// strategy runs its configured iteration counts to completion,
+// bit-identically to the pre-framework search.
+type Budget struct {
+	// MaxEvals stops the search once the evaluator has priced this
+	// many distinct cost-model terms; 0 means unlimited.
+	MaxEvals int
+	// Deadline stops the search after this much wall-clock time; 0
+	// means unlimited.
+	Deadline time.Duration
+	// Checkpoint records a best-so-far snapshot in Stats.Checkpoints
+	// every N iterations/generations; 0 disables periodic snapshots.
+	Checkpoint int
+	// Workers bounds parallel evaluation inside a strategy (the GA's
+	// population pricing, the portfolio's race); 0 means GOMAXPROCS.
+	// Results are bit-identical at any worker count.
+	Workers int
+	// Resume warm-starts the search from a prior best-so-far
+	// assignment (e.g. a Stats.Checkpoints entry) instead of the
+	// chain-DP seed. Nil preserves the default seeding.
+	Resume Assignment
+}
+
+// Checkpoint is one periodic best-so-far snapshot: enough to resume
+// the search (pass Assignment as Budget.Resume) or to plot
+// convergence.
+type Checkpoint struct {
+	// Iteration is the generation (GA) or move (local search) index
+	// at which the snapshot was taken.
+	Iteration int
+	// Evaluations is the distinct cost-model evaluation count so far.
+	Evaluations int
+	// Cost is the best cost found so far.
+	Cost float64
+	// Elapsed is the wall-clock time into the search.
+	Elapsed time.Duration
+	// Assignment is a copy of the best assignment so far.
+	Assignment Assignment
+}
+
+// Stats records what a search did.
+type Stats struct {
+	// Strategy names the search that produced these stats.
+	Strategy string
+	// Evaluations counts distinct Intra/Inter cost-model calls (the
+	// memoized unique-key count, identical at any worker count).
+	Evaluations int
+	// Nodes counts search-tree expansions (exhaustive search only);
+	// it is the quantity that explodes as Ω(|S|^m) in §III
+	// challenge 3.
+	Nodes int
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+	// DPCost is the cost of the chain-DP seed (or the Resume
+	// snapshot when warm-started).
+	DPCost float64
+	// FinalCost is the cost after refinement.
+	FinalCost float64
+	// Generations the GA ran.
+	Generations int
+	// Iterations counts local-search moves (anneal, hillclimb).
+	Iterations int
+	// Restarts counts hill-climb restarts.
+	Restarts int
+	// Checkpoints are the periodic best-so-far snapshots requested
+	// via Budget.Checkpoint.
+	Checkpoints []Checkpoint
+	// Winner names the sub-strategy that produced the portfolio's
+	// result; Sub carries each racer's stats.
+	Winner string
+	Sub    []Stats
+}
+
+// Strategy is one pluggable search algorithm over the shared
+// Problem/evaluator core. Implementations must be deterministic per
+// seed and safe to run concurrently with other Solve calls (each call
+// builds its own evaluator state).
+type Strategy interface {
+	// Name identifies the strategy in registries, specs and stats.
+	Name() string
+	// Solve searches the problem within the budget and returns the
+	// best assignment found plus search stats.
+	Solve(ctx context.Context, p Problem, b Budget) (Assignment, Stats)
+}
+
+// Params carries strategy tuning knobs by name ("population",
+// "generations", "mutation", "seed", ...). Unknown knobs are
+// rejected by the factories so spec typos surface as errors.
+type Params map[string]float64
+
+// value returns the named knob or def when absent.
+func (p Params) value(name string, def float64) float64 {
+	if v, ok := p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// seed returns the "seed" knob as an integer.
+func (p Params) seed() int64 { return int64(p.value("seed", 0)) }
+
+// checkKnown rejects knobs outside the allowed set.
+func (p Params) checkKnown(strategy string, known ...string) error {
+	for k := range p {
+		ok := false
+		for _, n := range known {
+			if k == n {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			sort.Strings(known)
+			return fmt.Errorf("solver: strategy %q has no param %q (have %s)",
+				strategy, k, strings.Join(known, ", "))
+		}
+	}
+	return nil
+}
+
+// Factory builds a configured Strategy from named params.
+type Factory func(Params) (Strategy, error)
+
+// strategyRegistry is the name-keyed strategy catalogue the spec
+// layer and the CLIs resolve against.
+var strategyRegistry = struct {
+	mu      sync.RWMutex
+	order   []string
+	factory map[string]Factory
+}{factory: map[string]Factory{}}
+
+// RegisterStrategy adds a named strategy factory. Names are
+// case-insensitive; re-registering a name replaces the previous
+// factory.
+func RegisterStrategy(name string, f Factory) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	strategyRegistry.mu.Lock()
+	defer strategyRegistry.mu.Unlock()
+	if _, exists := strategyRegistry.factory[key]; !exists {
+		strategyRegistry.order = append(strategyRegistry.order, name)
+	}
+	strategyRegistry.factory[key] = f
+}
+
+// NewStrategy builds a registered strategy by name. Names are
+// case-insensitive.
+func NewStrategy(name string, p Params) (Strategy, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	strategyRegistry.mu.RLock()
+	f, ok := strategyRegistry.factory[key]
+	strategyRegistry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown strategy %q (have %s)",
+			name, strings.Join(StrategyNames(), ", "))
+	}
+	return f(p)
+}
+
+// StrategyNames lists registered strategies in registration order.
+func StrategyNames() []string {
+	strategyRegistry.mu.RLock()
+	defer strategyRegistry.mu.RUnlock()
+	out := make([]string, len(strategyRegistry.order))
+	copy(out, strategyRegistry.order)
+	return out
+}
+
+// run tracks one Solve call's budget and checkpoint bookkeeping.
+type run struct {
+	start time.Time
+	b     Budget
+	ev    *evaluator
+	stats *Stats
+}
+
+func newRun(b Budget, ev *evaluator, stats *Stats) *run {
+	return &run{start: time.Now(), b: b, ev: ev, stats: stats}
+}
+
+// stop reports whether the search must end: context cancelled, eval
+// budget spent, or deadline passed.
+func (r *run) stop(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	if r.b.MaxEvals > 0 && int(r.ev.n.Load()) >= r.b.MaxEvals {
+		return true
+	}
+	if r.b.Deadline > 0 && time.Since(r.start) >= r.b.Deadline {
+		return true
+	}
+	return false
+}
+
+// checkpoint records a best-so-far snapshot when the iteration hits
+// the budget's checkpoint interval.
+func (r *run) checkpoint(iter int, best Assignment, cost float64) {
+	if r.b.Checkpoint <= 0 || iter == 0 || iter%r.b.Checkpoint != 0 {
+		return
+	}
+	r.stats.Checkpoints = append(r.stats.Checkpoints, Checkpoint{
+		Iteration:   iter,
+		Evaluations: int(r.ev.n.Load()),
+		Cost:        cost,
+		Elapsed:     time.Since(r.start),
+		Assignment:  append(Assignment(nil), best...),
+	})
+}
+
+// finish stamps the closing stats fields shared by all strategies.
+func (r *run) finish(cost float64) {
+	r.stats.FinalCost = cost
+	r.stats.Evaluations = int(r.ev.n.Load())
+	r.stats.Elapsed = time.Since(r.start)
+}
+
+func init() {
+	RegisterStrategy("ga", newGA)
+	RegisterStrategy("anneal", newAnneal)
+	RegisterStrategy("hillclimb", newHillClimb)
+	RegisterStrategy("dp", newDP)
+	RegisterStrategy("portfolio", newPortfolio)
+}

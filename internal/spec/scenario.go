@@ -147,6 +147,10 @@ type ScenarioSpec struct {
 	Batch int `json:"batch,omitempty"`
 	// Fault adds §VIII-F fault injection on top of the evaluation.
 	Fault *FaultSpec `json:"fault,omitempty"`
+	// Solver adds a per-operator partition-mapping search stage (the
+	// §VII dual-level solver or any registered strategy) on top of
+	// the evaluation.
+	Solver *SolverSpec `json:"solver,omitempty"`
 }
 
 // Scenario is a resolved, validated ScenarioSpec: concrete domain
@@ -160,6 +164,8 @@ type Scenario struct {
 	Config *parallel.Config
 	Wafers int
 	Fault  *FaultSpec
+	// Solver is the resolved optional search stage.
+	Solver *SolverStage
 }
 
 // Validate resolves the spec and reports the first problem.
@@ -212,6 +218,17 @@ func (s ScenarioSpec) Resolve() (Scenario, error) {
 	if sc.Fault != nil && (sc.Fault.LinkRate < 0 || sc.Fault.LinkRate > 1 ||
 		sc.Fault.CoreRate < 0 || sc.Fault.CoreRate > 1) {
 		return Scenario{}, fmt.Errorf("scenario %q: fault rates must lie in [0,1]", s.Name)
+	}
+	if s.Solver != nil {
+		if dies&(dies-1) != 0 {
+			return Scenario{}, fmt.Errorf("scenario %q: solver stage needs a power-of-two die count, wafer %s has %d",
+				s.Name, w.Name, dies)
+		}
+		stage, err := s.Solver.Build()
+		if err != nil {
+			return Scenario{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		sc.Solver = stage
 	}
 	return sc, nil
 }

@@ -1,0 +1,161 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"temp/internal/solver"
+)
+
+// BudgetSpec bounds a solver-stage search: distinct cost-model
+// evaluations, wall-clock time, and the checkpoint interval for
+// best-so-far snapshots. The zero spec is an unlimited budget.
+type BudgetSpec struct {
+	// Evals caps distinct cost-model evaluations (0 = unlimited).
+	Evals int `json:"evals,omitempty"`
+	// Time is a Go duration ("30s", "500ms") capping wall-clock
+	// search time.
+	Time string `json:"time,omitempty"`
+	// Checkpoint records a best-so-far snapshot every N
+	// iterations/generations (0 = none).
+	Checkpoint int `json:"checkpoint,omitempty"`
+}
+
+// Budget converts to the solver representation.
+func (s BudgetSpec) Budget() (solver.Budget, error) {
+	if s.Evals < 0 {
+		return solver.Budget{}, fmt.Errorf("spec: budget evals %d is negative", s.Evals)
+	}
+	if s.Checkpoint < 0 {
+		return solver.Budget{}, fmt.Errorf("spec: budget checkpoint %d is negative", s.Checkpoint)
+	}
+	b := solver.Budget{MaxEvals: s.Evals, Checkpoint: s.Checkpoint}
+	if s.Time != "" {
+		d, err := time.ParseDuration(s.Time)
+		if err != nil {
+			return solver.Budget{}, fmt.Errorf("spec: budget time: %w", err)
+		}
+		if d <= 0 {
+			return solver.Budget{}, fmt.Errorf("spec: budget time %q is not positive", s.Time)
+		}
+		b.Deadline = d
+	}
+	return b, nil
+}
+
+// SolverSpec selects a partition-mapping search strategy by
+// registered name plus tuning params — the optimizer axis of a
+// scenario, serializable like every other spec. The zero spec is the
+// paper's GA with default options.
+type SolverSpec struct {
+	// Strategy is a registered strategy name (ga | anneal |
+	// hillclimb | dp | portfolio); empty defaults to ga.
+	Strategy string `json:"strategy,omitempty"`
+	// Seed drives the strategy's randomness; shorthand for
+	// params["seed"] (the explicit param wins).
+	Seed int64 `json:"seed,omitempty"`
+	// Params are strategy tuning knobs by name ("population",
+	// "iterations", ...); unknown knobs are rejected.
+	Params map[string]float64 `json:"params,omitempty"`
+	// Budget optionally bounds the search.
+	Budget *BudgetSpec `json:"budget,omitempty"`
+}
+
+// StrategyName returns the defaulted strategy name.
+func (s SolverSpec) StrategyName() string {
+	if s.Strategy == "" {
+		return "ga"
+	}
+	return strings.ToLower(strings.TrimSpace(s.Strategy))
+}
+
+// Validate reports structural problems with the spec.
+func (s SolverSpec) Validate() error {
+	_, err := s.Build()
+	return err
+}
+
+// SolverStage is a resolved SolverSpec: the built strategy, its
+// budget, and the name it resolved under.
+type SolverStage struct {
+	Name     string
+	Strategy solver.Strategy
+	Budget   solver.Budget
+}
+
+// Build resolves the spec against the solver's strategy registry.
+func (s SolverSpec) Build() (*SolverStage, error) {
+	params := solver.Params{}
+	for k, v := range s.Params {
+		params[k] = v
+	}
+	if s.Seed != 0 {
+		if _, ok := params["seed"]; !ok {
+			params["seed"] = float64(s.Seed)
+		}
+	}
+	st, err := solver.NewStrategy(s.StrategyName(), params)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	stage := &SolverStage{Name: s.StrategyName(), Strategy: st}
+	if s.Budget != nil {
+		if stage.Budget, err = s.Budget.Budget(); err != nil {
+			return nil, err
+		}
+	}
+	return stage, nil
+}
+
+// SolverOverride builds the stage the CLI -strategy/-budget flags
+// inject into scenario runs (overriding any spec-declared stage);
+// nil when both flags are unset.
+func SolverOverride(strategy, budget string, seed int64, workers int) (*SolverStage, error) {
+	if strategy == "" && budget == "" {
+		return nil, nil
+	}
+	if strategy == "" {
+		strategy = "ga"
+	}
+	st, err := solver.NewStrategy(strategy, solver.Params{"seed": float64(seed)})
+	if err != nil {
+		return nil, err
+	}
+	b, err := ParseBudget(budget)
+	if err != nil {
+		return nil, err
+	}
+	b.Workers = workers
+	return &SolverStage{Name: strategy, Strategy: st, Budget: b}, nil
+}
+
+// ParseBudget parses a CLI -budget flag: an integer evaluation cap
+// ("20000"), a Go duration ("30s"), or both comma-separated
+// ("20000,30s"). Empty means unlimited.
+func ParseBudget(s string) (solver.Budget, error) {
+	var b solver.Budget
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if n, err := strconv.Atoi(tok); err == nil {
+			if n <= 0 {
+				return solver.Budget{}, fmt.Errorf("spec: budget evals %d is not positive", n)
+			}
+			b.MaxEvals = n
+			continue
+		}
+		d, err := time.ParseDuration(tok)
+		if err != nil {
+			return solver.Budget{}, fmt.Errorf("spec: budget %q is neither an eval count nor a duration", tok)
+		}
+		if d <= 0 {
+			return solver.Budget{}, fmt.Errorf("spec: budget duration %q is not positive", tok)
+		}
+		b.Deadline = d
+	}
+	return b, nil
+}

@@ -143,7 +143,8 @@ func BestTEMP(m Model, w Wafer) (Result, error) {
 	return baselines.Best(baselines.TEMP(), m, w)
 }
 
-// Solver surface (DLWS, §VII).
+// Solver surface (DLWS, §VII): the pluggable search-strategy
+// framework over the shared problem/evaluator core.
 type (
 	// CostModel prices operators for the solver.
 	CostModel = solver.CostModel
@@ -153,6 +154,18 @@ type (
 	DLSOptions = solver.DLSOptions
 	// SearchStats reports solver effort and quality.
 	SearchStats = solver.Stats
+	// SearchStrategy is one pluggable search algorithm; SearchProblem
+	// and SearchBudget are its Solve inputs.
+	SearchStrategy = solver.Strategy
+	SearchProblem  = solver.Problem
+	SearchBudget   = solver.Budget
+	// SearchCheckpoint is a periodic best-so-far snapshot.
+	SearchCheckpoint = solver.Checkpoint
+	// StrategyParams are named strategy tuning knobs.
+	StrategyParams = solver.Params
+	// SolverSpec serializes a strategy choice (name + params +
+	// budget) like every other spec.
+	SolverSpec = spec.SolverSpec
 )
 
 // Solver entry points.
@@ -161,6 +174,13 @@ var (
 	DLS = solver.DLS
 	// ExhaustiveSearch is the ILP-stand-in joint search.
 	ExhaustiveSearch = solver.Exhaustive
+	// NewSearchStrategy resolves a registered strategy by name
+	// (ga | anneal | hillclimb | dp | portfolio).
+	NewSearchStrategy = solver.NewStrategy
+	// RegisterSearchStrategy adds a strategy to the registry.
+	RegisterSearchStrategy = solver.RegisterStrategy
+	// SearchStrategyNames lists registered strategies.
+	SearchStrategyNames = solver.StrategyNames
 )
 
 // Fault tolerance surface (§VIII-F).

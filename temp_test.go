@@ -33,7 +33,10 @@ func TestPublicSolver(t *testing.T) {
 	g := BlockGraph(m)
 	cm := &AnalyticCostModel{W: w, M: m}
 	space := TEMPSystem().Configs(w.Dies())
-	assign, stats := DLS(g, space, cm, DLSOptions{Seed: 1, DisableGA: true})
+	assign, stats, err := DLS(g, space, cm, DLSOptions{Seed: 1, DisableGA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(assign) != len(g.Ops) {
 		t.Fatalf("assignment covers %d ops, want %d", len(assign), len(g.Ops))
 	}
