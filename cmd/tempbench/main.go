@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"temp/internal/cost"
 	"temp/internal/engine"
 	"temp/internal/experiments"
 	"temp/internal/sim"
@@ -42,25 +43,40 @@ import (
 // revision-to-revision comparison use TotalSeconds, or time one
 // experiment in isolation with -exp.
 type record struct {
-	ID       string  `json:"id"`
-	Title    string  `json:"title"`
-	Seconds  float64 `json:"seconds"`
-	Rows     int     `json:"rows"`
-	Headline string  `json:"headline,omitempty"`
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	Rows    int     `json:"rows"`
+	// Backend is the cost backend the run priced through and Strategy
+	// the solver strategy in effect (scenario runs) — together they
+	// let BENCH_*.json track the fidelity/speed trajectory across
+	// revisions.
+	Backend  string `json:"backend,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	Headline string `json:"headline,omitempty"`
 }
 
 // output is the top-level -json document.
 type output struct {
 	Quick        bool     `json:"quick"`
 	Workers      int      `json:"workers"`
+	Backend      string   `json:"backend,omitempty"`
 	TotalSeconds float64  `json:"total_seconds"`
 	CacheHits    int64    `json:"cache_hits"`
 	CacheMisses  int64    `json:"cache_misses"`
 	Experiments  []record `json:"experiments"`
 }
 
+// backendLabel names the engine's default backend for perf records.
+func backendLabel() string {
+	if b := engine.DefaultBackend(); b != "" {
+		return b
+	}
+	return "analytic"
+}
+
 func toRecord(t *experiments.Table, d time.Duration) record {
-	r := record{ID: t.ID, Title: t.Title, Seconds: d.Seconds(), Rows: len(t.Rows)}
+	r := record{ID: t.ID, Title: t.Title, Seconds: d.Seconds(), Rows: len(t.Rows), Backend: backendLabel()}
 	if len(t.Notes) > 0 {
 		r.Headline = t.Notes[0]
 	}
@@ -109,18 +125,62 @@ func scenarioTable(results []sim.ScenarioResult) *experiments.Table {
 	return t
 }
 
-func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, override *spec.SolverStage) error {
+func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, override *spec.SolverStage, costStage *spec.CostStage) error {
 	start := time.Now()
-	results := sim.RunScenarioSpecsWithSolver(specs, override)
+	results := sim.RunScenarioSpecsWithStages(specs, override, costStage)
 	tab := scenarioTable(results)
 	tab.Fprint(os.Stdout)
 	if jsonPath != "" {
 		stats := engine.Default().Cache().Stats()
+		rec := toRecord(tab, time.Since(start))
+		switch {
+		case costStage != nil && costStage.Key != "":
+			rec.Backend = costStage.Key
+		case costStage == nil:
+			// No CLI override: label from the spec-declared cost stages,
+			// but only when the whole batch shares one tier — a mixed
+			// batch keeps the default label rather than misattributing
+			// timings to one spec's tier.
+			uniform := ""
+			for i, s := range specs {
+				key := ""
+				if s.Cost != nil {
+					key = s.Cost.Key()
+				}
+				if i > 0 && key != uniform {
+					uniform = ""
+					break
+				}
+				uniform = key
+			}
+			if uniform != "" {
+				rec.Backend = uniform
+			}
+		}
+		if override != nil {
+			rec.Strategy = override.Name
+		} else {
+			// Label the strategy only when every solver-staged scenario
+			// in the batch used the same one.
+			uniform := ""
+			for _, r := range results {
+				if r.Solver == nil {
+					continue
+				}
+				if uniform != "" && r.Solver.Strategy != uniform {
+					uniform = ""
+					break
+				}
+				uniform = r.Solver.Strategy
+			}
+			rec.Strategy = uniform
+		}
 		out := output{
 			Workers:      workers,
+			Backend:      rec.Backend,
 			TotalSeconds: time.Since(start).Seconds(),
 			CacheHits:    stats.Hits, CacheMisses: stats.Misses,
-			Experiments: []record{toRecord(tab, time.Since(start))},
+			Experiments: []record{rec},
 		}
 		if err := writeJSON(jsonPath, out); err != nil {
 			return err
@@ -147,13 +207,20 @@ func main() {
 	strategy := flag.String("strategy", "", "add/override a solver stage on scenario runs (-list-strategies)")
 	budget := flag.String("budget", "", "solver-stage budget: eval count, duration, or both (\"20000,30s\")")
 	seed := flag.Int64("seed", 7, "solver-stage randomness seed")
+	backend := flag.String("backend", "", "cost backend pricing every evaluation (-list-backends); accepts name or name@seed=N")
 	listM := flag.Bool("list-models", false, "list registered model names")
 	listW := flag.Bool("list-wafers", false, "list registered wafer names")
 	listSt := flag.Bool("list-strategies", false, "list registered search strategies")
+	listB := flag.Bool("list-backends", false, "list registered cost backends")
 	flag.Parse()
 	engine.SetWorkers(*workers)
 
 	switch {
+	case *listB:
+		for _, n := range cost.BackendNames() {
+			fmt.Println(n)
+		}
+		return
 	case *listM:
 		for _, n := range spec.Models.Names() {
 			fmt.Println(n)
@@ -172,11 +239,15 @@ func main() {
 	case *scenario != "":
 		ss, err := spec.LoadScenario(*scenario)
 		var override *spec.SolverStage
+		var costStage *spec.CostStage
 		if err == nil {
 			override, err = spec.SolverOverride(*strategy, *budget, *seed, *workers)
 		}
 		if err == nil {
-			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers, override)
+			costStage, err = spec.CostOverride(*backend, *seed)
+		}
+		if err == nil {
+			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers, override, costStage)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
@@ -186,11 +257,15 @@ func main() {
 	case *scenarios != "":
 		sss, err := spec.LoadScenarioDir(*scenarios)
 		var override *spec.SolverStage
+		var costStage *spec.CostStage
 		if err == nil {
 			override, err = spec.SolverOverride(*strategy, *budget, *seed, *workers)
 		}
 		if err == nil {
-			err = runScenarios(sss, *jsonPath, *workers, override)
+			costStage, err = spec.CostOverride(*backend, *seed)
+		}
+		if err == nil {
+			err = runScenarios(sss, *jsonPath, *workers, override, costStage)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
@@ -207,6 +282,12 @@ func main() {
 	}
 	if *waferName != "" {
 		if err := experiments.UseWafer(*waferName); err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *backend != "" {
+		if err := experiments.UseBackend(*backend); err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
 			os.Exit(1)
 		}
@@ -229,7 +310,7 @@ func main() {
 		if *jsonPath != "" {
 			stats := engine.Default().Cache().Stats()
 			out := output{
-				Quick: *quick, Workers: engine.Workers(),
+				Quick: *quick, Workers: engine.Workers(), Backend: backendLabel(),
 				TotalSeconds: time.Since(start).Seconds(),
 				CacheHits:    stats.Hits, CacheMisses: stats.Misses,
 				Experiments: []record{toRecord(tab, time.Since(start))},
@@ -250,7 +331,7 @@ func main() {
 	if *jsonPath != "" {
 		stats := engine.Default().Cache().Stats()
 		out := output{
-			Quick: *quick, Workers: engine.Workers(),
+			Quick: *quick, Workers: engine.Workers(), Backend: backendLabel(),
 			TotalSeconds: total.Seconds(),
 			CacheHits:    stats.Hits, CacheMisses: stats.Misses,
 		}

@@ -83,13 +83,17 @@ func printSolverOutcome(o *sim.SolverOutcome) {
 	if o.Winner != "" {
 		name += " (winner " + o.Winner + ")"
 	}
-	fmt.Printf("solver     %s: seed %.3fms -> final %.3fms (%d evals, %s)\n",
-		name, o.DPCost*1e3, o.FinalCost*1e3, o.Evaluations, o.Elapsed)
+	evals := fmt.Sprintf("%d exact evals", o.Evaluations)
+	if o.ScreenEvaluations > 0 {
+		evals += fmt.Sprintf(" + %d screen evals", o.ScreenEvaluations)
+	}
+	fmt.Printf("solver     %s on %s: seed %.3fms -> final %.3fms (%s, %s)\n",
+		name, o.Backend, o.DPCost*1e3, o.FinalCost*1e3, evals, o.Elapsed)
 	fmt.Printf("           dominant per-op strategy %s (%.0f%% of operators)\n",
 		o.Dominant, o.Share*100)
 }
 
-func runScenarioFile(path string, override *spec.SolverStage) error {
+func runScenarioFile(path string, override *spec.SolverStage, costStage *spec.CostStage) error {
 	ss, err := spec.LoadScenario(path)
 	if err != nil {
 		return err
@@ -100,6 +104,9 @@ func runScenarioFile(path string, override *spec.SolverStage) error {
 	}
 	if override != nil {
 		sc.Solver = override
+	}
+	if costStage != nil {
+		sc.Cost = costStage
 	}
 	// One pass: RunScenarios carries the breakdown plus the optional
 	// solver and fault stages.
@@ -112,7 +119,11 @@ func runScenarioFile(path string, override *spec.SolverStage) error {
 	if sc.Wafers > 1 {
 		opts.Wafers = sc.Wafers
 	}
-	fmt.Printf("scenario   %s (system %s)\n", sc.Name, sc.System.Name)
+	backend := "analytic"
+	if sc.Cost != nil && sc.Cost.Key != "" {
+		backend = sc.Cost.Key
+	}
+	fmt.Printf("scenario   %s (system %s, backend %s)\n", sc.Name, sc.System.Name, backend)
 	printBreakdown(sc.Model, sc.Wafer, r.Config, opts, r.Breakdown)
 	if !r.Feasible {
 		fmt.Println("status     OOM: no feasible configuration; showing lowest-memory attempt")
@@ -151,16 +162,23 @@ func main() {
 		scenarios = flag.String("scenarios", "", "run every *.json scenario in a directory")
 		strategy  = flag.String("strategy", "", "add/override a solver stage on scenario runs (-list-strategies)")
 		budget    = flag.String("budget", "", "solver-stage budget: eval count, duration, or both (\"20000,30s\")")
-		seed      = flag.Int64("seed", 7, "solver-stage randomness seed")
+		seed      = flag.Int64("seed", 7, "solver-stage and surrogate-training randomness seed")
+		backend   = flag.String("backend", "", "cost backend pricing the evaluation (-list-backends); accepts name or name@seed=N")
 		listM     = flag.Bool("list-models", false, "list registered model names")
 		listW     = flag.Bool("list-wafers", false, "list registered wafer names")
 		listS     = flag.Bool("list-systems", false, "list registered system names")
 		listSt    = flag.Bool("list-strategies", false, "list registered search strategies")
+		listB     = flag.Bool("list-backends", false, "list registered cost backends")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
 
 	switch {
+	case *listB:
+		for _, n := range cost.BackendNames() {
+			fmt.Println(n)
+		}
+		return
 	case *listM:
 		for _, n := range spec.Models.Names() {
 			fmt.Println(n)
@@ -183,8 +201,12 @@ func main() {
 		return
 	case *scenario != "":
 		override, err := spec.SolverOverride(*strategy, *budget, *seed, *workers)
+		var costStage *spec.CostStage
 		if err == nil {
-			err = runScenarioFile(*scenario, override)
+			costStage, err = spec.CostOverride(*backend, *seed)
+		}
+		if err == nil {
+			err = runScenarioFile(*scenario, override, costStage)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempsim:", err)
@@ -193,6 +215,10 @@ func main() {
 		return
 	case *scenarios != "":
 		override, err := spec.SolverOverride(*strategy, *budget, *seed, *workers)
+		var costStage *spec.CostStage
+		if err == nil {
+			costStage, err = spec.CostOverride(*backend, *seed)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempsim:", err)
 			os.Exit(1)
@@ -203,7 +229,7 @@ func main() {
 			os.Exit(1)
 		}
 		failed := false
-		for _, r := range sim.RunScenarioSpecsWithSolver(specs, override) {
+		for _, r := range sim.RunScenarioSpecsWithStages(specs, override, costStage) {
 			printScenarioResult(r)
 			failed = failed || r.Err != nil
 		}
@@ -247,7 +273,16 @@ func main() {
 		o.Recompute = cost.RecomputeSelective
 	}
 
-	b, err := engine.Evaluate(m, w, cfg, o)
+	key := ""
+	if *backend != "" {
+		stage, err := spec.CostOverride(*backend, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempsim:", err)
+			os.Exit(1)
+		}
+		key = stage.Key
+	}
+	b, err := engine.EvaluateJob(engine.Job{Model: m, Wafer: w, Config: cfg, Opts: o, Backend: key})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tempsim:", err)
 		os.Exit(1)

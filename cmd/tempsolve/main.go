@@ -24,6 +24,7 @@ import (
 	"runtime"
 
 	"temp/internal/baselines"
+	"temp/internal/cost"
 	"temp/internal/engine"
 	"temp/internal/hw"
 	"temp/internal/model"
@@ -34,25 +35,39 @@ import (
 )
 
 // solve runs the search strategy plus full-simulator cross-check for
-// one model/wafer pair.
-func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget) error {
+// one model/wafer pair. backendKey selects the cost backend whose
+// operator model prices the search exactly ("" = analytic); the
+// multifid strategy (and the portfolio, which races it) additionally
+// screens on the surrogate tier seeded with screenSeed.
+func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, backendKey string, screenSeed int64) error {
 	g := model.BlockGraph(m)
 	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 	if len(space) == 0 {
 		return fmt.Errorf("no power-of-two strategy space for %d dies on %s", w.Dies(), w.Name)
 	}
-	cm := &solver.Analytic{W: w, M: m}
+	cm, screen, err := solver.SearchModels(st.Name(), backendKey, m, w, screenSeed)
+	if err != nil {
+		return err
+	}
+	p := solver.Problem{Graph: g, Space: space, Model: cm, Screen: screen}
 
-	assign, stats := st.Solve(context.Background(),
-		solver.Problem{Graph: g, Space: space, Model: cm}, b)
+	assign, stats := st.Solve(context.Background(), p, b)
 	fmt.Printf("model        %s on %s\n", m, w.Name)
+	backendName := "analytic"
+	if backendKey != "" {
+		backendName = backendKey
+	}
+	fmt.Printf("backend      %s\n", backendName)
 	fmt.Printf("strategy     %s", stats.Strategy)
 	if stats.Winner != "" {
 		fmt.Printf(" (winner %s of %d racers)", stats.Winner, len(stats.Sub))
 	}
 	fmt.Println()
 	fmt.Printf("search space %d strategies × %d operators\n", len(space), len(g.Ops))
-	fmt.Printf("search time  %s (%d cost-model evaluations", stats.Elapsed, stats.Evaluations)
+	fmt.Printf("search time  %s (%d exact cost-model evaluations", stats.Elapsed, stats.Evaluations)
+	if stats.ScreenEvaluations > 0 {
+		fmt.Printf(", %d surrogate screen evaluations", stats.ScreenEvaluations)
+	}
 	switch {
 	case stats.Generations > 0:
 		fmt.Printf(", %d GA generations", stats.Generations)
@@ -88,10 +103,13 @@ func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget) erro
 // solveScenario resolves a scenario spec and solves its model/wafer.
 // The scenario's own solver stage applies unless the CLI overrides
 // the strategy.
-func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, override bool) error {
+func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, override bool, costStage *spec.CostStage, screenSeed int64) error {
 	sc, err := ss.Resolve()
 	if err != nil {
 		return err
+	}
+	if costStage != nil {
+		sc.Cost = costStage
 	}
 	if !override && sc.Solver != nil {
 		st = sc.Solver.Strategy
@@ -100,9 +118,21 @@ func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, ov
 		if b.Workers == 0 {
 			b.Workers = workers
 		}
+		if sc.Solver.Seed != 0 {
+			screenSeed = sc.Solver.Seed
+		}
 	}
 	fmt.Printf("scenario     %s\n", sc.Name)
-	return solve(sc.Model, sc.Wafer, st, b)
+	backendKey := ""
+	if sc.Cost != nil {
+		backendKey = sc.Cost.Key
+	}
+	// Cost-stage surrogate seed wins; otherwise the CLI/stage seed,
+	// matching the direct model/wafer path.
+	if s := sc.Cost.SurrogateSeed(); s != 0 {
+		screenSeed = s
+	}
+	return solve(sc.Model, sc.Wafer, st, b, backendKey, screenSeed)
 }
 
 func main() {
@@ -112,6 +142,7 @@ func main() {
 		rows      = flag.Int("rows", 4, "wafer die rows")
 		cols      = flag.Int("cols", 8, "wafer die columns")
 		strategy  = flag.String("strategy", "ga", "search strategy (-list-strategies)")
+		backend   = flag.String("backend", "", "cost backend whose operator model prices the search (-list-backends)")
 		budget    = flag.String("budget", "", "search budget: eval count, duration, or both (\"20000,30s\")")
 		noGA      = flag.Bool("no-ga", false, "stop after chain dynamic programming (alias for -strategy dp)")
 		seed      = flag.Int64("seed", 7, "search randomness seed")
@@ -121,6 +152,7 @@ func main() {
 		listM     = flag.Bool("list-models", false, "list registered model names")
 		listW     = flag.Bool("list-wafers", false, "list registered wafer names")
 		listS     = flag.Bool("list-strategies", false, "list registered search strategies")
+		listB     = flag.Bool("list-backends", false, "list registered cost backends")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
@@ -131,6 +163,11 @@ func main() {
 	}
 
 	switch {
+	case *listB:
+		for _, n := range cost.BackendNames() {
+			fmt.Println(n)
+		}
+		return
 	case *listM:
 		for _, n := range spec.Models.Names() {
 			fmt.Println(n)
@@ -174,12 +211,20 @@ func main() {
 		fail(err)
 	}
 	b.Workers = *workers
+	costStage, err := spec.CostOverride(*backend, *seed)
+	if err != nil {
+		fail(err)
+	}
+	backendKey := ""
+	if costStage != nil {
+		backendKey = costStage.Key
+	}
 
 	switch {
 	case *scenario != "":
 		ss, err := spec.LoadScenario(*scenario)
 		if err == nil {
-			err = solveScenario(ss, st, b, overridden)
+			err = solveScenario(ss, st, b, overridden, costStage, *seed)
 		}
 		if err != nil {
 			fail(err)
@@ -194,7 +239,7 @@ func main() {
 			if i > 0 {
 				fmt.Println()
 			}
-			if err := solveScenario(ss, st, b, overridden); err != nil {
+			if err := solveScenario(ss, st, b, overridden, costStage, *seed); err != nil {
 				fail(err)
 			}
 		}
@@ -213,7 +258,7 @@ func main() {
 	} else {
 		w = hw.WaferWithGrid(*rows, *cols)
 	}
-	if err := solve(m, w, st, b); err != nil {
+	if err := solve(m, w, st, b, backendKey, *seed); err != nil {
 		fail(err)
 	}
 }

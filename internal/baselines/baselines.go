@@ -29,6 +29,10 @@ type System struct {
 	Scheme string
 	// Opts carries the engine and execution conventions.
 	Opts cost.Options
+	// Backend is the canonical cost-backend key the system's sweeps
+	// are priced with ("" = the engine's default backend, normally
+	// analytic). Scenario cost stages set it; see cost.BackendKey.
+	Backend string
 	// Envelope caps the configuration space Best sweeps; the zero
 	// envelope is unbounded.
 	Envelope Envelope
@@ -271,7 +275,7 @@ func Best(s System, m model.Config, w hw.Wafer) (Result, error) {
 	}
 	jobs := make([]engine.Job, len(cfgs))
 	for i, cfg := range cfgs {
-		jobs[i] = engine.Job{Model: m, Wafer: w, Config: cfg, Opts: s.Opts}
+		jobs[i] = engine.Job{Model: m, Wafer: w, Config: cfg, Opts: s.Opts, Backend: s.Backend}
 	}
 	results := engine.Sweep(jobs)
 	best := Result{System: s.Name}

@@ -32,7 +32,7 @@ func Debug(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) string {
 	}
 	mb := o.microbatch()
 	fwd, extra := ev.layerCompute(mb)
-	st := ev.layerStreamComm(mb)
+	st := ev.layerStreamComm(mb, 1, true)
 	coll := ev.layerCollectives(mb)
 	dp := ev.dpAllReduce(m.Layers)
 	return fmt.Sprintf("fwd/layer=%s recomp=%s stream/layer=%s coll/layer=%s dpAR=%s",

@@ -104,6 +104,12 @@ type evaluator struct {
 	// orchestrations per TATP group, built once.
 	orchs []*stream.Orchestration
 
+	// replay forces every communication phase through the TCME
+	// link-load replay regardless of the mapping engine — the
+	// "replay" backend's contention-fidelity mode. The analytic tier
+	// leaves it false, keeping the historical behaviour bit-identical.
+	replay bool
+
 	linkBytes float64 // Σ flow bytes × hops, for energy/utilization
 	tcmeAgg   tcme.Result
 }
@@ -113,6 +119,12 @@ type evaluator struct {
 // rectangles and linear runs) and keeps the faster — part of the
 // mapping-space exploration GMap lacks (§VIII-A).
 func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) (Breakdown, error) {
+	return evaluate(m, w, cfg, o, false)
+}
+
+// evaluate is the shared Price core; replay selects the contention
+// replay fidelity of the "replay" backend.
+func evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o Options, replay bool) (Breakdown, error) {
 	cfg = cfg.Normalize()
 	topo := mesh.FromWafer(w)
 	switch o.Engine {
@@ -121,13 +133,13 @@ func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) (Break
 		if err != nil {
 			return Breakdown{}, err
 		}
-		return EvaluateOn(m, w, cfg, o, topo, place)
+		return evaluateOn(m, w, cfg, o, topo, place, replay)
 	case GMap:
 		place, err := parallel.Place(cfg, topo)
 		if err != nil {
 			return Breakdown{}, err
 		}
-		return EvaluateOn(m, w, cfg, o, topo, place)
+		return evaluateOn(m, w, cfg, o, topo, place, replay)
 	default:
 		rect, rectErr := parallel.Place(cfg, topo)
 		lin, linErr := parallel.PlaceLinear(cfg, topo)
@@ -137,13 +149,13 @@ func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) (Break
 		var best Breakdown
 		have := false
 		if rectErr == nil {
-			b, err := EvaluateOn(m, w, cfg, o, topo, rect)
+			b, err := evaluateOn(m, w, cfg, o, topo, rect, replay)
 			if err == nil {
 				best, have = b, true
 			}
 		}
 		if linErr == nil {
-			b, err := EvaluateOn(m, w, cfg, o, topo, lin)
+			b, err := evaluateOn(m, w, cfg, o, topo, lin, replay)
 			if err == nil && (!have || b.StepTime < best.StepTime) {
 				best, have = b, true
 			}
@@ -160,11 +172,17 @@ func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) (Break
 // re-partitioning around failed hardware.
 func EvaluateOn(m model.Config, w hw.Wafer, cfg parallel.Config, o Options,
 	topo *mesh.Topology, place *parallel.Placement) (Breakdown, error) {
+	return evaluateOn(m, w, cfg, o, topo, place, false)
+}
+
+func evaluateOn(m model.Config, w hw.Wafer, cfg parallel.Config, o Options,
+	topo *mesh.Topology, place *parallel.Placement, replay bool) (Breakdown, error) {
 	cfg = cfg.Normalize()
 	ev := &evaluator{
 		m: m, w: w, cfg: cfg, o: o,
 		topo: topo, place: place,
-		graph: model.BlockGraph(m),
+		graph:  model.BlockGraph(m),
+		replay: replay,
 	}
 	for _, g := range place.Groups(parallel.TATP) {
 		ev.orchs = append(ev.orchs, stream.Orchestrate(topo, aliveOnly(topo, g.Dies), g.Rect))
@@ -208,7 +226,7 @@ func (ev *evaluator) run() (Breakdown, error) {
 	}
 
 	// --- Per-layer TATP streams (forward). ---
-	streamComm := ev.layerStreamComm(mb)
+	streamComm := ev.layerStreamComm(mb, 1, true)
 
 	// --- Per-layer exposed collectives (forward). ---
 	collPerLayerFwd := ev.layerCollectives(mb)
@@ -226,7 +244,17 @@ func (ev *evaluator) run() (Breakdown, error) {
 		return unit.MaxF(comp, comm)
 	}
 	layerFwd := overlap(fwdComp, streamComm) + collPerLayerFwd + fsdpPerLayer.fwd
-	layerBwd := overlap(2*fwdComp, 2*streamComm) + recompExtra + collPerLayerFwd + fsdpPerLayer.bwd
+	bwdStream := 2 * streamComm
+	if ev.replay {
+		// Contention replay: backward streams move twice the bytes per
+		// sub-tensor (activation grads ride with the streamed operand),
+		// and link bandwidth is granularity-dependent — so replay the
+		// doubled sub-tensors instead of doubling the forward time.
+		// The forward FSDP gather is not re-run here; backward FSDP
+		// costs are charged in fsdpPerLayer.bwd.
+		bwdStream = ev.layerStreamComm(mb, 2, false)
+	}
+	layerBwd := overlap(2*fwdComp, bwdStream) + recompExtra + collPerLayerFwd + fsdpPerLayer.bwd
 	layerTime := layerFwd + layerBwd
 
 	microTime := float64(layersPerStage) * layerTime
@@ -270,7 +298,7 @@ func (ev *evaluator) run() (Breakdown, error) {
 	// --- Aggregates. ---
 	computeTotal := float64(microSteps) * float64(layersPerStage) * (3*fwdComp + recompExtra)
 	streamExposed := float64(microSteps) * float64(layersPerStage) *
-		(unit.MaxF(0, streamComm-fwdComp) + unit.MaxF(0, 2*streamComm-2*fwdComp))
+		(unit.MaxF(0, streamComm-fwdComp) + unit.MaxF(0, bwdStream-2*fwdComp))
 	collTotal := float64(microSteps)*float64(layersPerStage)*(2*collPerLayerFwd+fsdpPerLayer.fwd+fsdpPerLayer.bwd) + dpExposed
 
 	b := Breakdown{
@@ -407,12 +435,14 @@ func (ev *evaluator) layerCompute(mb int) (fwd, recompExtra float64) {
 	return fwd, recompExtra
 }
 
-// layerStreamComm returns the forward TATP streaming time of one
-// block: all weighted GEMMs stream their selected operand around each
-// TATP group concurrently. Under FSDP×TATP hybrids, the per-layer
-// FSDP weight all-gather runs concurrently with the streams and
-// contends for the same links — the Fig. 11 scenario TCME untangles.
-func (ev *evaluator) layerStreamComm(mb int) float64 {
+// layerStreamComm returns the TATP streaming time of one block: all
+// weighted GEMMs stream their selected operand around each TATP group
+// concurrently. scale multiplies the streamed sub-tensor bytes (the
+// replay tier prices backward's doubled volume at its true
+// granularity); withFSDP merges the per-layer FSDP weight all-gather
+// into the streams — it runs concurrently with them and contends for
+// the same links, the Fig. 11 scenario TCME untangles.
+func (ev *evaluator) layerStreamComm(mb int, scale float64, withFSDP bool) float64 {
 	cfg := ev.cfg
 	if cfg.TATP <= 1 || len(ev.orchs) == 0 {
 		return 0
@@ -426,6 +456,7 @@ func (ev *evaluator) layerStreamComm(mb int) float64 {
 			continue
 		}
 		sub, _ := streamSubTensorBytes(op, ev.m, cfg, o)
+		sub *= scale
 		var seqs [][]mesh.Phase
 		for _, orch := range ev.orchs {
 			seqs = append(seqs, orch.Phases(sub))
@@ -433,7 +464,7 @@ func (ev *evaluator) layerStreamComm(mb int) float64 {
 		streamSeq = append(streamSeq, collective.Merge(seqs...)...)
 		rounds += cfg.TATP
 	}
-	if cfg.FSDP && cfg.DP > 1 {
+	if withFSDP && cfg.FSDP && cfg.DP > 1 {
 		layerW := ev.graph.WeightBytes() / float64(cfg.TP*cfg.TATP)
 		shard := layerW / float64(cfg.DP)
 		var agSeqs [][]mesh.Phase
@@ -607,7 +638,7 @@ func nearestNeighborOrder(t *mesh.Topology, dies []mesh.DieID) []mesh.DieID {
 // evalPhases times a phase sequence, applying TCME when enabled, and
 // accumulates link-byte statistics.
 func (ev *evaluator) evalPhases(phases []mesh.Phase) float64 {
-	if ev.o.Engine == TCMEEngine {
+	if ev.o.Engine == TCMEEngine || ev.replay {
 		opt, agg := tcme.OptimizeAll(ev.topo, phases, ev.o.TCME)
 		phases = opt
 		ev.tcmeAgg.InitialMaxLoad += agg.InitialMaxLoad

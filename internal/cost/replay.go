@@ -1,0 +1,194 @@
+package cost
+
+import (
+	"fmt"
+	"sync"
+
+	"temp/internal/collective"
+	"temp/internal/hw"
+	"temp/internal/mesh"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/stream"
+	"temp/internal/tcme"
+	"temp/internal/unit"
+)
+
+// replayBackend is the contention-fidelity tier: instead of the
+// closed-form collective and stream terms of the analytic operator
+// model, every communication phase is lowered onto the wafer mesh and
+// link-load replayed through the TCME optimizer.
+//
+//   - Price runs the full evaluator with the replay flag set, so even
+//     SMap/GMap scenarios get their phases contention-replayed — a
+//     "what if only communication scheduling improved" study the
+//     monolithic entry point could not express.
+//   - Operator returns OperatorReplay, which places each candidate
+//     configuration on the mesh and replays its TATP streams and TP
+//     ring collectives flow by flow.
+type replayBackend struct{}
+
+// Name implements Backend.
+func (*replayBackend) Name() string { return "replay" }
+
+// Price implements Backend.
+func (*replayBackend) Price(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) (Breakdown, error) {
+	return evaluate(m, w, cfg, o, true)
+}
+
+// Operator implements Backend.
+func (*replayBackend) Operator(m model.Config, w hw.Wafer) (OperatorModel, error) {
+	return NewOperatorReplay(m, w), nil
+}
+
+// PriceOn implements PlacementBackend: fault studies replay degraded
+// topologies at the same contention fidelity as healthy ones.
+func (*replayBackend) PriceOn(m model.Config, w hw.Wafer, cfg parallel.Config, o Options,
+	topo *mesh.Topology, place *parallel.Placement) (Breakdown, error) {
+	return evaluateOn(m, w, cfg, o, topo, place, true)
+}
+
+// replayPlacement carries the per-configuration lowering state the
+// replay operator model reuses across calls: the placement, the TATP
+// stream orchestrations and the TP group communication orders.
+type replayPlacement struct {
+	place *parallel.Placement
+	orchs []*stream.Orchestration
+	tp    [][]mesh.DieID
+	err   error
+}
+
+// OperatorReplay is the replay backend's per-operator model: the
+// compute and memory terms match the analytic tier (they are not
+// communication), but the TATP stream and TP collective terms are
+// lowered onto an actual placement of the configuration and link-load
+// replayed through the TCME optimizer — capturing the inter-group
+// contention and multi-hop wrap costs the closed-form ring formulas
+// average away.
+//
+// Per-configuration lowering state is built once and cached; the
+// model is safe for concurrent use.
+type OperatorReplay struct {
+	analytic OperatorAnalytic
+	topo     *mesh.Topology
+
+	mu    sync.Mutex
+	cache map[parallel.Config]*replayPlacement
+}
+
+// NewOperatorReplay builds the replay operator model for one
+// model/wafer pair.
+func NewOperatorReplay(m model.Config, w hw.Wafer) *OperatorReplay {
+	return &OperatorReplay{
+		analytic: OperatorAnalytic{W: w, M: m},
+		topo:     mesh.FromWafer(w),
+		cache:    map[parallel.Config]*replayPlacement{},
+	}
+}
+
+// placement returns the cached lowering state for a configuration.
+func (r *OperatorReplay) placement(cfg parallel.Config) *replayPlacement {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.cache[cfg]; ok {
+		return p
+	}
+	p := &replayPlacement{}
+	place, err := parallel.Place(cfg, r.topo)
+	if err != nil {
+		if place, err = parallel.PlaceLinear(cfg, r.topo); err != nil {
+			p.err = fmt.Errorf("cost: replay cannot place %s: %w", cfg, err)
+			r.cache[cfg] = p
+			return p
+		}
+	}
+	p.place = place
+	for _, g := range place.Groups(parallel.TATP) {
+		p.orchs = append(p.orchs, stream.Orchestrate(r.topo, g.Dies, g.Rect))
+	}
+	for _, g := range place.Groups(parallel.TP) {
+		order := g.Dies
+		if g.Rect != nil {
+			if ring, ok := g.Rect.RingPath(r.topo); ok {
+				order = ring
+			} else {
+				order = g.Rect.SnakePath(r.topo)
+			}
+		}
+		if len(order) > 1 {
+			p.tp = append(p.tp, order)
+		}
+	}
+	r.cache[cfg] = p
+	return p
+}
+
+// replayPhases times a phase sequence through the TCME link-load
+// replay.
+func (r *OperatorReplay) replayPhases(phases []mesh.Phase) float64 {
+	if len(phases) == 0 {
+		return 0
+	}
+	opt, _ := tcme.OptimizeAll(r.topo, phases, tcme.Options{})
+	return r.topo.SeqTime(opt).Total()
+}
+
+// Intra implements OperatorModel.
+func (r *OperatorReplay) Intra(op model.Op, cfg parallel.Config) float64 {
+	cfg = cfg.Normalize()
+	a := &r.analytic
+	pl := r.placement(cfg)
+	if pl.err != nil {
+		// Unplaceable on this grid: fall back to the closed-form terms
+		// so the search still prices the candidate deterministically.
+		return a.Intra(op, cfg)
+	}
+
+	// Compute is priced exactly as the analytic tier — the fidelity
+	// axis is communication.
+	comp := a.computeTerm(op, cfg)
+
+	var streamT float64
+	if cfg.TATP > 1 && op.HasWeight() && len(pl.orchs) > 0 {
+		_, sub := a.streamedBytes(op, cfg)
+		var seqs [][]mesh.Phase
+		for _, orch := range pl.orchs {
+			seqs = append(seqs, orch.Phases(sub))
+		}
+		streamT = r.replayPhases(collective.Merge(seqs...)) +
+			float64(cfg.TATP)*streamRoundSync
+	}
+
+	var coll float64
+	if cfg.TP > 1 && op.HasWeight() && len(pl.tp) > 0 {
+		arBytes := a.arBytes(cfg)
+		var seqs [][]mesh.Phase
+		for _, order := range pl.tp {
+			seqs = append(seqs, collective.RingAllReduce(r.topo, order, arBytes))
+		}
+		merged := collective.Merge(seqs...)
+		// Same 0.5 amortization (one AR per two weighted ops) and the
+		// same per-phase sync charge as the full evaluator.
+		coll = 0.5 * (r.replayPhases(merged) + float64(len(merged))*streamRoundSync)
+	}
+	return unit.MaxF(comp, streamT) + coll
+}
+
+// Inter implements OperatorModel: the structural resharding bytes are
+// exact; the transfer is replayed as a routed single-hop exchange
+// (adding the hop latency the closed form drops).
+func (r *OperatorReplay) Inter(prev, next model.Op, pc, nc parallel.Config) float64 {
+	bytes := r.analytic.ReshardBytes(prev, pc, nc)
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes/r.analytic.W.Link.EffectiveBandwidth(bytes) + r.analytic.W.Link.Latency
+}
+
+// MemoryOK implements OperatorModel (memory is closed-form at every
+// tier).
+func (r *OperatorReplay) MemoryOK(cfg parallel.Config) bool {
+	return r.analytic.MemoryOK(cfg)
+}
+
+var _ OperatorModel = (*OperatorReplay)(nil)

@@ -1,0 +1,264 @@
+package cost
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/surrogate"
+	"temp/internal/unit"
+)
+
+// surrogateBackend is the cheap screening tier of §VII-A: per
+// (model, wafer) pair it trains — once, deterministically from its
+// seed — a pair of MLPs that mimic the analytic operator model, then
+// serves predictions from the frozen weights. Lookups avoid the
+// closed-form lowering entirely, and the trained predictors are safe
+// for concurrent use (read-only weights), so search strategies can
+// hammer them from every worker.
+type surrogateBackend struct {
+	seed int64
+
+	mu      sync.Mutex
+	entries map[string]*surrogateEntry
+}
+
+// surrogateEntry trains one (model, wafer) pair exactly once; the
+// per-entry Once keeps seconds-long training off the backend-wide
+// lock so concurrent Price calls for other (or already-trained)
+// pairs never serialize behind it. Training errors are cached too,
+// so an unplaceable pair fails fast on every call.
+type surrogateEntry struct {
+	once sync.Once
+	op   *surrogateOperator
+	err  error
+}
+
+// newSurrogateBackend builds an untrained backend; training happens
+// lazily per (model, wafer) key on first use.
+func newSurrogateBackend(seed int64) *surrogateBackend {
+	return &surrogateBackend{seed: seed, entries: map[string]*surrogateEntry{}}
+}
+
+// Name implements Backend.
+func (s *surrogateBackend) Name() string { return "surrogate" }
+
+// Seed returns the training seed (for spec round-trips and logs).
+func (s *surrogateBackend) Seed() int64 { return s.seed }
+
+// operatorFor returns the trained predictor for one model/wafer pair,
+// training it on first use.
+func (s *surrogateBackend) operatorFor(m model.Config, w hw.Wafer) (*surrogateOperator, error) {
+	key := m.Name + "|" + w.Name
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &surrogateEntry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.op, e.err = trainSurrogateOperator(m, w, s.seed)
+	})
+	return e.op, e.err
+}
+
+// Operator implements Backend.
+func (s *surrogateBackend) Operator(m model.Config, w hw.Wafer) (OperatorModel, error) {
+	return s.operatorFor(m, w)
+}
+
+// Price implements Backend: a screening-fidelity step estimate
+// assembled from per-operator predictions. Memory is the exact
+// closed-form footprint (so OOM verdicts match the analytic tier);
+// the fine-grained latency split (stream/collective exposure) is not
+// modelled at this tier and reads as compute.
+func (s *surrogateBackend) Price(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) (Breakdown, error) {
+	so, err := s.operatorFor(m, w)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return so.price(cfg, o)
+}
+
+// surrogateRNG derives the deterministic training stream for one
+// (model, wafer, seed) triple.
+func surrogateRNG(m model.Config, w hw.Wafer, seed int64) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(m.Name))
+	h.Write([]byte{'|'})
+	h.Write([]byte(w.Name))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// surrogateOperator is the trained per-operator predictor pair. After
+// training it is immutable, hence safe for concurrent use.
+type surrogateOperator struct {
+	teacher OperatorAnalytic
+	graph   model.Graph
+	intra   *surrogate.OpDNN
+	inter   *surrogate.OpDNN
+}
+
+// surrogate training sizes: enough samples/epochs for ~1% relative
+// error against the smooth closed-form teacher while keeping a full
+// model-zoo training sweep in seconds.
+const (
+	surrIntraSamples = 1024
+	surrInterSamples = 640
+	surrHidden       = 24
+	surrEpochs       = 160
+)
+
+// trainSurrogateOperator fits the intra and inter predictors against
+// the analytic teacher over the wafer's strategy space.
+func trainSurrogateOperator(m model.Config, w hw.Wafer, seed int64) (*surrogateOperator, error) {
+	base := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	if len(base) == 0 {
+		return nil, fmt.Errorf("cost: surrogate backend needs a power-of-two strategy space; wafer %s has %d dies",
+			w.Name, w.Dies())
+	}
+	// EnumerateConfigs leaves MegatronSP/FSDP unset; system sweeps
+	// (MeSP, FSDP baselines) price flagged variants, so cover both
+	// flags in training or the DNN would extrapolate on features it
+	// never saw.
+	pool := append([]parallel.Config(nil), base...)
+	for _, c := range base {
+		if c.SP > 1 {
+			v := c
+			v.MegatronSP = true
+			pool = append(pool, v)
+		}
+		if c.DP > 1 {
+			v := c
+			v.FSDP = true
+			pool = append(pool, v)
+		}
+	}
+	so := &surrogateOperator{
+		teacher: OperatorAnalytic{W: w, M: m},
+		graph:   model.BlockGraph(m),
+	}
+	rng := surrogateRNG(m, w, seed)
+	ops := so.graph.Ops
+
+	intra := make([]surrogate.Sample, 0, surrIntraSamples)
+	for i := 0; i < surrIntraSamples; i++ {
+		op := ops[rng.Intn(len(ops))]
+		cfg := pool[rng.Intn(len(pool))]
+		intra = append(intra, surrogate.Sample{
+			Features: surrogate.IntraFeatures(op, cfg),
+			TargetMS: so.teacher.Intra(op, cfg) * 1e3,
+		})
+	}
+	so.intra = surrogate.TrainOpDNN(intra, surrHidden, surrEpochs, rng)
+
+	inter := make([]surrogate.Sample, 0, surrInterSamples)
+	// Degenerate spaces (e.g. a single-config pool) may reshard zero
+	// bytes on every transition; bound the rejection sampling so
+	// training always terminates.
+	for tries := 0; len(inter) < surrInterSamples && tries < 50*surrInterSamples; tries++ {
+		i := 1 + rng.Intn(len(ops)-1)
+		pc := pool[rng.Intn(len(pool))]
+		nc := pool[rng.Intn(len(pool))]
+		bytes := so.teacher.ReshardBytes(ops[i-1], pc, nc)
+		if bytes <= 0 {
+			continue // structural zeros are served exactly, not learned
+		}
+		inter = append(inter, surrogate.Sample{
+			Features: surrogate.InterFeatures(bytes),
+			TargetMS: so.teacher.Inter(ops[i-1], ops[i], pc, nc) * 1e3,
+		})
+	}
+	if len(inter) > 0 {
+		so.inter = surrogate.TrainOpDNN(inter, 12, surrEpochs, rng)
+	}
+	return so, nil
+}
+
+// Intra implements OperatorModel (seconds).
+func (so *surrogateOperator) Intra(op model.Op, cfg parallel.Config) float64 {
+	return so.intra.Predict(surrogate.IntraFeatures(op, cfg)) / 1e3
+}
+
+// Inter implements OperatorModel. The structural layout math is
+// exact (zero-byte reshards cost exactly zero); only the link-time
+// curve comes from the predictor. A space whose transitions never
+// reshard trains no predictor and serves the teacher's closed form
+// (there is nothing cheaper to learn).
+func (so *surrogateOperator) Inter(prev, next model.Op, pc, nc parallel.Config) float64 {
+	bytes := so.teacher.ReshardBytes(prev, pc, nc)
+	if bytes <= 0 {
+		return 0
+	}
+	if so.inter == nil {
+		return so.teacher.Inter(prev, next, pc, nc)
+	}
+	return so.inter.Predict(surrogate.InterFeatures(bytes)) / 1e3
+}
+
+// MemoryOK implements OperatorModel: feasibility is closed-form and
+// cheap at every tier, so the screening tier never mispredicts OOM.
+func (so *surrogateOperator) MemoryOK(cfg parallel.Config) bool {
+	return so.teacher.MemoryOK(cfg)
+}
+
+// price assembles a screening-fidelity Breakdown: per-operator
+// predictions aggregated with the full model's step structure
+// (micro-stepping, pipeline bubbles, optimizer), exact memory.
+func (so *surrogateOperator) price(cfg parallel.Config, o Options) (Breakdown, error) {
+	m, w := so.teacher.M, so.teacher.W
+	cfg = cfg.Normalize()
+	stages := maxInt(cfg.PP, 1)
+	layersPerStage := unit.CeilDiv(m.Layers, stages)
+	mem := MemoryPerDie(m, w, cfg, o, layersPerStage)
+
+	mb := o.microbatch()
+	perRankBatch := maxInt(m.Batch/maxInt(cfg.DP, 1), 1)
+	if mb > perRankBatch {
+		mb = perRankBatch
+	}
+	microSteps := maxInt(perRankBatch/mb, 1)
+
+	var layerFwd float64
+	for _, op := range so.graph.Ops {
+		layerFwd += so.Intra(op, cfg)
+	}
+	// Backward doubles compute and stream volume (the full model's 2×
+	// terms); fwd + bwd ≈ 3× the forward intra total.
+	microTime := float64(layersPerStage) * 3 * layerFwd
+
+	var p2pTime, bubbleTime float64
+	if stages > 1 {
+		h := float64(m.Hidden)
+		bytes := float64(mb) * float64(m.Seq) * h * unit.FP16.Size() / float64(cfg.Degree())
+		hop := bytes/w.InterWaferBandwidth + w.InterWaferLatency
+		p2pTime = 2 * hop * float64(microSteps)
+		bubbleTime = float64(stages-1) * (microTime + 2*hop)
+	}
+	optimTime := 3 * mem.Optimizer / w.Die.MemBandwidth()
+	stepTime := float64(microSteps)*microTime + p2pTime + bubbleTime + optimTime
+
+	b := Breakdown{
+		Model:         m.Name,
+		Config:        cfg,
+		Engine:        o.Engine,
+		StepTime:      stepTime,
+		ComputeTime:   float64(microSteps) * microTime,
+		P2PTime:       p2pTime,
+		BubbleTime:    bubbleTime,
+		OptimizerTime: optimTime,
+		Memory:        mem,
+	}
+	if stepTime > 0 {
+		b.ThroughputTokens = float64(m.Tokens()) / stepTime
+	}
+	return b, nil
+}
+
+var _ OperatorModel = (*surrogateOperator)(nil)
+var _ Backend = (*surrogateBackend)(nil)

@@ -21,13 +21,19 @@ import (
 	"temp/internal/parallel"
 )
 
-// Job identifies one cost-model evaluation. All four fields are
-// plain comparable structs, so a Job doubles as the cache key.
+// Job identifies one cost-model evaluation. All fields are plain
+// comparable values, so a Job doubles as the cache key.
 type Job struct {
 	Model  model.Config
 	Wafer  hw.Wafer
 	Config parallel.Config
 	Opts   cost.Options
+	// Backend is the canonical cost-backend key pricing the job
+	// ("replay", "surrogate@seed=7"; see cost.BackendKey). Empty
+	// means the pool's default backend — the analytic tier unless
+	// SetDefaultBackend retargeted it. The resolved key is part of
+	// the memo key, so tiers never share cache entries.
+	Backend string
 }
 
 // Result is the outcome of one Job.
@@ -94,17 +100,36 @@ func jobHash(j Job) uint64 {
 	mix(uint64(j.Opts.Recompute))
 	mix(uint64(j.Opts.Microbatch))
 	mix(uint64(j.Opts.Wafers))
+	for i := 0; i < len(j.Backend); i++ {
+		mix(uint64(j.Backend[i]))
+	}
 	return h
+}
+
+// priceJob runs one evaluation through the job's backend; the empty
+// key is the analytic tier's direct fast path.
+func priceJob(j Job) Result {
+	if j.Backend == "" {
+		b, err := cost.Evaluate(j.Model, j.Wafer, j.Config, j.Opts)
+		return Result{Breakdown: b, Err: err}
+	}
+	be, err := cost.NewBackend(j.Backend)
+	if err != nil {
+		return Result{Err: err}
+	}
+	b, err := be.Price(j.Model, j.Wafer, j.Config, j.Opts)
+	return Result{Breakdown: b, Err: err}
 }
 
 // Evaluate returns the memoized cost-model result for one job.
 func (c *Cache) Evaluate(j Job) (cost.Breakdown, error) {
-	// Normalize so equivalent configurations share one entry; the
-	// cost model normalizes internally, so the result is identical.
+	// Normalize so equivalent configurations (and equivalent backend
+	// spellings) share one entry; the cost model normalizes
+	// internally, so the result is identical.
 	j.Config = j.Config.Normalize()
+	j.Backend = cost.CanonicalBackendKey(j.Backend)
 	r, fresh := c.memo.Get(j, func() Result {
-		b, err := cost.Evaluate(j.Model, j.Wafer, j.Config, j.Opts)
-		return Result{Breakdown: b, Err: err}
+		return priceJob(j)
 	})
 	if fresh {
 		c.misses.Add(1)
@@ -135,6 +160,10 @@ func (c *Cache) Stats() Stats {
 type Pool struct {
 	workers int
 	cache   *Cache
+	// backend is the default cost-backend key injected into jobs that
+	// leave Job.Backend empty ("" = analytic). It retargets every
+	// sweep routed through the pool — the CLI -backend axis.
+	backend string
 	// sem bounds concurrent leaf evaluations. Only leaves (the
 	// actual cost-model computation, which never re-enters the
 	// engine) hold a token, so nested Map orchestration cannot
@@ -174,14 +203,24 @@ func (p *Pool) Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.
 	return p.evaluate(Job{Model: m, Wafer: w, Config: cfg, Opts: o})
 }
 
+// EvaluateJob runs one memoized evaluation of an explicit job
+// (including its backend key) under the pool's global bound.
+func (p *Pool) EvaluateJob(j Job) (cost.Breakdown, error) {
+	return p.evaluate(j)
+}
+
 // evaluate serves a job from the cache, acquiring a worker token
 // only for the miss path (the actual cost-model computation).
 func (p *Pool) evaluate(j Job) (cost.Breakdown, error) {
 	j.Config = j.Config.Normalize()
+	if j.Backend == "" {
+		j.Backend = p.backend
+	}
+	j.Backend = cost.CanonicalBackendKey(j.Backend)
 	r, fresh := p.cache.memo.Get(j, func() Result {
 		var res Result
 		p.Do(func() {
-			res.Breakdown, res.Err = cost.Evaluate(j.Model, j.Wafer, j.Config, j.Opts)
+			res = priceJob(j)
 		})
 		return res
 	})
@@ -259,16 +298,41 @@ func init() {
 func Default() *Pool { return defaultPool.Load() }
 
 // SetWorkers rebounds the shared pool's worker count, retaining the
-// shared cache (and everything already memoized in it).
+// shared cache (and everything already memoized in it) and the
+// default backend.
 func SetWorkers(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	defaultPool.Store(&Pool{workers: n, cache: Default().cache, sem: make(chan struct{}, n)})
+	cur := Default()
+	defaultPool.Store(&Pool{workers: n, cache: cur.cache, backend: cur.backend, sem: make(chan struct{}, n)})
 }
 
 // Workers returns the shared pool's worker bound.
 func Workers() int { return Default().workers }
+
+// SetDefaultBackend retargets the shared pool's default cost backend:
+// every job that does not name a backend explicitly is priced by this
+// tier from now on. The cache is retained — backend keys are part of
+// the memo key, so tiers never cross-contaminate. The key must
+// resolve (see cost.NewBackend); it is returned canonicalized.
+func SetDefaultBackend(key string) (string, error) {
+	canon := cost.CanonicalBackendKey(key)
+	if _, err := cost.NewBackend(canon); err != nil {
+		return "", err
+	}
+	cur := Default()
+	defaultPool.Store(&Pool{workers: cur.workers, cache: cur.cache, backend: canon, sem: make(chan struct{}, cur.workers)})
+	return canon, nil
+}
+
+// DefaultBackend returns the shared pool's default backend key (""
+// means analytic).
+func DefaultBackend() string { return Default().backend }
+
+// EvaluateJob runs one memoized evaluation of an explicit job on the
+// shared pool.
+func EvaluateJob(j Job) (cost.Breakdown, error) { return Default().EvaluateJob(j) }
 
 // Evaluate runs one memoized evaluation on the shared pool.
 func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options) (cost.Breakdown, error) {

@@ -171,3 +171,79 @@ func TestSetWorkersKeepsSharedCache(t *testing.T) {
 		t.Error("SetWorkers replaced the shared cache")
 	}
 }
+
+// TestBackendKeyedCache: jobs differing only in backend must occupy
+// distinct memo entries with tier-specific results, and equivalent
+// backend spellings must share one entry.
+func TestBackendKeyedCache(t *testing.T) {
+	p := New(2)
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	cfg := parallel.Config{DP: 2, TP: 2, TATP: 8}
+	o := cost.TEMPOptions()
+
+	analytic, err := p.EvaluateJob(Job{Model: m, Wafer: w, Config: cfg, Opts: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := p.EvaluateJob(Job{Model: m, Wafer: w, Config: cfg, Opts: o, Backend: "replay"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.StepTime == analytic.StepTime {
+		t.Error("replay and analytic backends returned identical step times — cache entries collided")
+	}
+	stats := p.Cache().Stats()
+	if stats.Entries != 2 {
+		t.Errorf("expected 2 cache entries (one per tier), have %d", stats.Entries)
+	}
+	// Equivalent spellings share the entry.
+	if _, err := p.EvaluateJob(Job{Model: m, Wafer: w, Config: cfg, Opts: o, Backend: "Replay@seed=3"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Cache().Stats().Entries; got != 2 {
+		t.Errorf("equivalent backend spelling created a new entry (%d total)", got)
+	}
+	if _, err := p.EvaluateJob(Job{Model: m, Wafer: w, Config: cfg, Opts: o, Backend: "no-such-tier"}); err == nil {
+		t.Error("unknown backend evaluated")
+	}
+}
+
+// TestDefaultBackendRetarget: SetDefaultBackend reroutes jobs that
+// leave Backend empty, without touching explicitly-keyed jobs.
+func TestDefaultBackendRetarget(t *testing.T) {
+	prev := DefaultBackend()
+	if _, err := SetDefaultBackend("replay"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if _, err := SetDefaultBackend(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if DefaultBackend() != "replay" {
+		t.Fatalf("default backend %q", DefaultBackend())
+	}
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	cfg := parallel.Config{DP: 2, TP: 2, TATP: 8}
+	o := cost.TEMPOptions()
+	viaDefault, err := Evaluate(m, w, cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cost.NewBackend("replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Price(m, w, cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaDefault.StepTime != want.StepTime {
+		t.Errorf("default-backend evaluation %v ≠ direct replay price %v", viaDefault.StepTime, want.StepTime)
+	}
+	if _, err := SetDefaultBackend("bogus"); err == nil {
+		t.Error("unknown default backend accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"strings"
 
+	"temp/internal/engine"
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/spec"
@@ -42,6 +43,17 @@ func UseModels(names ...string) error {
 		return fmt.Errorf("experiments: no models named")
 	}
 	overrideModels = ms
+	return nil
+}
+
+// UseBackend retargets every experiment evaluation at a registered
+// cost backend (the -backend flag): the shared engine's default
+// backend is swapped, so all sweeps price through the chosen fidelity
+// tier. Backend keys accept a training seed ("surrogate@seed=7").
+func UseBackend(key string) error {
+	if _, err := engine.SetDefaultBackend(key); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
 	return nil
 }
 

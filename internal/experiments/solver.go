@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"temp/internal/cost"
 	"temp/internal/engine"
 	"temp/internal/model"
 	"temp/internal/parallel"
@@ -122,7 +123,10 @@ func DLSQuality() (*Table, error) {
 	for _, m := range []model.Config{model.GPT3_6_7B(), model.Llama3_70B()} {
 		g := model.BlockGraph(m)
 		space := parallel.EnumerateConfigs(w.Dies(), true, 0)
-		cm := &solver.Analytic{W: w, M: m}
+		cm, err := solver.BackendModel(engine.DefaultBackend(), m, w)
+		if err != nil {
+			return nil, err
+		}
 		_, full, err := solver.DLS(g, space, cm, solver.DLSOptions{Seed: 7})
 		if err != nil {
 			return nil, err
@@ -134,16 +138,19 @@ func DLSQuality() (*Table, error) {
 }
 
 // Strategies compares every registered search strategy on the shared
-// evaluator core: solution cost, effort and wall-clock per strategy,
-// with the GA (the paper's dual-level search) as the reference row.
-// Strategies resolve by registry name, exactly like -strategy on the
-// CLIs, so a newly registered strategy shows up without code changes
-// here.
+// evaluator core: solution cost, exact/screen effort and wall-clock
+// per strategy, with the GA (the paper's dual-level search) as the
+// reference row. Strategies resolve by registry name, exactly like
+// -strategy on the CLIs, so a newly registered strategy shows up
+// without code changes here. The multifid row gets the surrogate
+// backend's operator DNN as its screening tier, so the table tracks
+// the fidelity/speed trade: its "exact" column is the evaluation
+// count the acceptance criterion bounds (≥3× below the GA's).
 func Strategies(quick bool) (*Table, error) {
 	t := &Table{
 		ID:      "strategies",
 		Title:   "Search strategies: solution cost and effort per registered strategy",
-		Headers: []string{"model", "strategy", "cost(ms)", "vs ga", "evals", "time(ms)"},
+		Headers: []string{"model", "strategy", "cost(ms)", "vs ga", "exact", "screen", "evals vs ga", "time(ms)"},
 	}
 	w := evalWafer()
 	models := []model.Config{model.GPT3_6_7B()}
@@ -153,27 +160,51 @@ func Strategies(quick bool) (*Table, error) {
 	for _, m := range models {
 		g := model.BlockGraph(m)
 		space := parallel.EnumerateConfigs(w.Dies(), true, 0)
-		p := solver.Problem{Graph: g, Space: space, Model: &solver.Analytic{W: w, M: m}}
+		// The exact tier follows the engine's default backend, so
+		// -backend re-prices the whole comparison at that fidelity.
+		cm, err := solver.BackendModel(engine.DefaultBackend(), m, w)
+		if err != nil {
+			return nil, err
+		}
+		p := solver.Problem{Graph: g, Space: space, Model: cm}
+		screen, err := solver.BackendModel(cost.BackendKey("surrogate", 7), m, w)
+		if err != nil {
+			return nil, err
+		}
 		var gaCost float64
+		var gaEvals int
 		for _, name := range solver.StrategyNames() {
 			st, err := solver.NewStrategy(name, solver.Params{"seed": 7})
 			if err != nil {
 				return nil, err
 			}
-			_, s := st.Solve(context.Background(), p, solver.Budget{})
+			sp := p
+			if name == "multifid" || name == "portfolio" {
+				// Same attachment rule as the CLIs (solver.SearchModels):
+				// the table measures the portfolio users actually run.
+				sp.Screen = screen
+			}
+			_, s := st.Solve(context.Background(), sp, solver.Budget{})
 			if name == "ga" {
 				gaCost = s.FinalCost
+				gaEvals = s.Evaluations
 			}
-			vs := "-"
+			vs, ratio := "-", "-"
 			if gaCost > 0 {
 				vs = f3(s.FinalCost / gaCost)
 			}
+			if gaEvals > 0 && s.Evaluations > 0 {
+				ratio = fmt.Sprintf("%.1fx", float64(gaEvals)/float64(s.Evaluations))
+			}
 			t.AddRow(m.Name, name, f3(s.FinalCost*1e3), vs,
 				fmt.Sprintf("%d", s.Evaluations),
+				fmt.Sprintf("%d", s.ScreenEvaluations),
+				ratio,
 				f2(float64(s.Elapsed.Microseconds())/1e3))
 		}
 	}
 	t.AddNote("ga is the paper's dual-level search; portfolio races ga/anneal/hillclimb and returns the best")
+	t.AddNote("multifid screens on the surrogate DNN and verifies on the analytic model: equal-or-better cost at >=3x fewer exact evaluations")
 	return t, nil
 }
 

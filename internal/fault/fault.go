@@ -133,6 +133,14 @@ type Outcome struct {
 // (the mesh router avoids dead links). A disconnected fabric, or one
 // whose placement can no longer route, is reported non-functional.
 func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options, in Injection, rng *rand.Rand) Outcome {
+	return EvaluateWith("", m, w, cfg, o, in, rng)
+}
+
+// EvaluateWith is Evaluate at a named cost-backend fidelity: the
+// degraded topology is priced through the backend's placement-aware
+// path (tiers without one, like the surrogate, fall back to the
+// analytic model — see cost.EvaluateOnWith).
+func EvaluateWith(backend string, m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options, in Injection, rng *rand.Rand) Outcome {
 	topo := mesh.FromWafer(w)
 	in.Apply(topo, rng)
 	rep := Localize(topo)
@@ -150,7 +158,7 @@ func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options, i
 	if err != nil {
 		return Outcome{Report: rep}
 	}
-	b, err := cost.EvaluateOn(m, w, cfg, o, topo, place)
+	b, err := cost.EvaluateOnWith(backend, m, w, cfg, o, topo, place)
 	if err != nil {
 		return Outcome{Report: rep}
 	}
@@ -162,14 +170,22 @@ func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options, i
 // Fig. 20(b)/(c). Non-functional trials contribute zero.
 func NormalizedThroughput(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options,
 	in Injection, trials int, seed int64) float64 {
-	base, err := cost.Evaluate(m, w, cfg, o)
+	return NormalizedThroughputWith("", m, w, cfg, o, in, trials, seed)
+}
+
+// NormalizedThroughputWith is NormalizedThroughput at a named
+// cost-backend fidelity; baseline and faulted trials price through
+// the same tier, so the normalization stays consistent.
+func NormalizedThroughputWith(backend string, m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options,
+	in Injection, trials int, seed int64) float64 {
+	base, err := cost.EvaluateWith(backend, m, w, cfg, o)
 	if err != nil || base.ThroughputTokens <= 0 {
 		return 0
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var sum float64
 	for i := 0; i < trials; i++ {
-		out := Evaluate(m, w, cfg, o, in, rng)
+		out := EvaluateWith(backend, m, w, cfg, o, in, rng)
 		if out.Functional {
 			sum += out.Breakdown.ThroughputTokens / base.ThroughputTokens
 		}

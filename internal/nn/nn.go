@@ -45,7 +45,31 @@ func NewDense(in, out int, relu bool, rng *rand.Rand) *Dense {
 	return d
 }
 
-// Forward computes the layer output for one sample.
+// Infer computes the layer output for one sample without recording
+// backward scratch: it only reads W and B, so a trained layer may
+// serve any number of concurrent Infer calls.
+func (d *Dense) Infer(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense input %d, want %d", len(x), d.In))
+	}
+	out := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		if d.ReLU && s < 0 {
+			s = 0
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Forward computes the layer output for one sample and records the
+// pre-activation scratch Backward consumes. Training only; concurrent
+// callers must use Infer.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense input %d, want %d", len(x), d.In))
@@ -111,8 +135,22 @@ func NewMLP(widths []int, rng *rand.Rand) *MLP {
 	return m
 }
 
-// Predict runs a forward pass.
+// Predict runs a read-only forward pass. It touches none of the
+// training scratch, so a trained MLP is safe for concurrent Predict
+// calls from any number of goroutines (the contract the surrogate
+// cost backends and the solver's CostModel rely on). Training must
+// not run concurrently with Predict.
 func (m *MLP) Predict(x []float64) []float64 {
+	h := x
+	for _, l := range m.Layers {
+		h = l.Infer(h)
+	}
+	return h
+}
+
+// forward is the training pass: each layer records the scratch
+// Backward consumes, so it must stay single-threaded.
+func (m *MLP) forward(x []float64) []float64 {
 	h := x
 	for _, l := range m.Layers {
 		h = l.Forward(h)
@@ -154,7 +192,7 @@ func (m *MLP) TrainBatch(xs [][]float64, ys [][]float64, cfg AdamConfig) float64
 	}
 	var loss float64
 	for s := range xs {
-		out := m.Predict(xs[s])
+		out := m.forward(xs[s])
 		dOut := make([]float64, len(out))
 		for o := range out {
 			diff := out[o] - ys[s][o]

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -94,7 +95,7 @@ func TestGradientCheck(t *testing.T) {
 		gW[i] = make([]float64, len(l.W))
 		gB[i] = make([]float64, len(l.B))
 	}
-	out := m.Predict(x)
+	out := m.forward(x) // training pass: records the scratch Backward reads
 	dOut := []float64{2 * (out[0] - y[0])}
 	grad := dOut
 	for li := len(m.Layers) - 1; li >= 0; li-- {
@@ -208,4 +209,50 @@ func TestFitPanicsOnEmpty(t *testing.T) {
 		}
 	}()
 	m.Fit(nil, nil, 1, 1, AdamConfig{}, rng)
+}
+
+// TestPredictMatchesTrainingForward pins the read-only inference path
+// to the training forward pass bit-for-bit.
+func TestPredictMatchesTrainingForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP([]int{4, 8, 8, 1}, rng)
+	for i := 0; i < 20; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if got, want := m.Predict(x)[0], m.forward(x)[0]; got != want {
+			t.Fatalf("Predict %v ≠ training forward %v", got, want)
+		}
+	}
+}
+
+// TestPredictIsReadOnly hammers one trained MLP from many goroutines;
+// with the read-only inference path this is race-free (the CI -race
+// run enforces it) and every goroutine sees the serial predictions.
+func TestPredictIsReadOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP([]int{3, 16, 16, 1}, rng)
+	xs := make([][]float64, 64)
+	want := make([]float64, len(xs))
+	for i := range xs {
+		xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		want[i] = m.Predict(xs[i])[0]
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for rep := 0; rep < 50; rep++ {
+				for i, x := range xs {
+					if got := m.Predict(x)[0]; got != want[i] {
+						done <- fmt.Errorf("concurrent Predict %v ≠ serial %v", got, want[i])
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
 }

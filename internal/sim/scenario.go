@@ -22,24 +22,34 @@ import (
 //   - otherwise the system's configuration space is swept for its
 //     best feasible configuration (the footing every figure uses).
 func RunScenario(sc spec.Scenario) (baselines.Result, error) {
+	sys := sc.System
+	if sc.Cost != nil {
+		// The cost stage retargets every evaluation of this scenario
+		// at the chosen fidelity tier; the backend key is part of the
+		// engine's memo key, so tiers never share cache entries.
+		sys.Backend = sc.Cost.Key
+	}
 	if sc.Config != nil {
-		opts := sc.System.Opts
+		opts := sys.Opts
 		if sc.Wafers > 1 {
 			opts.Wafers = sc.Wafers
 		}
-		b, err := engine.Evaluate(sc.Model, sc.Wafer, *sc.Config, opts)
+		b, err := engine.EvaluateJob(engine.Job{
+			Model: sc.Model, Wafer: sc.Wafer, Config: *sc.Config,
+			Opts: opts, Backend: sys.Backend,
+		})
 		if err != nil {
 			return baselines.Result{}, fmt.Errorf("sim: scenario %q: %w", sc.Name, err)
 		}
 		return baselines.Result{
-			System: sc.System.Name, Config: *sc.Config,
+			System: sys.Name, Config: *sc.Config,
 			Breakdown: b, Feasible: !b.OOM(),
 		}, nil
 	}
 	if sc.Wafers > 1 {
-		return MultiWafer(sc.System, sc.Model, sc.Wafer, sc.Wafers)
+		return MultiWafer(sys, sc.Model, sc.Wafer, sc.Wafers)
 	}
-	return baselines.Best(sc.System, sc.Model, sc.Wafer)
+	return baselines.Best(sys, sc.Model, sc.Wafer)
 }
 
 // SolverOutcome reports a scenario's optional partition-mapping
@@ -50,10 +60,17 @@ type SolverOutcome struct {
 	// racer that produced the result (empty otherwise).
 	Strategy string
 	Winner   string
+	// Backend is the cost backend whose operator model priced the
+	// search exactly ("analytic" unless the scenario's cost stage
+	// retargeted it).
+	Backend string
 	// DPCost and FinalCost are the chain-DP seed and refined costs.
 	DPCost, FinalCost float64
-	// Evaluations counts distinct cost-model terms priced.
-	Evaluations int
+	// Evaluations counts distinct exact cost-model terms priced;
+	// ScreenEvaluations counts cheap surrogate-tier terms during
+	// multi-fidelity search.
+	Evaluations       int
+	ScreenEvaluations int
 	// Elapsed is the search wall-clock time.
 	Elapsed time.Duration
 	// Dominant is the configuration most operators are assigned;
@@ -78,14 +95,36 @@ type ScenarioResult struct {
 	Err    error
 }
 
-// runSolverStage runs a scenario's search stage on the analytic cost
-// model: the registered strategy searches the per-operator strategy
-// space of the scenario's model/wafer pair under the stage's budget.
-// Deterministic: the strategy is seeded and the evaluator is pure.
-func runSolverStage(sc spec.Scenario) *SolverOutcome {
+// runSolverStage runs a scenario's search stage: the registered
+// strategy searches the per-operator strategy space of the scenario's
+// model/wafer pair under the stage's budget, priced by the scenario's
+// cost backend (analytic unless the cost stage retargets it). The
+// multifid strategy — and the portfolio, which adds a multifid racer
+// when screening is available — additionally gets the surrogate
+// tier's operator DNN as the cheap screening model. Deterministic:
+// the strategy is seeded, surrogate training is seeded, and the
+// evaluators are pure.
+func runSolverStage(sc spec.Scenario) (*SolverOutcome, error) {
 	g := model.BlockGraph(sc.Model)
 	space := parallel.EnumerateConfigs(sc.Wafer.Dies(), true, 0)
-	p := solver.Problem{Graph: g, Space: space, Model: &solver.Analytic{W: sc.Wafer, M: sc.Model}}
+
+	backendKey := ""
+	if sc.Cost != nil {
+		backendKey = sc.Cost.Key
+	}
+	// The surrogate screen reuses the cost stage's training seed when
+	// one is pinned (one spec → one reproducible run), falling back
+	// to the solver stage's own seed so -seed behaves identically on
+	// the scenario and direct CLI paths.
+	screenSeed := sc.Solver.Seed
+	if s := sc.Cost.SurrogateSeed(); s != 0 {
+		screenSeed = s
+	}
+	cm, screen, err := solver.SearchModels(sc.Solver.Name, backendKey, sc.Model, sc.Wafer, screenSeed)
+	if err != nil {
+		return nil, fmt.Errorf("sim: scenario %q solver stage: %w", sc.Name, err)
+	}
+	p := solver.Problem{Graph: g, Space: space, Model: cm, Screen: screen}
 	b := sc.Solver.Budget
 	if b.Workers == 0 {
 		// Spec-declared stages inherit the engine's -workers bound so
@@ -94,16 +133,21 @@ func runSolverStage(sc spec.Scenario) *SolverOutcome {
 	}
 	a, stats := sc.Solver.Strategy.Solve(context.Background(), p, b)
 	idx, share := solver.Uniform(a)
+	name := "analytic"
+	if backendKey != "" {
+		name = backendKey
+	}
 	out := &SolverOutcome{
-		Strategy: stats.Strategy, Winner: stats.Winner,
+		Strategy: stats.Strategy, Winner: stats.Winner, Backend: name,
 		DPCost: stats.DPCost, FinalCost: stats.FinalCost,
-		Evaluations: stats.Evaluations, Elapsed: stats.Elapsed,
-		Share: share, Assignment: a,
+		Evaluations: stats.Evaluations, ScreenEvaluations: stats.ScreenEvaluations,
+		Elapsed: stats.Elapsed,
+		Share:   share, Assignment: a,
 	}
 	if len(space) > 0 {
 		out.Dominant = space[idx]
 	}
-	return out
+	return out, nil
 }
 
 // runOne evaluates a scenario including its optional solver and fault
@@ -112,7 +156,8 @@ func runOne(sc spec.Scenario) ScenarioResult {
 	r, err := RunScenario(sc)
 	out := ScenarioResult{Name: sc.Name, Result: r, Err: err}
 	if err == nil && sc.Solver != nil {
-		out.Solver = runSolverStage(sc)
+		out.Solver, out.Err = runSolverStage(sc)
+		err = out.Err
 	}
 	if err != nil || sc.Fault == nil {
 		return out
@@ -129,7 +174,11 @@ func runOne(sc spec.Scenario) ScenarioResult {
 	if sc.Wafers > 1 {
 		opts.Wafers = sc.Wafers
 	}
-	out.FaultNormTput = fault.NormalizedThroughput(sc.Model, sc.Wafer, r.Config, opts,
+	backendKey := ""
+	if sc.Cost != nil {
+		backendKey = sc.Cost.Key
+	}
+	out.FaultNormTput = fault.NormalizedThroughputWith(backendKey, sc.Model, sc.Wafer, r.Config, opts,
 		in, sc.Fault.TrialCount(), sc.Fault.RandSeed())
 	out.Faulted = true
 	return out
@@ -160,12 +209,23 @@ func RunScenarioSpecs(specs []spec.ScenarioSpec) []ScenarioResult {
 // runs the given search stage in place of (or in addition to) the one
 // its spec declares — the CLI -strategy/-budget flags.
 func RunScenarioSpecsWithSolver(specs []spec.ScenarioSpec, override *spec.SolverStage) []ScenarioResult {
+	return RunScenarioSpecsWithStages(specs, override, nil)
+}
+
+// RunScenarioSpecsWithStages is RunScenarioSpecs with optional
+// solver-stage and cost-stage overrides — the CLI
+// -strategy/-budget/-backend flags. A non-nil stage replaces the
+// corresponding spec-declared stage on every scenario in the batch.
+func RunScenarioSpecsWithStages(specs []spec.ScenarioSpec, override *spec.SolverStage, costStage *spec.CostStage) []ScenarioResult {
 	scs := make([]spec.Scenario, len(specs))
 	errs := make([]error, len(specs))
 	for i, s := range specs {
 		scs[i], errs[i] = s.Resolve()
 		if errs[i] == nil && override != nil {
 			scs[i].Solver = override
+		}
+		if errs[i] == nil && costStage != nil {
+			scs[i].Cost = costStage
 		}
 	}
 	out := make([]ScenarioResult, len(specs))

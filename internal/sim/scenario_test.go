@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"temp/internal/engine"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/solver"
 	"temp/internal/spec"
 )
 
@@ -172,5 +175,92 @@ func TestScenarioSolverStage(t *testing.T) {
 	}
 	if over.Solver == nil || over.Solver.Strategy != "dp" {
 		t.Fatalf("override not applied: %+v", over.Solver)
+	}
+}
+
+// TestScenarioCostStage: a scenario's cost stage retargets evaluation
+// at the chosen fidelity tier — the replay tier prices a streaming
+// config differently from (and no worse than) the analytic default —
+// and the solver stage searches on the stage's operator model. The
+// multifid stage reports both exact and screen effort with an
+// exact-verified winner.
+func TestScenarioCostStage(t *testing.T) {
+	pinned := `{"name":"pinned","model":"gpt3-6.7b","wafer":"wsc-4x8","config":{"dp":2,"tp":2,"tatp":8}}`
+	ss, err := spec.ParseScenario([]byte(pinned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RunScenarioSpecs([]spec.ScenarioSpec{ss})[0]
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+
+	withReplay := ss
+	withReplay.Cost = &spec.CostSpec{Backend: "replay"}
+	rp := RunScenarioSpecs([]spec.ScenarioSpec{withReplay})[0]
+	if rp.Err != nil {
+		t.Fatal(rp.Err)
+	}
+	if rp.Result.StepTime == base.Result.StepTime {
+		t.Errorf("replay stage priced identically to analytic (%v)", rp.Result.StepTime)
+	}
+	if rp.Result.StepTime > base.Result.StepTime*(1+1e-9) {
+		t.Errorf("replay stage %v worse than analytic %v", rp.Result.StepTime, base.Result.StepTime)
+	}
+
+	// CLI-style override: same effect without touching the spec.
+	stage, err := spec.CostOverride("replay", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := RunScenarioSpecsWithStages([]spec.ScenarioSpec{ss}, nil, stage)[0]
+	if over.Err != nil {
+		t.Fatal(over.Err)
+	}
+	if over.Result.StepTime != rp.Result.StepTime {
+		t.Errorf("cost override %v ≠ spec-declared stage %v", over.Result.StepTime, rp.Result.StepTime)
+	}
+
+	mf := ss
+	mf.Cost = &spec.CostSpec{Backend: "surrogate", Seed: 42}
+	mf.Solver = &spec.SolverSpec{Strategy: "multifid", Seed: 7}
+	r := RunScenarioSpecs([]spec.ScenarioSpec{mf})[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Solver == nil || r.Solver.Strategy != "multifid" {
+		t.Fatalf("solver stage missing: %+v", r.Solver)
+	}
+	if r.Solver.Backend != "surrogate@seed=42" {
+		t.Errorf("solver backend %q", r.Solver.Backend)
+	}
+	if r.Solver.ScreenEvaluations == 0 || r.Solver.Evaluations == 0 {
+		t.Errorf("effort split missing: exact=%d screen=%d", r.Solver.Evaluations, r.Solver.ScreenEvaluations)
+	}
+	// A surrogate cost stage supplies multifid's screen, never its
+	// verify tier: the reported cost must be the analytic price of
+	// the returned assignment, not a DNN estimate.
+	sc, err := mf.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := &solver.Analytic{W: sc.Wafer, M: sc.Model}
+	g := model.BlockGraph(sc.Model)
+	space := parallel.EnumerateConfigs(sc.Wafer.Dies(), true, 0)
+	var reprice float64
+	for i, cfgIdx := range r.Solver.Assignment {
+		pen := 0.0
+		if !exact.MemoryOK(space[cfgIdx]) {
+			pen = 1e6
+		}
+		// Summed in the evaluator's order (intra+penalty as one term,
+		// then inter) so equality is exact, not approximate.
+		reprice += exact.Intra(g.Ops[i], space[cfgIdx]) + pen
+		if i > 0 {
+			reprice += exact.Inter(g.Ops[i-1], g.Ops[i], space[r.Solver.Assignment[i-1]], space[cfgIdx])
+		}
+	}
+	if reprice != r.Solver.FinalCost {
+		t.Errorf("multifid reported %v but the analytic re-price is %v — winner was surrogate-verified", r.Solver.FinalCost, reprice)
 	}
 }

@@ -110,7 +110,7 @@ func MultiWafer(s baselines.System, m model.Config, w hw.Wafer, wafers int) (bas
 		}
 		for _, cfg := range s.Space(mesh(stageWafer)) {
 			cfg.PP = pp
-			jobs = append(jobs, engine.Job{Model: m, Wafer: stageWafer, Config: cfg, Opts: opts})
+			jobs = append(jobs, engine.Job{Model: m, Wafer: stageWafer, Config: cfg, Opts: opts, Backend: s.Backend})
 		}
 	}
 	best := baselines.Result{System: s.Name}

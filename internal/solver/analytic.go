@@ -7,22 +7,27 @@
 package solver
 
 import (
+	"strings"
+
+	"temp/internal/cost"
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
-	"temp/internal/tensor"
-	"temp/internal/unit"
 )
 
-// CostModel prices operators under candidate strategies. Both the
-// fast analytic model and the DNN surrogate satisfy it.
+// CostModel prices operators under candidate strategies. It is
+// structurally identical to cost.OperatorModel, so every registered
+// cost backend's per-operator fast path (analytic, replay, surrogate)
+// plugs in directly via cost.NewBackend(...).Operator(m, w).
 //
-// Implementations must be safe for concurrent use: DLS prices each
-// GA generation's population across DLSOptions.Workers goroutines
-// (GOMAXPROCS by default), so Intra/Inter/MemoryOK may be called
-// from several goroutines at once. Stateless or read-only models
-// (like Analytic) qualify as-is; a stateful model must either
-// synchronize internally or be run with Workers: 1.
+// Implementations must be safe for concurrent use: strategies price
+// whole GA populations across Budget.Workers goroutines (GOMAXPROCS
+// by default), so Intra/Inter/MemoryOK may be called from several
+// goroutines at once. Stateless or read-only models qualify as-is:
+// Analytic is a read-only struct, the replay tier only mutates an
+// internally-locked placement cache, and trained surrogates serve
+// predictions from frozen weights. A model that mutates shared state
+// must either synchronize internally or be run with Workers: 1.
 type CostModel interface {
 	// Intra returns T_intra(op) of Eq. (2): compute overlapped with
 	// streaming plus exposed collectives, under the strategy.
@@ -36,132 +41,54 @@ type CostModel interface {
 	MemoryOK(cfg parallel.Config) bool
 }
 
-// Analytic is the closed-form wafer cost model of §VII-A: ring and
-// stream formulas over the Table I link parameters, matching the
-// first-order behaviour of the full mesh simulation at a tiny
-// fraction of its cost.
-type Analytic struct {
-	W hw.Wafer
-	M model.Config
-	// Microbatch sequences per DP rank (0 = default 4).
-	Microbatch int
-	// MemBudget per die; 0 means the wafer die's capacity.
-	MemBudget float64
-}
-
-func (a *Analytic) mb() float64 {
-	if a.Microbatch > 0 {
-		return float64(a.Microbatch)
-	}
-	return 4
-}
-
-// gemmHalfEff mirrors the cost package's tile-efficiency knee.
-const gemmHalfEff = 1e9
-
-// roundSync mirrors the cost package's per-round stream overhead.
-const roundSync = 2 * unit.Microsecond
-
-// Intra implements CostModel.
-func (a *Analytic) Intra(op model.Op, cfg parallel.Config) float64 {
-	cfg = cfg.Normalize()
-	die := a.W.Die
-	frac := a.mb() / float64(a.M.Batch)
-	gemmShard := float64(cfg.TP * cfg.SP * cfg.CP * cfg.TATP)
-
-	var comp float64
-	if op.Kind.IsGEMM() {
-		shard := op.FLOPs * frac / gemmShard
-		per := shard
-		if cfg.TATP > 1 && op.HasWeight() {
-			per = shard / float64(cfg.TATP)
-		}
-		eff := per / (per + gemmHalfEff)
-		if eff < 0.05 {
-			eff = 0.05
-		}
-		comp = shard / (die.PeakFLOPS * eff)
-	} else {
-		vecShard := float64(cfg.SP * cfg.CP * cfg.TATP)
-		if op.TPSharded || cfg.MegatronSP {
-			vecShard *= float64(cfg.TP)
-		}
-		shard := op.FLOPs * frac / vecShard
-		comp = shard / die.VectorFLOPS
-		if !op.FlashFused {
-			bytes := (op.Input.Bytes() + op.Output.Bytes()) * frac / vecShard
-			comp = unit.MaxF(comp, bytes/die.MemBandwidth())
-		}
-	}
-
-	// Streaming (TATP) overlaps with compute; collectives expose.
-	var stream float64
-	if cfg.TATP > 1 && op.HasWeight() {
-		wGroup := op.Weight.Bytes() / float64(cfg.TP)
-		iGroup := op.Input.Bytes() * frac / float64(cfg.SP*cfg.CP)
-		streamed := unit.MinF(wGroup, iGroup)
-		sub := streamed / float64(cfg.TATP)
-		stream = streamed/a.W.Link.EffectiveBandwidth(sub) + float64(cfg.TATP)*roundSync
-	}
-
-	var coll float64
-	if cfg.TP > 1 && op.HasWeight() {
-		// Half the weighted GEMMs end a TP block with a partial-sum
-		// reduction; amortize one AR across two weighted ops.
-		arBytes := a.mb() * float64(a.M.Seq) / float64(cfg.SP*cfg.CP*cfg.TATP) *
-			float64(a.M.Hidden) * unit.FP16.Size()
-		n := float64(cfg.TP)
-		chunk := arBytes / n
-		coll = 0.5 * (2 * (n - 1) * chunk / a.W.Link.EffectiveBandwidth(chunk))
-	}
-	return unit.MaxF(comp, stream) + coll
-}
-
-// actPartition derives the activation layout a configuration induces.
-func actPartition(cfg parallel.Config) tensor.Partition {
-	cfg = cfg.Normalize()
-	p := tensor.SplitBy(map[tensor.Dim]int{
-		tensor.B: cfg.DP,
-		tensor.M: cfg.SP * cfg.CP * cfg.TATP,
-	})
-	if cfg.MegatronSP {
-		p = p.Compose(tensor.SplitBy(map[tensor.Dim]int{tensor.M: cfg.TP}))
-	} else {
-		p = p.WithReplicas(cfg.TP)
-	}
-	return p
-}
-
-// Inter implements CostModel: resharding bytes over one mesh link at
-// effective bandwidth (consecutive operators live on the same dies,
-// so a layout change is a neighbor exchange).
-func (a *Analytic) Inter(prev, next model.Op, pc, nc parallel.Config) float64 {
-	bytes := tensor.ReshardBytes(prev.Output, actPartition(pc), actPartition(nc))
-	bytes *= a.mb() / float64(a.M.Batch)
-	if bytes <= 0 {
-		return 0
-	}
-	return bytes / a.W.Link.EffectiveBandwidth(bytes)
-}
-
-// MemoryOK implements CostModel with the same footprint conventions
-// as the full model: weights+grads+optimizer+selective activations.
-func (a *Analytic) MemoryOK(cfg parallel.Config) bool {
-	cfg = cfg.Normalize()
-	budget := a.MemBudget
-	if budget <= 0 {
-		budget = a.W.Die.MemCapacity()
-	}
-	p := float64(a.M.Params())
-	weights := p * 2 / float64(cfg.WeightShardWays())
-	grads := weights
-	optim := p * 12 / float64(cfg.Degree())
-	sLocal := float64(a.M.Seq) / float64(cfg.SP*cfg.CP*cfg.TATP)
-	if cfg.MegatronSP {
-		sLocal /= float64(cfg.TP)
-	}
-	acts := 34 * a.mb() * sLocal * float64(a.M.Hidden) * float64(a.M.Layers)
-	return weights+grads+optim+acts <= budget
-}
+// Analytic is the closed-form wafer cost model of §VII-A, now owned
+// by the cost package as the analytic backend's operator fast path.
+// The alias preserves the historical solver surface (&solver.Analytic
+// {W: w, M: m}) bit-identically.
+type Analytic = cost.OperatorAnalytic
 
 var _ CostModel = (*Analytic)(nil)
+
+// BackendModel resolves a registered cost backend's per-operator
+// model by key ("analytic", "replay", "surrogate@seed=7") — the
+// bridge the CLIs and scenario runner use to search at a chosen
+// fidelity tier.
+func BackendModel(key string, m model.Config, w hw.Wafer) (CostModel, error) {
+	be, err := cost.NewBackend(key)
+	if err != nil {
+		return nil, err
+	}
+	return be.Operator(m, w)
+}
+
+// SearchModels resolves the (exact, screen) cost-model pair for one
+// search — the single rule the scenario runner and the CLIs share:
+//
+//   - exact comes from the backend key ("" = analytic);
+//   - screen is the surrogate tier, attached only for the strategies
+//     that use one ("multifid", and "portfolio" which races a
+//     multifid when a screen is present) and nil otherwise;
+//   - a surrogate backend key combined with a screening strategy
+//     supplies the screen (keeping its seed) and degrades the exact
+//     tier to analytic — a screened search must never verify its
+//     winner on the surrogate it screened with.
+func SearchModels(strategy, backendKey string, m model.Config, w hw.Wafer, screenSeed int64) (exact, screen CostModel, err error) {
+	screens := strategy == "multifid" || strategy == "portfolio"
+	exactKey := backendKey
+	screenKey := cost.BackendKey("surrogate", screenSeed)
+	canon := cost.CanonicalBackendKey(backendKey)
+	if screens && (canon == "surrogate" || strings.HasPrefix(canon, "surrogate@")) {
+		exactKey = ""
+		screenKey = canon
+	}
+	if exact, err = BackendModel(exactKey, m, w); err != nil {
+		return nil, nil, err
+	}
+	if !screens {
+		return exact, nil, nil
+	}
+	if screen, err = BackendModel(screenKey, m, w); err != nil {
+		return nil, nil, err
+	}
+	return exact, screen, nil
+}

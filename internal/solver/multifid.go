@@ -1,0 +1,221 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"temp/internal/engine"
+)
+
+// MultiFidelity is the two-stage surrogate-screened search (§VII-A's
+// speed play): candidate assignments are explored on the cheap
+// screening model (Problem.Screen — typically the surrogate cost
+// backend's operator DNN), then the survivors are re-priced on the
+// exact model and refined with an exact-model coordinate descent
+// whose candidate moves are ranked by the screen. The returned winner
+// is therefore always exact-verified — the strategy never reports a
+// surrogate-priced cost — while the exact model sees orders of
+// magnitude fewer distinct evaluations than a direct GA (which must
+// fill the full chain-DP tables on it).
+//
+// Without a screening model the strategy degrades to the plain GA on
+// the exact model, so it stays usable from generic registry sweeps.
+type MultiFidelity struct {
+	// Seed drives the screening racers' randomness.
+	Seed int64
+	// TopR is how many screen-ranked configurations each gene tries
+	// per exact refinement sweep (default 8).
+	TopR int
+}
+
+// newMultiFidelity builds the registered "multifid" strategy.
+func newMultiFidelity(p Params) (Strategy, error) {
+	mf := &MultiFidelity{
+		Seed: p.seed(),
+		TopR: int(p.value("topr", 0)),
+	}
+	if err := p.checkKnown("multifid", "seed", "topr"); err != nil {
+		return nil, err
+	}
+	if mf.TopR < 0 {
+		return nil, fmt.Errorf("solver: multifid topr %d is negative", mf.TopR)
+	}
+	return mf, nil
+}
+
+// Name implements Strategy.
+func (s *MultiFidelity) Name() string { return "multifid" }
+
+// Solve implements Strategy.
+func (s *MultiFidelity) Solve(ctx context.Context, p Problem, b Budget) (Assignment, Stats) {
+	stats := Stats{Strategy: s.Name()}
+	if !p.valid() {
+		return nil, stats
+	}
+	if p.Screen == nil {
+		// No screening tier: fall back to the exact GA so the strategy
+		// still returns a verified answer.
+		a, ga := (&GA{Seed: s.Seed}).Solve(ctx, p, b)
+		ga.Strategy = s.Name()
+		return a, ga
+	}
+	topR := s.TopR
+	if topR == 0 {
+		topR = 8
+	}
+	// Budget.Deadline is a global wall-clock bound: convert it to a
+	// shared context deadline spanning screen, verify and refine (the
+	// same contract the portfolio keeps for its race).
+	if b.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.Deadline)
+		defer cancel()
+		b.Deadline = 0
+	}
+
+	// The run clock starts before screening so Stats.Elapsed covers
+	// the whole search, screen race included.
+	ev := p.evaluator()
+	r := newRun(b, ev, &stats)
+
+	// --- Stage 1: screen. Race the local-search portfolio on the
+	// cheap model; none of these touch the exact evaluator.
+	screenP := Problem{Graph: p.Graph, Space: p.Space, Model: p.Screen}
+	racers := defaultRacers(s.Seed)
+	inner := b
+	inner.Workers = 1
+	inner.MaxEvals = 0 // the eval budget governs the exact stage
+	candidates := make([]Assignment, len(racers))
+	subStats := make([]Stats, len(racers))
+	engine.ForEach(b.Workers, len(racers), func(i int) {
+		candidates[i], subStats[i] = racers[i].Solve(ctx, screenP, inner)
+	})
+	for _, ss := range subStats {
+		stats.ScreenEvaluations += ss.Evaluations
+	}
+	stats.Sub = subStats
+
+	// --- Stage 2: verify. Price every distinct survivor on the exact
+	// model; the best verified candidate seeds the refinement.
+	seen := map[string]bool{}
+	var survivors []Assignment
+	var survivorCosts []float64
+	var best Assignment
+	bestCost := 0.0
+	for _, c := range candidates {
+		if len(c) != len(p.Graph.Ops) {
+			continue
+		}
+		key := c.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cost := ev.assignmentCost(c)
+		survivors = append(survivors, c)
+		survivorCosts = append(survivorCosts, cost)
+		if best == nil || cost < bestCost {
+			best = append(Assignment(nil), c...)
+			bestCost = cost
+		}
+	}
+	if best == nil {
+		// Screening produced nothing usable (empty graph edge cases):
+		// fall back to the exact chain-DP seed.
+		best = p.seedAssignment(ev, b)
+		bestCost = ev.assignmentCost(best)
+		survivors = append(survivors, best)
+		survivorCosts = append(survivorCosts, bestCost)
+	}
+	stats.DPCost = bestCost
+
+	// --- Stage 3: screen-guided exact refinement. Coordinate descent
+	// on the exact model, but each gene only tries the TopR
+	// configurations the screen ranks best for that position — so the
+	// exact evaluator prices a sliver of the space.
+	screenEv := newEvaluator(p.Screen, p.Graph.Ops, p.Space)
+	sweeps := 0
+	// refine runs coordinate descent from one start: screen-guided
+	// sweeps first (a sliver of the space per gene), then a
+	// full-space polish to a coordinate-wise exact optimum — still
+	// far fewer distinct exact terms than the GA's chain-DP tables
+	// alone.
+	refine := func(start Assignment, startCost float64) {
+		inc := ev.incremental(start)
+		cur := startCost
+		for _, r1 := range []int{topR, len(p.Space)} {
+			for ; !r.stop(ctx); sweeps++ {
+				improved := false
+				for i := range inc.assign {
+					if r.stop(ctx) {
+						break
+					}
+					stats.Iterations++
+					for _, c := range s.screenRank(screenEv, inc.assign, i, r1) {
+						if c == inc.assign[i] {
+							continue
+						}
+						if cand := inc.moveCost(i, c); cand < cur {
+							inc.apply(i, c)
+							cur = cand
+							improved = true
+						}
+					}
+				}
+				if cur < bestCost {
+					bestCost = cur
+					best = append(best[:0], inc.assign...)
+				}
+				r.checkpoint(sweeps+1, best, bestCost)
+				if !improved {
+					break
+				}
+			}
+		}
+	}
+	// Refine every distinct verified survivor: the exact terms are
+	// memoized, so the marginal cost of later starts is small, and a
+	// runner-up's basin sometimes holds the better exact optimum.
+	for i, c := range survivors {
+		if r.stop(ctx) {
+			break
+		}
+		refine(c, survivorCosts[i])
+	}
+
+	stats.ScreenEvaluations += int(screenEv.n.Load())
+	r.finish(bestCost)
+	return best, stats
+}
+
+// screenRank orders the strategy space for gene i by the screening
+// model's delta cost around the current assignment and returns the
+// TopR cheapest configurations.
+func (s *MultiFidelity) screenRank(screenEv *evaluator, assign Assignment, i, topR int) []int {
+	n := len(screenEv.space)
+	if topR >= n {
+		topR = n
+	}
+	type ranked struct {
+		cfg  int
+		cost float64
+	}
+	rs := make([]ranked, n)
+	for c := 0; c < n; c++ {
+		v := screenEv.intraCost(i, c) + screenEv.penalty(c)
+		if i > 0 {
+			v += screenEv.interCost(i, assign[i-1], c)
+		}
+		if i+1 < len(assign) {
+			v += screenEv.interCost(i+1, c, assign[i+1])
+		}
+		rs[c] = ranked{cfg: c, cost: v}
+	}
+	sort.SliceStable(rs, func(a, b int) bool { return rs[a].cost < rs[b].cost })
+	out := make([]int, 0, topR)
+	for _, r := range rs[:topR] {
+		out = append(out, r.cfg)
+	}
+	return out
+}

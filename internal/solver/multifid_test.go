@@ -1,0 +1,167 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// screenFor resolves the surrogate backend's operator model — the
+// screening tier multifid explores on.
+func screenFor(t *testing.T, m model.Config, w hw.Wafer) CostModel {
+	t.Helper()
+	be, err := cost.NewBackend(cost.BackendKey("surrogate", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	screen, err := be.Operator(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return screen
+}
+
+// TestMultiFidelityBeatsGAOnZoo is the acceptance criterion of the
+// multi-fidelity refactor: on every zoo model, the surrogate-screened
+// search must reach a final step time equal to or better than the
+// pure-analytic GA while issuing at least 3× fewer exact cost-model
+// evaluations — and its winner must be exact-verified, never a
+// surrogate-priced cost.
+//
+// Models too large for the evaluation wafer (every configuration
+// OOMs) have no step time; there the comparison is penalty-dominated
+// and only required to agree within floating-point noise of the
+// shared OOM penalty.
+func TestMultiFidelityBeatsGAOnZoo(t *testing.T) {
+	w := hw.EvaluationWafer()
+	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	models := model.Zoo()
+	if testing.Short() {
+		models = []model.Config{model.GPT3_6_7B(), model.Llama3_70B()}
+	}
+	for _, m := range models {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			g := model.BlockGraph(m)
+			cm := &Analytic{W: w, M: m}
+			exact := Problem{Graph: g, Space: space, Model: cm}
+			_, ga := (&GA{Seed: 7}).Solve(context.Background(), exact, Budget{})
+
+			screened := exact
+			screened.Screen = screenFor(t, m, w)
+			a, mf := (&MultiFidelity{Seed: 7}).Solve(context.Background(), screened, Budget{})
+
+			if mf.Strategy != "multifid" {
+				t.Errorf("strategy name %q", mf.Strategy)
+			}
+			feasible := ga.FinalCost < oomPenalty
+			if feasible {
+				if mf.FinalCost > ga.FinalCost {
+					t.Errorf("multifid cost %v worse than GA %v", mf.FinalCost, ga.FinalCost)
+				}
+			} else if mf.FinalCost > ga.FinalCost*(1+1e-9) {
+				t.Errorf("infeasible instance: multifid penalty cost %v far above GA %v", mf.FinalCost, ga.FinalCost)
+			}
+			if 3*mf.Evaluations > ga.Evaluations {
+				t.Errorf("multifid used %d exact evaluations, GA %d — want ≥3× fewer", mf.Evaluations, ga.Evaluations)
+			}
+			if mf.ScreenEvaluations == 0 {
+				t.Error("no screen evaluations recorded — the cheap tier never ran")
+			}
+			// Never an unverified winner: the reported cost must be the
+			// exact model's price of the returned assignment.
+			if got := newEvaluator(cm, g.Ops, space).assignmentCost(a); got != mf.FinalCost {
+				t.Errorf("reported cost %v ≠ exact re-price %v — winner left unverified", mf.FinalCost, got)
+			}
+		})
+	}
+}
+
+// TestMultiFidelityDeterminism: same seed, same screen → identical
+// assignment and stats at any worker count.
+func TestMultiFidelityDeterminism(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	p := Problem{
+		Graph: model.BlockGraph(m),
+		Space: parallel.EnumerateConfigs(w.Dies(), true, 0),
+		Model: &Analytic{W: w, M: m},
+	}
+	p.Screen = screenFor(t, m, w)
+	ref, refStats := (&MultiFidelity{Seed: 7}).Solve(context.Background(), p, Budget{Workers: 1})
+	for _, workers := range []int{2, 8} {
+		a, s := (&MultiFidelity{Seed: 7}).Solve(context.Background(), p, Budget{Workers: workers})
+		if s.FinalCost != refStats.FinalCost || s.Evaluations != refStats.Evaluations {
+			t.Errorf("workers=%d: cost/evals %v/%d ≠ serial %v/%d",
+				workers, s.FinalCost, s.Evaluations, refStats.FinalCost, refStats.Evaluations)
+		}
+		for i := range a {
+			if a[i] != ref[i] {
+				t.Fatalf("workers=%d: assignment diverged at op %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestMultiFidelityFallsBackWithoutScreen: no screening model means
+// the strategy degrades to the exact GA (same seed), keeping generic
+// registry sweeps working.
+func TestMultiFidelityFallsBackWithoutScreen(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	p := Problem{
+		Graph: model.BlockGraph(m),
+		Space: parallel.EnumerateConfigs(w.Dies(), true, 0),
+		Model: &Analytic{W: w, M: m},
+	}
+	aGA, ga := (&GA{Seed: 7}).Solve(context.Background(), p, Budget{})
+	aMF, mf := (&MultiFidelity{Seed: 7}).Solve(context.Background(), p, Budget{})
+	if mf.Strategy != "multifid" {
+		t.Errorf("fallback renamed the strategy to %q", mf.Strategy)
+	}
+	if mf.FinalCost != ga.FinalCost || mf.Evaluations != ga.Evaluations {
+		t.Errorf("fallback diverged from GA: %v/%d vs %v/%d",
+			mf.FinalCost, mf.Evaluations, ga.FinalCost, ga.Evaluations)
+	}
+	for i := range aMF {
+		if aMF[i] != aGA[i] {
+			t.Fatalf("fallback assignment diverged at op %d", i)
+		}
+	}
+}
+
+// TestPortfolioGainsMultifidRacer: with a screening model on the
+// problem, the portfolio races multifid too — and still never returns
+// anything worse than the GA baseline.
+func TestPortfolioGainsMultifidRacer(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	p := Problem{
+		Graph: model.BlockGraph(m),
+		Space: parallel.EnumerateConfigs(w.Dies(), true, 0),
+		Model: &Analytic{W: w, M: m},
+	}
+	p.Screen = screenFor(t, m, w)
+	_, ga := (&GA{Seed: 7}).Solve(context.Background(), Problem{Graph: p.Graph, Space: p.Space, Model: p.Model}, Budget{})
+	a, pf := (&Portfolio{Seed: 7}).Solve(context.Background(), p, Budget{})
+	if len(pf.Sub) != 4 {
+		t.Fatalf("portfolio raced %d strategies, want 4 (ga/anneal/hillclimb/multifid)", len(pf.Sub))
+	}
+	names := map[string]bool{}
+	for _, s := range pf.Sub {
+		names[s.Strategy] = true
+	}
+	if !names["multifid"] {
+		t.Error("multifid racer missing from screened portfolio")
+	}
+	if pf.FinalCost > ga.FinalCost {
+		t.Errorf("screened portfolio cost %v worse than GA %v", pf.FinalCost, ga.FinalCost)
+	}
+	if len(a) != len(p.Graph.Ops) {
+		t.Fatalf("portfolio assignment covers %d ops", len(a))
+	}
+}

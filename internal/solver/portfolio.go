@@ -34,16 +34,30 @@ func newPortfolio(p Params) (Strategy, error) {
 // Name implements Strategy.
 func (s *Portfolio) Name() string { return "portfolio" }
 
-// racers returns the configured or default sub-strategies.
-func (s *Portfolio) racers() []Strategy {
+// defaultRacers is the local-search trio (GA first, so races seeded
+// from it are never worse than the GA baseline) shared by the
+// portfolio's race and the multifid strategy's screening stage.
+func defaultRacers(seed int64) []Strategy {
+	return []Strategy{
+		&GA{Seed: seed},
+		&Anneal{Seed: seed + 1},
+		&HillClimb{Seed: seed + 2},
+	}
+}
+
+// racers returns the configured or default sub-strategies. When the
+// problem carries a screening model, the surrogate-screened
+// multi-fidelity search joins the default race (it verifies on the
+// exact model, so the portfolio's winner stays exact-priced).
+func (s *Portfolio) racers(p Problem) []Strategy {
 	if len(s.Subs) > 0 {
 		return s.Subs
 	}
-	return []Strategy{
-		&GA{Seed: s.Seed},
-		&Anneal{Seed: s.Seed + 1},
-		&HillClimb{Seed: s.Seed + 2},
+	out := defaultRacers(s.Seed)
+	if p.Screen != nil {
+		out = append(out, &MultiFidelity{Seed: s.Seed + 3})
 	}
+	return out
 }
 
 // Solve implements Strategy. Budget.MaxEvals applies per racer (each
@@ -56,7 +70,7 @@ func (s *Portfolio) Solve(ctx context.Context, p Problem, b Budget) (Assignment,
 	if !p.valid() {
 		return nil, stats
 	}
-	subs := s.racers()
+	subs := s.racers(p)
 	inner := b
 	inner.Workers = 1
 	if b.Deadline > 0 {
@@ -87,6 +101,7 @@ func (s *Portfolio) Solve(ctx context.Context, p Problem, b Budget) (Assignment,
 	stats.Checkpoints = subStats[winner].Checkpoints
 	for _, ss := range subStats {
 		stats.Evaluations += ss.Evaluations
+		stats.ScreenEvaluations += ss.ScreenEvaluations
 		if ss.Elapsed > stats.Elapsed {
 			stats.Elapsed = ss.Elapsed
 		}

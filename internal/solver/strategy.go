@@ -23,8 +23,15 @@ type Problem struct {
 	// Space is the candidate strategy space
 	// (parallel.EnumerateConfigs).
 	Space []parallel.Config
-	// Model prices operators; see the CostModel concurrency contract.
+	// Model prices operators exactly; see the CostModel concurrency
+	// contract. Every winner a strategy returns is priced on it.
 	Model CostModel
+	// Screen optionally provides a cheap lower-fidelity model (e.g.
+	// the surrogate backend's operator DNN) for multi-fidelity
+	// search: the multifid strategy explores on Screen and verifies
+	// on Model, and the portfolio adds a multifid racer when Screen
+	// is set. Nil disables screening.
+	Screen CostModel
 }
 
 // valid reports whether the problem has anything to search.
@@ -91,9 +98,13 @@ type Checkpoint struct {
 type Stats struct {
 	// Strategy names the search that produced these stats.
 	Strategy string
-	// Evaluations counts distinct Intra/Inter cost-model calls (the
-	// memoized unique-key count, identical at any worker count).
+	// Evaluations counts distinct Intra/Inter cost-model calls on the
+	// exact model (the memoized unique-key count, identical at any
+	// worker count).
 	Evaluations int
+	// ScreenEvaluations counts distinct calls on the cheap screening
+	// model during multi-fidelity search (zero elsewhere).
+	ScreenEvaluations int
 	// Nodes counts search-tree expansions (exhaustive search only);
 	// it is the quantity that explodes as Ω(|S|^m) in §III
 	// challenge 3.
@@ -269,4 +280,5 @@ func init() {
 	RegisterStrategy("hillclimb", newHillClimb)
 	RegisterStrategy("dp", newDP)
 	RegisterStrategy("portfolio", newPortfolio)
+	RegisterStrategy("multifid", newMultiFidelity)
 }

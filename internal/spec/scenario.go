@@ -151,6 +151,9 @@ type ScenarioSpec struct {
 	// §VII dual-level solver or any registered strategy) on top of
 	// the evaluation.
 	Solver *SolverSpec `json:"solver,omitempty"`
+	// Cost selects the cost backend (fidelity tier) pricing the
+	// scenario; nil means the analytic tier.
+	Cost *CostSpec `json:"cost,omitempty"`
 }
 
 // Scenario is a resolved, validated ScenarioSpec: concrete domain
@@ -166,6 +169,8 @@ type Scenario struct {
 	Fault  *FaultSpec
 	// Solver is the resolved optional search stage.
 	Solver *SolverStage
+	// Cost is the resolved cost backend stage; nil means analytic.
+	Cost *CostStage
 }
 
 // Validate resolves the spec and reports the first problem.
@@ -218,6 +223,13 @@ func (s ScenarioSpec) Resolve() (Scenario, error) {
 	if sc.Fault != nil && (sc.Fault.LinkRate < 0 || sc.Fault.LinkRate > 1 ||
 		sc.Fault.CoreRate < 0 || sc.Fault.CoreRate > 1) {
 		return Scenario{}, fmt.Errorf("scenario %q: fault rates must lie in [0,1]", s.Name)
+	}
+	if s.Cost != nil {
+		stage, err := s.Cost.Build()
+		if err != nil {
+			return Scenario{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		sc.Cost = stage
 	}
 	if s.Solver != nil {
 		if dies&(dies-1) != 0 {

@@ -78,11 +78,14 @@ func (s SolverSpec) Validate() error {
 }
 
 // SolverStage is a resolved SolverSpec: the built strategy, its
-// budget, and the name it resolved under.
+// budget, the name it resolved under, and the seed that drove it
+// (reused by the surrogate screening tier when no cost stage pins
+// one).
 type SolverStage struct {
 	Name     string
 	Strategy solver.Strategy
 	Budget   solver.Budget
+	Seed     int64
 }
 
 // Build resolves the spec against the solver's strategy registry.
@@ -100,7 +103,7 @@ func (s SolverSpec) Build() (*SolverStage, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spec: %w", err)
 	}
-	stage := &SolverStage{Name: s.StrategyName(), Strategy: st}
+	stage := &SolverStage{Name: s.StrategyName(), Strategy: st, Seed: int64(params["seed"])}
 	if s.Budget != nil {
 		if stage.Budget, err = s.Budget.Budget(); err != nil {
 			return nil, err
@@ -128,7 +131,7 @@ func SolverOverride(strategy, budget string, seed int64, workers int) (*SolverSt
 		return nil, err
 	}
 	b.Workers = workers
-	return &SolverStage{Name: strategy, Strategy: st, Budget: b}, nil
+	return &SolverStage{Name: strategy, Strategy: st, Budget: b, Seed: seed}, nil
 }
 
 // ParseBudget parses a CLI -budget flag: an integer evaluation cap

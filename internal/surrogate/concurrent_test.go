@@ -1,0 +1,90 @@
+package surrogate
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"temp/internal/hw"
+)
+
+// TestTrainedDNNConcurrentPredict hammers one trained DNN (and the
+// linear baseline) from many goroutines. The concurrency contract —
+// trained predictors are read-only, so Predict is safe from any
+// number of goroutines — is what lets the solver price GA populations
+// in parallel on surrogate-backed cost models; the CI -race run
+// enforces it at the memory level, and the value checks below pin it
+// at the determinism level.
+func TestTrainedDNNConcurrentPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := hw.EvaluationWafer()
+	train := Generate(Compute, 120, w, rng)
+	test := Generate(Compute, 48, w, rng)
+	dnn := TrainDNN(train, rng)
+	lin := TrainLinear(train)
+
+	for _, p := range []struct {
+		name string
+		pred Predictor
+	}{{"dnn", dnn}, {"linear", lin}} {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			want := make([]float64, len(test))
+			for i, s := range test {
+				want[i] = p.pred.Predict(s.Features)
+			}
+			const goroutines = 16
+			errs := make(chan error, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for rep := 0; rep < 40; rep++ {
+						for i, s := range test {
+							if got := p.pred.Predict(s.Features); got != want[i] {
+								select {
+								case errs <- fmt.Errorf("sample %d: concurrent %v ≠ serial %v", i, got, want[i]):
+								default:
+								}
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOpDNNDeterministicPerSeed pins the operator-level trainer: the
+// same samples and seed must yield bit-identical predictors.
+func TestOpDNNDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w := hw.EvaluationWafer()
+	samples := Generate(Overlap, 200, w, rng)
+	a := TrainOpDNN(samples, 12, 40, rand.New(rand.NewSource(99)))
+	b := TrainOpDNN(samples, 12, 40, rand.New(rand.NewSource(99)))
+	for i, s := range samples[:32] {
+		if got, want := a.Predict(s.Features), b.Predict(s.Features); got != want {
+			t.Fatalf("sample %d: retrained predictor diverged: %v ≠ %v", i, got, want)
+		}
+	}
+	c := TrainOpDNN(samples, 12, 40, rand.New(rand.NewSource(100)))
+	same := true
+	for _, s := range samples[:32] {
+		if a.Predict(s.Features) != c.Predict(s.Features) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical predictors — seed is not plumbed through training")
+	}
+}

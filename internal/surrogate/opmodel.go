@@ -1,0 +1,102 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+
+	"temp/internal/model"
+	"temp/internal/nn"
+	"temp/internal/parallel"
+)
+
+// This file provides the operator-level feature mappings and trainer
+// behind the "surrogate" cost backend: an MLP that learns a teacher
+// per-operator cost model (the closed-form analytic tier) so the
+// solver can screen huge mapping spaces without touching the exact
+// model. Training is driven entirely by the caller's seeded RNG, so a
+// fixed (teacher, seed) pair always yields bit-identical predictors.
+
+// boolFeat encodes a flag as a {0,1} feature.
+func boolFeat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// IntraFeatures maps one (operator, configuration) pair onto the
+// surrogate's intra-cost feature vector: tensor volumes, parallel
+// degrees and the structural flags that switch cost-model branches.
+func IntraFeatures(op model.Op, cfg parallel.Config) []float64 {
+	cfg = cfg.Normalize()
+	return []float64{
+		op.FLOPs,
+		op.Input.Bytes(),
+		op.Output.Bytes(),
+		op.Weight.Bytes(),
+		float64(cfg.DP), float64(cfg.TP), float64(cfg.SP),
+		float64(cfg.CP), float64(cfg.TATP),
+		boolFeat(op.Kind.IsGEMM()),
+		boolFeat(op.FlashFused),
+		boolFeat(op.TPSharded),
+		boolFeat(op.HasWeight()),
+		boolFeat(cfg.FSDP),
+		boolFeat(cfg.MegatronSP),
+	}
+}
+
+// InterFeatures maps a resharding volume onto the inter-cost feature
+// vector. The structural layout math (which bytes move) is exact and
+// cheap; only the link-time curve is learned.
+func InterFeatures(bytes float64) []float64 {
+	return []float64{bytes}
+}
+
+// OpDNN is a trained operator-level latency predictor: standardized
+// log features and a log-space target, so accuracy is uniform in
+// relative terms across the latency range (exact-zero costs — e.g.
+// resharding between identical layouts — are served structurally by
+// the caller, never learned).
+//
+// After TrainOpDNN returns, an OpDNN is immutable: Predict only reads
+// the trained weights, so one predictor may serve concurrent Predict
+// calls from any number of goroutines.
+type OpDNN struct {
+	mlp *nn.MLP
+	std *nn.Standardizer
+}
+
+// opTargetFloor keeps log targets finite for degenerate zero-cost
+// samples.
+const opTargetFloor = 1e-12
+
+// TrainOpDNN fits an operator-level predictor on a dataset. hidden
+// sizes the two hidden layers and epochs bounds training; zero values
+// take the defaults (24, 150).
+func TrainOpDNN(train []Sample, hidden, epochs int, rng *rand.Rand) *OpDNN {
+	if hidden <= 0 {
+		hidden = 24
+	}
+	if epochs <= 0 {
+		epochs = 150
+	}
+	xs := make([][]float64, len(train))
+	ys := make([][]float64, len(train))
+	for i, s := range train {
+		xs[i] = logFeat(s.Features)
+		ys[i] = []float64{math.Log(math.Max(s.TargetMS, opTargetFloor))}
+	}
+	std := nn.FitStandardizer(xs)
+	xs = std.ApplyAll(xs)
+	mlp := nn.NewMLP([]int{len(xs[0]), hidden, hidden, 1}, rng)
+	mlp.Fit(xs, ys, epochs, 32, nn.AdamConfig{LR: 3e-3}, rng)
+	return &OpDNN{mlp: mlp, std: std}
+}
+
+// Predict implements Predictor (milliseconds).
+func (d *OpDNN) Predict(features []float64) float64 {
+	x := d.std.Apply(logFeat(features))
+	return math.Exp(d.mlp.Predict(x)[0])
+}
+
+var _ Predictor = (*OpDNN)(nil)

@@ -183,6 +183,13 @@ type Predictor interface {
 // DNN is the trained MLP cost model: standardized log features and a
 // log-space target, so accuracy is uniform in relative terms across
 // the microsecond-to-second latency range.
+//
+// A DNN is immutable once TrainDNN returns — Predict only reads the
+// trained weights and the standardizer statistics — so one trained
+// model may serve concurrent Predict calls from any number of
+// goroutines. This is the contract solver.CostModel requires of
+// surrogate-backed models (the GA prices whole populations in
+// parallel). The same holds for Linear.
 type DNN struct {
 	mlp *nn.MLP
 	std *nn.Standardizer

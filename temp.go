@@ -95,6 +95,32 @@ type (
 	Engine    = cost.Engine
 )
 
+// Multi-fidelity cost backends: every tier prices whole steps (Price)
+// and single operators (the solver fast path) behind one interface.
+type (
+	// CostBackend is one fidelity tier (analytic | replay | surrogate).
+	CostBackend = cost.Backend
+	// OperatorCostModel is a backend's per-operator fast path; it
+	// satisfies the solver's CostModel.
+	OperatorCostModel = cost.OperatorModel
+	// CostSpec serializes a backend choice (name + surrogate seed).
+	CostSpec = spec.CostSpec
+)
+
+// Cost-backend registry entry points.
+var (
+	// NewCostBackend resolves a backend key ("analytic", "replay",
+	// "surrogate@seed=7") to a cached instance.
+	NewCostBackend = cost.NewBackend
+	// RegisterCostBackend adds a fidelity tier to the registry.
+	RegisterCostBackend = cost.RegisterBackend
+	// CostBackendNames lists registered tiers.
+	CostBackendNames = cost.BackendNames
+	// CostBackendKey builds the canonical key threaded through engine
+	// jobs and scenario specs.
+	CostBackendKey = cost.BackendKey
+)
+
 // Engines and conventions.
 const (
 	SMap       = cost.SMap
@@ -155,7 +181,9 @@ type (
 	// SearchStats reports solver effort and quality.
 	SearchStats = solver.Stats
 	// SearchStrategy is one pluggable search algorithm; SearchProblem
-	// and SearchBudget are its Solve inputs.
+	// and SearchBudget are its Solve inputs. SearchProblem.Screen
+	// holds an optional cheap screening model for the multifid
+	// strategy (surrogate-screened, exact-verified search).
 	SearchStrategy = solver.Strategy
 	SearchProblem  = solver.Problem
 	SearchBudget   = solver.Budget
@@ -175,8 +203,11 @@ var (
 	// ExhaustiveSearch is the ILP-stand-in joint search.
 	ExhaustiveSearch = solver.Exhaustive
 	// NewSearchStrategy resolves a registered strategy by name
-	// (ga | anneal | hillclimb | dp | portfolio).
+	// (ga | anneal | hillclimb | dp | portfolio | multifid).
 	NewSearchStrategy = solver.NewStrategy
+	// SolverBackendModel resolves a cost backend's operator model by
+	// key — the bridge between the backend registry and the solver.
+	SolverBackendModel = solver.BackendModel
 	// RegisterSearchStrategy adds a strategy to the registry.
 	RegisterSearchStrategy = solver.RegisterStrategy
 	// SearchStrategyNames lists registered strategies.
