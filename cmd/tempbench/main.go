@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"temp/internal/collective"
 	"temp/internal/cost"
 	"temp/internal/engine"
 	"temp/internal/experiments"
@@ -58,13 +60,67 @@ type record struct {
 
 // output is the top-level -json document.
 type output struct {
-	Quick        bool     `json:"quick"`
-	Workers      int      `json:"workers"`
-	Backend      string   `json:"backend,omitempty"`
-	TotalSeconds float64  `json:"total_seconds"`
-	CacheHits    int64    `json:"cache_hits"`
-	CacheMisses  int64    `json:"cache_misses"`
-	Experiments  []record `json:"experiments"`
+	Quick        bool    `json:"quick"`
+	Workers      int     `json:"workers"`
+	Backend      string  `json:"backend,omitempty"`
+	TotalSeconds float64 `json:"total_seconds"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	// Lowering-cache counters (the memoized collective lowerings the
+	// hot path shares across candidates) ride along so BENCH_*.json
+	// tracks hot-path cache effectiveness across revisions.
+	LoweringTemplates int      `json:"lowering_templates,omitempty"`
+	LoweringHits      int64    `json:"lowering_hits,omitempty"`
+	LoweringMisses    int64    `json:"lowering_misses,omitempty"`
+	Experiments       []record `json:"experiments"`
+}
+
+// withLoweringStats stamps the collective lowering-cache counters.
+func (o output) withLoweringStats() output {
+	ls := collective.CacheStats()
+	o.LoweringTemplates = ls.Templates
+	o.LoweringHits = ls.Hits
+	o.LoweringMisses = ls.Misses
+	return o
+}
+
+// startProfiles arms the pprof flags: a CPU profile covering the whole
+// run and a heap profile snapshotted at exit. The returned stop
+// function must run before the process exits (it is skipped on error
+// exits, which is fine — profiles of failed runs mislead anyway).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stop := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath == "" {
+		return stop, nil
+	}
+	cpuStop := stop
+	return func() {
+		cpuStop()
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize accurate live-heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench: memprofile:", err)
+		}
+	}, nil
 }
 
 // backendLabel names the engine's default backend for perf records.
@@ -182,7 +238,7 @@ func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, overr
 			CacheHits:    stats.Hits, CacheMisses: stats.Misses,
 			Experiments: []record{rec},
 		}
-		if err := writeJSON(jsonPath, out); err != nil {
+		if err := writeJSON(jsonPath, out.withLoweringStats()); err != nil {
 			return err
 		}
 	}
@@ -212,7 +268,15 @@ func main() {
 	listW := flag.Bool("list-wafers", false, "list registered wafer names")
 	listSt := flag.Bool("list-strategies", false, "list registered search strategies")
 	listB := flag.Bool("list-backends", false, "list registered cost backends")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tempbench:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 	engine.SetWorkers(*workers)
 
 	switch {
@@ -315,7 +379,7 @@ func main() {
 				CacheHits:    stats.Hits, CacheMisses: stats.Misses,
 				Experiments: []record{toRecord(tab, time.Since(start))},
 			}
-			if err := writeJSON(*jsonPath, out); err != nil {
+			if err := writeJSON(*jsonPath, out.withLoweringStats()); err != nil {
 				fmt.Fprintln(os.Stderr, "tempbench:", err)
 				os.Exit(1)
 			}
@@ -338,7 +402,7 @@ func main() {
 		for i, t := range tabs {
 			out.Experiments = append(out.Experiments, toRecord(t, durs[i]))
 		}
-		if werr := writeJSON(*jsonPath, out); werr != nil {
+		if werr := writeJSON(*jsonPath, out.withLoweringStats()); werr != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", werr)
 			os.Exit(1)
 		}

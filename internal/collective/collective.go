@@ -46,17 +46,18 @@ func RingAllReduce(t *mesh.Topology, order []mesh.DieID, bytes float64) []mesh.P
 	if n <= 1 || bytes <= 0 {
 		return nil
 	}
-	chunk := bytes / float64(n)
-	phases := make([]mesh.Phase, 0, 2*(n-1))
-	for s := 0; s < n-1; s++ {
-		phases = append(phases, ringStep(t, order, chunk,
-			fmt.Sprintf("allreduce-rs-%d", s), fmt.Sprintf("ar.rs%d", s)))
-	}
-	for s := 0; s < n-1; s++ {
-		phases = append(phases, ringStep(t, order, chunk,
-			fmt.Sprintf("allreduce-ag-%d", s), fmt.Sprintf("ar.ag%d", s)))
-	}
-	return phases
+	return lower(t, kindAllReduce, "", order, bytes/float64(n), func(chunk float64) []mesh.Phase {
+		phases := make([]mesh.Phase, 0, 2*(n-1))
+		for s := 0; s < n-1; s++ {
+			phases = append(phases, ringStep(t, order, chunk,
+				fmt.Sprintf("allreduce-rs-%d", s), fmt.Sprintf("ar.rs%d", s)))
+		}
+		for s := 0; s < n-1; s++ {
+			phases = append(phases, ringStep(t, order, chunk,
+				fmt.Sprintf("allreduce-ag-%d", s), fmt.Sprintf("ar.ag%d", s)))
+		}
+		return phases
+	})
 }
 
 // RingAllGather lowers an all-gather where every participant
@@ -67,12 +68,14 @@ func RingAllGather(t *mesh.Topology, order []mesh.DieID, shardBytes float64) []m
 	if n <= 1 || shardBytes <= 0 {
 		return nil
 	}
-	phases := make([]mesh.Phase, 0, n-1)
-	for s := 0; s < n-1; s++ {
-		phases = append(phases, ringStep(t, order, shardBytes,
-			fmt.Sprintf("allgather-%d", s), fmt.Sprintf("ag%d", s)))
-	}
-	return phases
+	return lower(t, kindAllGather, "", order, shardBytes, func(shard float64) []mesh.Phase {
+		phases := make([]mesh.Phase, 0, n-1)
+		for s := 0; s < n-1; s++ {
+			phases = append(phases, ringStep(t, order, shard,
+				fmt.Sprintf("allgather-%d", s), fmt.Sprintf("ag%d", s)))
+		}
+		return phases
+	})
 }
 
 // RingReduceScatter lowers a reduce-scatter of bytes per participant
@@ -82,13 +85,14 @@ func RingReduceScatter(t *mesh.Topology, order []mesh.DieID, bytes float64) []me
 	if n <= 1 || bytes <= 0 {
 		return nil
 	}
-	chunk := bytes / float64(n)
-	phases := make([]mesh.Phase, 0, n-1)
-	for s := 0; s < n-1; s++ {
-		phases = append(phases, ringStep(t, order, chunk,
-			fmt.Sprintf("reducescatter-%d", s), fmt.Sprintf("rs%d", s)))
-	}
-	return phases
+	return lower(t, kindReduceScatter, "", order, bytes/float64(n), func(chunk float64) []mesh.Phase {
+		phases := make([]mesh.Phase, 0, n-1)
+		for s := 0; s < n-1; s++ {
+			phases = append(phases, ringStep(t, order, chunk,
+				fmt.Sprintf("reducescatter-%d", s), fmt.Sprintf("rs%d", s)))
+		}
+		return phases
+	})
 }
 
 // Broadcast lowers a one-to-many transfer of bytes from root to dsts
@@ -97,11 +101,14 @@ func Broadcast(t *mesh.Topology, root mesh.DieID, dsts []mesh.DieID, bytes float
 	if len(dsts) == 0 || bytes <= 0 {
 		return nil
 	}
-	flows := mesh.MulticastTree(t, root, dsts, bytes, payload)
-	if len(flows) == 0 {
-		return nil
-	}
-	return []mesh.Phase{{Label: "broadcast", Flows: flows}}
+	key := append([]mesh.DieID{root}, dsts...)
+	return lower(t, kindBroadcast, payload, key, bytes, func(bytes float64) []mesh.Phase {
+		flows := mesh.MulticastTree(t, root, dsts, bytes, payload)
+		if len(flows) == 0 {
+			return nil
+		}
+		return []mesh.Phase{{Label: "broadcast", Flows: flows}}
+	})
 }
 
 // P2P lowers a single point-to-point transfer.
@@ -109,14 +116,16 @@ func P2P(t *mesh.Topology, src, dst mesh.DieID, bytes float64, payload string) [
 	if bytes <= 0 || src == dst {
 		return nil
 	}
-	route := t.Route(src, dst)
-	if route == nil {
-		return nil
-	}
-	return []mesh.Phase{{
-		Label: "p2p",
-		Flows: []mesh.Flow{{Src: src, Dst: dst, Bytes: bytes, Route: route, Payload: payload}},
-	}}
+	return lower(t, kindP2P, payload, []mesh.DieID{src, dst}, bytes, func(bytes float64) []mesh.Phase {
+		route := t.Route(src, dst)
+		if route == nil {
+			return nil
+		}
+		return []mesh.Phase{{
+			Label: "p2p",
+			Flows: []mesh.Flow{{Src: src, Dst: dst, Bytes: bytes, Route: route, Payload: payload}},
+		}}
+	})
 }
 
 // P2PChain lowers a pipeline of transfers src→…→dst along an ordered
@@ -126,24 +135,26 @@ func P2PChain(t *mesh.Topology, order []mesh.DieID, bytes float64, payload strin
 	if len(order) < 2 || bytes <= 0 {
 		return nil
 	}
-	ph := mesh.Phase{Label: "p2p-chain"}
-	for i := 0; i+1 < len(order); i++ {
-		route := t.Route(order[i], order[i+1])
-		if route == nil {
-			continue
+	return lower(t, kindChain, payload, order, bytes, func(bytes float64) []mesh.Phase {
+		ph := mesh.Phase{Label: "p2p-chain"}
+		for i := 0; i+1 < len(order); i++ {
+			route := t.Route(order[i], order[i+1])
+			if route == nil {
+				continue
+			}
+			ph.Flows = append(ph.Flows, mesh.Flow{
+				Src:     order[i],
+				Dst:     order[i+1],
+				Bytes:   bytes,
+				Route:   route,
+				Payload: fmt.Sprintf("%s.hop%d", payload, i),
+			})
 		}
-		ph.Flows = append(ph.Flows, mesh.Flow{
-			Src:     order[i],
-			Dst:     order[i+1],
-			Bytes:   bytes,
-			Route:   route,
-			Payload: fmt.Sprintf("%s.hop%d", payload, i),
-		})
-	}
-	if len(ph.Flows) == 0 {
-		return nil
-	}
-	return []mesh.Phase{ph}
+		if len(ph.Flows) == 0 {
+			return nil
+		}
+		return []mesh.Phase{ph}
+	})
 }
 
 // AllToAll lowers a full personalized exchange: every ordered pair
@@ -154,26 +165,28 @@ func AllToAll(t *mesh.Topology, order []mesh.DieID, bytesPerPair float64) []mesh
 	if n <= 1 || bytesPerPair <= 0 {
 		return nil
 	}
-	ph := mesh.Phase{Label: "alltoall"}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
+	return lower(t, kindAllToAll, "", order, bytesPerPair, func(bytes float64) []mesh.Phase {
+		ph := mesh.Phase{Label: "alltoall"}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				route := t.Route(order[i], order[j])
+				if route == nil {
+					continue
+				}
+				ph.Flows = append(ph.Flows, mesh.Flow{
+					Src:     order[i],
+					Dst:     order[j],
+					Bytes:   bytes,
+					Route:   route,
+					Payload: fmt.Sprintf("a2a.%d.%d", i, j),
+				})
 			}
-			route := t.Route(order[i], order[j])
-			if route == nil {
-				continue
-			}
-			ph.Flows = append(ph.Flows, mesh.Flow{
-				Src:     order[i],
-				Dst:     order[j],
-				Bytes:   bytesPerPair,
-				Route:   route,
-				Payload: fmt.Sprintf("a2a.%d.%d", i, j),
-			})
 		}
-	}
-	return []mesh.Phase{ph}
+		return []mesh.Phase{ph}
+	})
 }
 
 // Time sums the phase times of a lowered collective on t.
@@ -188,6 +201,41 @@ func Energy(t *mesh.Topology, phases []mesh.Phase) float64 {
 		e += t.EnergyJoules(p)
 	}
 	return e
+}
+
+// MergeFlows combines concurrent phase sequences exactly like Merge —
+// step k of every sequence lands in one shared phase, flows in the
+// same order — but skips the per-flow payload retagging and phase
+// labels. Only the TCME optimizer reads payloads, so the analytic
+// (non-TCME) evaluation path merges with this allocation-lean form;
+// the contention model's result is identical because phase timing
+// never consults payloads or labels.
+func MergeFlows(seqs ...[]mesh.Phase) []mesh.Phase {
+	maxLen, total := 0, 0
+	for _, s := range seqs {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		for _, p := range s {
+			total += len(p.Flows)
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	out := make([]mesh.Phase, maxLen)
+	flows := make([]mesh.Flow, 0, total)
+	for k := 0; k < maxLen; k++ {
+		start := len(flows)
+		for _, s := range seqs {
+			if k < len(s) {
+				flows = append(flows, s[k].Flows...)
+			}
+		}
+		end := len(flows)
+		out[k].Flows = flows[start:end:end]
+	}
+	return out
 }
 
 // Merge combines the flows of several concurrently executing phase

@@ -1,0 +1,53 @@
+package cost_test
+
+import (
+	"testing"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// benchCase is the hot-path shape every GA generation prices: the TEMP
+// engine (TCME placement + communication optimization) on the
+// evaluation wafer.
+func benchCase() (model.Config, hw.Wafer, parallel.Config, cost.Options) {
+	return model.GPT3_6_7B(), hw.EvaluationWafer(),
+		parallel.Config{DP: 2, TP: 2, SP: 2, TATP: 4}, cost.TEMPOptions()
+}
+
+func BenchmarkEvaluateTEMP(b *testing.B) {
+	m, w, cfg, o := benchCase()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cost.Evaluate(m, w, cfg, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateGMap(b *testing.B) {
+	m, w, cfg, o := benchCase()
+	o.Engine = cost.GMap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cost.Evaluate(m, w, cfg, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateSMap(b *testing.B) {
+	m, w, cfg, o := benchCase()
+	o.Engine = cost.SMap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cost.Evaluate(m, w, cfg, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

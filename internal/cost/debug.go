@@ -7,7 +7,6 @@ import (
 	"temp/internal/mesh"
 	"temp/internal/model"
 	"temp/internal/parallel"
-	"temp/internal/stream"
 	"temp/internal/unit"
 )
 
@@ -26,10 +25,8 @@ func Debug(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) string {
 	if err != nil {
 		return err.Error()
 	}
-	ev := &evaluator{m: m, w: w, cfg: cfg, o: o, topo: topo, place: place, graph: model.BlockGraph(m)}
-	for _, g := range place.Groups(parallel.TATP) {
-		ev.orchs = append(ev.orchs, stream.Orchestrate(topo, g.Dies, g.Rect))
-	}
+	ev := &evaluator{m: m, w: w, cfg: cfg, o: o, topo: topo,
+		st: newEvalState(topo, place, o.Engine == TCMEEngine), graph: model.BlockGraph(m)}
 	mb := o.microbatch()
 	fwd, extra := ev.layerCompute(mb)
 	st := ev.layerStreamComm(mb, 1, true)

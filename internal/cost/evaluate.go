@@ -3,6 +3,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"temp/internal/collective"
 	"temp/internal/hw"
@@ -91,18 +92,189 @@ func (b Breakdown) String() string {
 		unit.Bytes(b.Memory.Total()), unit.Bytes(b.Memory.Capacity), b.ThroughputTokens, b.PowerEfficiency)
 }
 
+// evalState is the lowering state an evaluation shares with every
+// other evaluation of the same (topology, configuration, placement
+// family): the TATP stream orchestrations and the per-strategy
+// communication orders distilled from the placement. Building it is
+// the expensive structural part of an evaluation (placement tiling,
+// Hamiltonian ring construction, nearest-neighbor ordering), so
+// stateFor memoizes it on the interned topology and the engine's
+// whole worker pool shares one instance per key across candidates.
+// The placement itself is not retained — the evaluator only consumes
+// the distilled orders/orchestrations.
+type evalState struct {
+	err error
+
+	// orchs holds the stream orchestration of each TATP group
+	// (alive-filtered), in group order.
+	orchs []*stream.Orchestration
+	// orders[s] holds the alive-filtered communication order of every
+	// group of strategy s whose surviving size exceeds one, in group
+	// order: logical rank order for SMap/GMap, the physical
+	// ring/snake/nearest-neighbor order for the TCME engine.
+	orders [parallel.NumStrategies][][]mesh.DieID
+
+	// Lazily compiled merged lowering templates (all TATP orchs merged;
+	// each strategy × ring-collective kind merged over its groups),
+	// shared by every evaluation of this state.
+	mu     sync.Mutex
+	stream *mesh.PhaseTemplate
+	coll   map[collKey]collTemplate
+}
+
+// Ring-collective kinds the evaluator lowers through merged templates.
+const (
+	collAllReduce     = 'A'
+	collAllGather     = 'G'
+	collReduceScatter = 'R'
+)
+
+type collKey struct {
+	s    parallel.Strategy
+	kind byte
+}
+
+// collTemplate is a merged-over-groups lowering: valid (tmpl non-nil)
+// only when every group shares one size n, because all-reduce and
+// reduce-scatter chunk as bytes/n — unequal survivor groups (fault
+// scenarios) take the per-group slow path instead.
+type collTemplate struct {
+	tmpl *mesh.PhaseTemplate
+	n    int
+}
+
+// streamTemplate compiles the merged TATP stream structure (step k of
+// every orchestration aligned into one phase, payload-tagged exactly
+// like collective.Merge) once per state.
+func (st *evalState) streamTemplate() *mesh.PhaseTemplate {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.stream == nil {
+		seqs := make([][]mesh.Phase, len(st.orchs))
+		for i, orch := range st.orchs {
+			seqs[i] = orch.Phases(1)
+		}
+		st.stream = mesh.NewPhaseTemplate(collective.Merge(seqs...))
+	}
+	return st.stream
+}
+
+// collTemplateFor compiles the merged lowering of one (strategy,
+// kind) pair once per state. Lowering with per-flow unit bytes keeps
+// the template byte-invariant: all-reduce/reduce-scatter of n bytes
+// over n dies produces unit chunks exactly.
+func (st *evalState) collTemplateFor(t *mesh.Topology, s parallel.Strategy, kind byte) collTemplate {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.coll == nil {
+		st.coll = map[collKey]collTemplate{}
+	}
+	k := collKey{s: s, kind: kind}
+	if ct, ok := st.coll[k]; ok {
+		return ct
+	}
+	ct := buildCollTemplate(t, st.orders[s], kind)
+	st.coll[k] = ct
+	return ct
+}
+
+func buildCollTemplate(t *mesh.Topology, orders [][]mesh.DieID, kind byte) collTemplate {
+	n := len(orders[0])
+	for _, o := range orders {
+		if len(o) != n {
+			return collTemplate{}
+		}
+	}
+	seqs := make([][]mesh.Phase, len(orders))
+	for i, order := range orders {
+		switch kind {
+		case collAllReduce:
+			seqs[i] = collective.RingAllReduce(t, order, float64(n)) // unit chunks
+		case collAllGather:
+			seqs[i] = collective.RingAllGather(t, order, 1)
+		case collReduceScatter:
+			seqs[i] = collective.RingReduceScatter(t, order, float64(n))
+		}
+	}
+	return collTemplate{tmpl: mesh.NewPhaseTemplate(collective.Merge(seqs...)), n: n}
+}
+
+// lowerRingKind dispatches one per-group lowering on the slow path.
+// For all-reduce and reduce-scatter bytes is the per-participant
+// payload (the lowering chunks it by the group size); for all-gather
+// it is the per-flow shard directly.
+func lowerRingKind(t *mesh.Topology, kind byte, order []mesh.DieID, bytes float64) []mesh.Phase {
+	switch kind {
+	case collAllReduce:
+		return collective.RingAllReduce(t, order, bytes)
+	case collAllGather:
+		return collective.RingAllGather(t, order, bytes)
+	case collReduceScatter:
+		return collective.RingReduceScatter(t, order, bytes)
+	default:
+		panic("cost: unknown collective kind")
+	}
+}
+
+// stateKey keys memoized evalStates on a frozen topology.
+type stateKey struct {
+	cfg    parallel.Config
+	linear bool
+	tcme   bool
+}
+
+// stateFor returns the memoized evalState for (topo, cfg) under the
+// given placement family and ordering flavor. Placement errors are
+// memoized too: sweeps re-ask about unplaceable configurations
+// constantly.
+func stateFor(topo *mesh.Topology, cfg parallel.Config, linear, tcmeOrders bool) (*evalState, error) {
+	st := topo.Derived(stateKey{cfg: cfg, linear: linear, tcme: tcmeOrders}, func() any {
+		var place *parallel.Placement
+		var err error
+		if linear {
+			place, err = parallel.PlaceLinear(cfg, topo)
+		} else {
+			place, err = parallel.Place(cfg, topo)
+		}
+		if err != nil {
+			return &evalState{err: err}
+		}
+		return newEvalState(topo, place, tcmeOrders)
+	}).(*evalState)
+	return st, st.err
+}
+
+// newEvalState lowers a placement's group structure onto the
+// topology: stream orchestrations for TATP and communication orders
+// for every other strategy.
+func newEvalState(topo *mesh.Topology, place *parallel.Placement, tcmeOrders bool) *evalState {
+	st := &evalState{}
+	for _, g := range place.Groups(parallel.TATP) {
+		st.orchs = append(st.orchs, stream.Orchestrate(topo, aliveOnly(topo, g.Dies), g.Rect))
+	}
+	for _, s := range parallel.Strategies() {
+		for _, g := range place.Groups(s) {
+			order := groupOrder(topo, g, tcmeOrders)
+			order = aliveOnly(topo, order)
+			if len(order) <= 1 {
+				continue
+			}
+			st.orders[s] = append(st.orders[s], order)
+		}
+	}
+	return st
+}
+
 // evaluator carries the shared lowering state for one evaluation.
 type evaluator struct {
-	m     model.Config
-	w     hw.Wafer
-	cfg   parallel.Config
-	o     Options
-	topo  *mesh.Topology
-	place *parallel.Placement
-	graph model.Graph
+	m    model.Config
+	w    hw.Wafer
+	cfg  parallel.Config
+	o    Options
+	topo *mesh.Topology
+	st   *evalState
 
-	// orchestrations per TATP group, built once.
-	orchs []*stream.Orchestration
+	graph model.Graph
 
 	// replay forces every communication phase through the TCME
 	// link-load replay regardless of the mapping engine — the
@@ -112,6 +284,34 @@ type evaluator struct {
 
 	linkBytes float64 // Σ flow bytes × hops, for energy/utilization
 	tcmeAgg   tcme.Result
+}
+
+// needTCME reports whether phases must pass through the TCME
+// link-load optimizer (the TEMP engine, or the replay backend's
+// contention fidelity).
+func (ev *evaluator) needTCME() bool { return ev.o.Engine == TCMEEngine || ev.replay }
+
+// merge combines concurrent phase sequences. Only the TCME optimizer
+// reads flow payloads; when no TCME pass will run, the payload-free
+// merge produces the identical flow order without the per-flow string
+// retagging.
+func (ev *evaluator) merge(seqs ...[]mesh.Phase) []mesh.Phase {
+	if ev.needTCME() {
+		return collective.Merge(seqs...)
+	}
+	return collective.MergeFlows(seqs...)
+}
+
+// evalLowered times a scaled-template sequence: the TCME path
+// materializes real phases for the optimizer to mutate; the analytic
+// path evaluates the templates in place, allocation-free.
+func (ev *evaluator) evalLowered(seq []mesh.LoweredSeq) float64 {
+	if ev.needTCME() {
+		return ev.evalPhases(mesh.MaterializeSeq(seq))
+	}
+	pt := ev.topo.SeqTimeLowered(seq)
+	ev.linkBytes += pt.LinkBytes
+	return pt.Total()
 }
 
 // Evaluate runs the cost model for one model/wafer/config triple.
@@ -127,35 +327,36 @@ func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o Options) (Break
 func evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o Options, replay bool) (Breakdown, error) {
 	cfg = cfg.Normalize()
 	topo := mesh.FromWafer(w)
+	tcmeOrders := o.Engine == TCMEEngine
 	switch o.Engine {
 	case SMap:
-		place, err := parallel.PlaceLinear(cfg, topo)
+		st, err := stateFor(topo, cfg, true, tcmeOrders)
 		if err != nil {
 			return Breakdown{}, err
 		}
-		return evaluateOn(m, w, cfg, o, topo, place, replay)
+		return evaluateState(m, w, cfg, o, topo, st, replay)
 	case GMap:
-		place, err := parallel.Place(cfg, topo)
+		st, err := stateFor(topo, cfg, false, tcmeOrders)
 		if err != nil {
 			return Breakdown{}, err
 		}
-		return evaluateOn(m, w, cfg, o, topo, place, replay)
+		return evaluateState(m, w, cfg, o, topo, st, replay)
 	default:
-		rect, rectErr := parallel.Place(cfg, topo)
-		lin, linErr := parallel.PlaceLinear(cfg, topo)
+		rect, rectErr := stateFor(topo, cfg, false, tcmeOrders)
+		lin, linErr := stateFor(topo, cfg, true, tcmeOrders)
 		if rectErr != nil && linErr != nil {
 			return Breakdown{}, rectErr
 		}
 		var best Breakdown
 		have := false
 		if rectErr == nil {
-			b, err := evaluateOn(m, w, cfg, o, topo, rect, replay)
+			b, err := evaluateState(m, w, cfg, o, topo, rect, replay)
 			if err == nil {
 				best, have = b, true
 			}
 		}
 		if linErr == nil {
-			b, err := evaluateOn(m, w, cfg, o, topo, lin, replay)
+			b, err := evaluateState(m, w, cfg, o, topo, lin, replay)
 			if err == nil && (!have || b.StepTime < best.StepTime) {
 				best, have = b, true
 			}
@@ -175,17 +376,23 @@ func EvaluateOn(m model.Config, w hw.Wafer, cfg parallel.Config, o Options,
 	return evaluateOn(m, w, cfg, o, topo, place, false)
 }
 
+// evaluateOn lowers an externally supplied placement (fault studies)
+// and prices it; the lowering state is built fresh because the caller
+// owns the placement.
 func evaluateOn(m model.Config, w hw.Wafer, cfg parallel.Config, o Options,
 	topo *mesh.Topology, place *parallel.Placement, replay bool) (Breakdown, error) {
 	cfg = cfg.Normalize()
+	st := newEvalState(topo, place, o.Engine == TCMEEngine)
+	return evaluateState(m, w, cfg, o, topo, st, replay)
+}
+
+func evaluateState(m model.Config, w hw.Wafer, cfg parallel.Config, o Options,
+	topo *mesh.Topology, st *evalState, replay bool) (Breakdown, error) {
 	ev := &evaluator{
 		m: m, w: w, cfg: cfg, o: o,
-		topo: topo, place: place,
+		topo: topo, st: st,
 		graph:  model.BlockGraph(m),
 		replay: replay,
-	}
-	for _, g := range place.Groups(parallel.TATP) {
-		ev.orchs = append(ev.orchs, stream.Orchestrate(topo, aliveOnly(topo, g.Dies), g.Rect))
 	}
 	return ev.run()
 }
@@ -286,9 +493,7 @@ func (ev *evaluator) run() (Breakdown, error) {
 		shard := ev.graph.WeightBytes() * float64(layersPerStage) /
 			float64(cfg.TP*cfg.TATP*cfg.DP)
 		agBefore := ev.linkBytes
-		optimTime += ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
-			return collective.RingAllGather(ev.topo, order, shard)
-		})
+		optimTime += ev.groupCollective(parallel.DP, collAllGather, shard)
 		stepLinkBytes0 += ev.linkBytes - agBefore
 		ev.linkBytes = agBefore
 	}
@@ -444,11 +649,33 @@ func (ev *evaluator) layerCompute(mb int) (fwd, recompExtra float64) {
 // the same links, the Fig. 11 scenario TCME untangles.
 func (ev *evaluator) layerStreamComm(mb int, scale float64, withFSDP bool) float64 {
 	cfg := ev.cfg
-	if cfg.TATP <= 1 || len(ev.orchs) == 0 {
+	if cfg.TATP <= 1 || len(ev.st.orchs) == 0 {
 		return 0
 	}
 	o := ev.o
 	o.Microbatch = mb
+	fsdpMerged := withFSDP && cfg.FSDP && cfg.DP > 1
+	if !fsdpMerged {
+		// Common case: every weighted op streams the same merged
+		// orchestration structure at its own sub-tensor size — one
+		// template entry per op, no materialization on the analytic
+		// path.
+		tmpl := ev.st.streamTemplate()
+		seq := make([]mesh.LoweredSeq, 0, len(ev.graph.Ops))
+		var rounds int
+		for _, op := range ev.graph.Ops {
+			if !op.HasWeight() {
+				continue
+			}
+			sub, _ := streamSubTensorBytes(op, ev.m, cfg, o)
+			seq = append(seq, mesh.LoweredSeq{Tmpl: tmpl, Bytes: sub * scale})
+			rounds += cfg.TATP
+		}
+		return ev.evalLowered(seq) + float64(rounds)*streamRoundSync
+	}
+	// FSDP×TATP hybrid: the per-layer weight all-gather rides merged
+	// inside the stream phases (Fig. 11), mixing two byte sizes in one
+	// phase — the materialized path handles the non-uniform flows.
 	var streamSeq []mesh.Phase
 	var rounds int
 	for _, op := range ev.graph.Ops {
@@ -458,26 +685,20 @@ func (ev *evaluator) layerStreamComm(mb int, scale float64, withFSDP bool) float
 		sub, _ := streamSubTensorBytes(op, ev.m, cfg, o)
 		sub *= scale
 		var seqs [][]mesh.Phase
-		for _, orch := range ev.orchs {
+		for _, orch := range ev.st.orchs {
 			seqs = append(seqs, orch.Phases(sub))
 		}
-		streamSeq = append(streamSeq, collective.Merge(seqs...)...)
+		streamSeq = append(streamSeq, ev.merge(seqs...)...)
 		rounds += cfg.TATP
 	}
-	if withFSDP && cfg.FSDP && cfg.DP > 1 {
-		layerW := ev.graph.WeightBytes() / float64(cfg.TP*cfg.TATP)
-		shard := layerW / float64(cfg.DP)
-		var agSeqs [][]mesh.Phase
-		for _, g := range ev.place.Groups(parallel.DP) {
-			order := aliveOnly(ev.topo, ev.groupOrder(g))
-			if len(order) <= 1 {
-				continue
-			}
-			agSeqs = append(agSeqs, collective.RingAllGather(ev.topo, order, shard))
-		}
-		if len(agSeqs) > 0 {
-			streamSeq = collective.Merge(append([][]mesh.Phase{streamSeq}, agSeqs...)...)
-		}
+	layerW := ev.graph.WeightBytes() / float64(cfg.TP*cfg.TATP)
+	shard := layerW / float64(cfg.DP)
+	var agSeqs [][]mesh.Phase
+	for _, order := range ev.st.orders[parallel.DP] {
+		agSeqs = append(agSeqs, collective.RingAllGather(ev.topo, order, shard))
+	}
+	if len(agSeqs) > 0 {
+		streamSeq = ev.merge(append([][]mesh.Phase{streamSeq}, agSeqs...)...)
 	}
 	return ev.evalPhases(streamSeq) + float64(rounds)*streamRoundSync
 }
@@ -497,24 +718,16 @@ func (ev *evaluator) layerCollectives(mb int) float64 {
 		// Two partial-sum reductions per block (attention projection
 		// and FC2).
 		bytes := float64(mb) * sAR * h * fp
-		total += 2 * ev.groupCollective(parallel.TP, func(order []mesh.DieID) []mesh.Phase {
-			return collective.RingAllReduce(ev.topo, order, bytes)
-		})
+		total += 2 * ev.groupCollective(parallel.TP, collAllReduce, bytes)
 	}
 	if cfg.SP > 1 && !cfg.MegatronSP {
 		shard := float64(mb) * sAR * h * fp
-		total += ev.groupCollective(parallel.SP, func(order []mesh.DieID) []mesh.Phase {
-			return collective.RingAllGather(ev.topo, order, shard/float64(cfg.SP))
-		})
-		total += ev.groupCollective(parallel.SP, func(order []mesh.DieID) []mesh.Phase {
-			return collective.RingReduceScatter(ev.topo, order, shard)
-		})
+		total += ev.groupCollective(parallel.SP, collAllGather, shard/float64(cfg.SP))
+		total += ev.groupCollective(parallel.SP, collReduceScatter, shard)
 	}
 	if cfg.CP > 1 {
 		kv := 2 * float64(mb) * sAR * h * fp / float64(cfg.TP)
-		total += ev.groupCollective(parallel.CP, func(order []mesh.DieID) []mesh.Phase {
-			return collective.RingAllGather(ev.topo, order, kv/float64(cfg.CP))
-		})
+		total += ev.groupCollective(parallel.CP, collAllGather, kv/float64(cfg.CP))
 	}
 	return total
 }
@@ -533,22 +746,14 @@ func (ev *evaluator) fsdpCollectives() fsdpCost {
 	}
 	if cfg.TATP > 1 {
 		layerW := ev.graph.WeightBytes() / float64(cfg.TP*cfg.TATP)
-		rs := ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
-			return collective.RingReduceScatter(ev.topo, order, layerW)
-		})
-		ag := ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
-			return collective.RingAllGather(ev.topo, order, layerW/float64(cfg.DP))
-		})
+		rs := ev.groupCollective(parallel.DP, collReduceScatter, layerW)
+		ag := ev.groupCollective(parallel.DP, collAllGather, layerW/float64(cfg.DP))
 		return fsdpCost{fwd: 0, bwd: ag + rs}
 	}
 	layerW := ev.graph.WeightBytes() / float64(cfg.TP*cfg.TATP)
 	shard := layerW / float64(cfg.DP)
-	ag := ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
-		return collective.RingAllGather(ev.topo, order, shard)
-	})
-	rs := ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
-		return collective.RingReduceScatter(ev.topo, order, layerW)
-	})
+	ag := ev.groupCollective(parallel.DP, collAllGather, shard)
+	rs := ev.groupCollective(parallel.DP, collReduceScatter, layerW)
 	return fsdpCost{fwd: ag, bwd: ag + rs}
 }
 
@@ -560,34 +765,38 @@ func (ev *evaluator) dpAllReduce(layersPerStage int) float64 {
 		return 0
 	}
 	grads := ev.graph.WeightBytes() * float64(layersPerStage) / float64(cfg.TP*cfg.TATP)
-	return ev.groupCollective(parallel.DP, func(order []mesh.DieID) []mesh.Phase {
-		return collective.RingAllReduce(ev.topo, order, grads)
-	})
+	return ev.groupCollective(parallel.DP, collAllReduce, grads)
 }
 
-// groupCollective lowers one collective onto every group of a
-// strategy, merges the concurrent phases, optionally optimizes them
-// with TCME, and returns the wall time.
-func (ev *evaluator) groupCollective(s parallel.Strategy, lower func([]mesh.DieID) []mesh.Phase) float64 {
-	groups := ev.place.Groups(s)
-	if len(groups) == 0 {
+// groupCollective lowers one ring collective onto every pre-ordered
+// group of a strategy, merges the concurrent phases, optionally
+// optimizes them with TCME, and returns the wall time. bytes is the
+// per-participant payload for all-reduce/reduce-scatter (chunked by
+// group size) and the per-flow shard for all-gather. When every group
+// shares one size the merged structure comes from the state's
+// compiled template; unequal survivor groups (fault scenarios) take
+// the per-group lowering path.
+func (ev *evaluator) groupCollective(s parallel.Strategy, kind byte, bytes float64) float64 {
+	orders := ev.st.orders[s]
+	if len(orders) == 0 || bytes <= 0 {
 		return 0
+	}
+	if ct := ev.st.collTemplateFor(ev.topo, s, kind); ct.tmpl != nil {
+		perFlow := bytes
+		if kind == collAllReduce || kind == collReduceScatter {
+			perFlow = bytes / float64(ct.n)
+		}
+		seq := []mesh.LoweredSeq{{Tmpl: ct.tmpl, Bytes: perFlow}}
+		// Each ring step is a synchronized phase across the group:
+		// charge the same per-phase setup/barrier overhead as stream
+		// rounds.
+		return ev.evalLowered(seq) + float64(ct.tmpl.Phases())*streamRoundSync
 	}
 	var seqs [][]mesh.Phase
-	for _, g := range groups {
-		order := ev.groupOrder(g)
-		order = aliveOnly(ev.topo, order)
-		if len(order) <= 1 {
-			continue
-		}
-		seqs = append(seqs, lower(order))
+	for _, order := range orders {
+		seqs = append(seqs, lowerRingKind(ev.topo, kind, order, bytes))
 	}
-	if len(seqs) == 0 {
-		return 0
-	}
-	merged := collective.Merge(seqs...)
-	// Each ring step is a synchronized phase across the group: charge
-	// the same per-phase setup/barrier overhead as stream rounds.
+	merged := ev.merge(seqs...)
 	return ev.evalPhases(merged) + float64(len(merged))*streamRoundSync
 }
 
@@ -599,17 +808,17 @@ func (ev *evaluator) groupCollective(s parallel.Strategy, lower func([]mesh.DieI
 // communication" deficiency of §VIII-A. Only TEMP's mapping engine
 // re-orders communication onto the group's physical Hamiltonian ring
 // (or snake path) before TCME's contention optimization runs.
-func (ev *evaluator) groupOrder(g parallel.Group) []mesh.DieID {
-	if ev.o.Engine != TCMEEngine {
+func groupOrder(t *mesh.Topology, g parallel.Group, tcmeOrders bool) []mesh.DieID {
+	if !tcmeOrders {
 		return g.Dies
 	}
 	if g.Rect != nil {
-		if ring, ok := g.Rect.RingPath(ev.topo); ok {
+		if ring, ok := g.Rect.RingPath(t); ok {
 			return ring
 		}
-		return g.Rect.SnakePath(ev.topo)
+		return g.Rect.SnakePath(t)
 	}
-	return nearestNeighborOrder(ev.topo, g.Dies)
+	return nearestNeighborOrder(t, g.Dies)
 }
 
 // nearestNeighborOrder re-sequences a scattered group greedily by hop

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cost_test
+
+const raceEnabled = false

@@ -77,7 +77,9 @@ type OperatorReplay struct {
 }
 
 // NewOperatorReplay builds the replay operator model for one
-// model/wafer pair.
+// model/wafer pair. The topology is the interned shared instance, so
+// the replay tier's stream orchestrations and ring lowerings hit the
+// same compiled-template caches the analytic evaluator populates.
 func NewOperatorReplay(m model.Config, w hw.Wafer) *OperatorReplay {
 	return &OperatorReplay{
 		analytic: OperatorAnalytic{W: w, M: m},

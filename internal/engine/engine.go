@@ -8,6 +8,16 @@
 // configuration space (Fig. 13 and Fig. 14 sweep identical systems)
 // pay for each evaluation once, and multi-core runners evaluate the
 // rest in parallel.
+//
+// Below the memo layer, every worker also shares the pricing hot
+// path's structural caches — interned topologies, per-topology
+// placement/orchestration state and compiled collective-lowering
+// templates (see DESIGN.md "Hot-path architecture") — because those
+// key off process-global frozen topologies. A Sweep or GA population
+// therefore lowers each distinct group structure once no matter how
+// many candidates or workers touch it; TestSweepSharesHotPathCaches
+// pins both the -race safety and the parallel/serial determinism of
+// that sharing.
 package engine
 
 import (

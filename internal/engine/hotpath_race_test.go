@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// TestSweepSharesHotPathCaches hammers the evaluation hot path's
+// shared structures from a concurrent Sweep: the topology interner,
+// the per-topology derived state (placements, orchestrations,
+// compiled lowering templates) and the collective lowering cache are
+// all populated and read by every worker at once. Run under -race
+// this is the concurrency contract test for the hot-path caches; the
+// result check doubles as a determinism guard (parallel and serial
+// sweeps must agree bit for bit).
+func TestSweepSharesHotPathCaches(t *testing.T) {
+	m := model.GPT3_6_7B()
+	wafers := []hw.Wafer{hw.EvaluationWafer(), hw.ReferenceWafer()}
+	var jobs []Job
+	for _, w := range wafers {
+		for _, cfg := range parallel.EnumerateConfigs(w.Dies(), true, 0) {
+			jobs = append(jobs, Job{Model: m, Wafer: w, Config: cfg, Opts: cost.TEMPOptions()})
+		}
+	}
+	serial := New(1).Sweep(jobs)
+
+	// Two parallel pools race each other on the process-global caches.
+	pools := []*Pool{New(8), New(8)}
+	results := make([][]Result, len(pools))
+	var wg sync.WaitGroup
+	for i, p := range pools {
+		wg.Add(1)
+		go func(i int, p *Pool) {
+			defer wg.Done()
+			results[i] = p.Sweep(jobs)
+		}(i, p)
+	}
+	wg.Wait()
+
+	for i, rs := range results {
+		for j, r := range rs {
+			if (r.Err == nil) != (serial[j].Err == nil) {
+				t.Fatalf("pool %d job %d error mismatch: %v vs %v", i, j, r.Err, serial[j].Err)
+			}
+			if r.Err != nil {
+				continue
+			}
+			got, want := r.Breakdown, serial[j].Breakdown
+			if got.StepTime != want.StepTime || got.ComputeTime != want.ComputeTime ||
+				got.StreamTime != want.StreamTime || got.CollectiveTime != want.CollectiveTime ||
+				got.ThroughputTokens != want.ThroughputTokens || got.EnergyComm != want.EnergyComm {
+				t.Fatalf("pool %d job %d (%s) diverged from serial sweep", i, j, jobs[j].Config)
+			}
+		}
+	}
+}

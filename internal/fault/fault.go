@@ -102,7 +102,7 @@ func Localize(t *mesh.Topology) Report {
 		r.MeanCapacity /= float64(alive)
 	}
 	// Count dead bundles against the pristine mesh.
-	pristine := mesh.New(t.Rows(), t.Cols(), t.LinkParams())
+	pristine := mesh.Shared(t.Rows(), t.Cols(), t.LinkParams())
 	for _, l := range pristine.Links() {
 		key := l
 		if l.To < l.From {
@@ -141,8 +141,13 @@ func Evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options, i
 // path (tiers without one, like the surrogate, fall back to the
 // analytic model — see cost.EvaluateOnWith).
 func EvaluateWith(backend string, m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options, in Injection, rng *rand.Rand) Outcome {
-	topo := mesh.FromWafer(w)
+	// FromWafer returns the interned immutable mesh; injection needs a
+	// private mutable copy. Once the fault mask is final the degraded
+	// topology is interned too, so repeated trials (and the evaluator's
+	// per-topology lowering caches) share one frozen instance per mask.
+	topo := mesh.FromWafer(w).Clone()
 	in.Apply(topo, rng)
+	topo = topo.Intern()
 	rep := Localize(topo)
 	if !rep.Connected || rep.DeadDies > 0 && !topo.Connected() {
 		return Outcome{Report: rep}

@@ -12,7 +12,7 @@ import (
 )
 
 func TestApplyLinkFaultsBundled(t *testing.T) {
-	topo := mesh.FromWafer(hw.EvaluationWafer())
+	topo := mesh.FromWafer(hw.EvaluationWafer()).Clone()
 	rng := rand.New(rand.NewSource(1))
 	Injection{LinkRate: 0.3}.Apply(topo, rng)
 	// Directions must fail together.
@@ -28,7 +28,7 @@ func TestApplyLinkFaultsBundled(t *testing.T) {
 }
 
 func TestApplyCoreFaults(t *testing.T) {
-	topo := mesh.FromWafer(hw.EvaluationWafer())
+	topo := mesh.FromWafer(hw.EvaluationWafer()).Clone()
 	rng := rand.New(rand.NewSource(2))
 	Injection{CoreRate: 0.2, CoresPerDie: 64}.Apply(topo, rng)
 	rep := Localize(topo)
@@ -97,8 +97,8 @@ func TestLinkFaultCliff(t *testing.T) {
 func TestAdaptiveRebalanceBeatsLockstep(t *testing.T) {
 	m := model.GPT3_6_7B()
 	w := hw.EvaluationWafer()
-	topoA := mesh.FromWafer(w)
-	topoB := mesh.FromWafer(w)
+	topoA := mesh.FromWafer(w).Clone()
+	topoB := mesh.FromWafer(w).Clone()
 	rng := rand.New(rand.NewSource(21))
 	inj := Injection{CoreRate: 0.2, CoresPerDie: 64}
 	inj.Apply(topoA, rng)

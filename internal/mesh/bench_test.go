@@ -1,0 +1,66 @@
+package mesh
+
+import (
+	"testing"
+
+	"temp/internal/hw"
+)
+
+// benchPhase builds a representative contended phase: every die of one
+// ring step sends one chunk to its successor, plus a multi-hop wrap.
+func benchPhase(t *Topology) Phase {
+	var p Phase
+	dies := t.Dies()
+	for i := 0; i < dies; i++ {
+		src, dst := DieID(i), DieID((i+1)%dies)
+		route := t.Route(src, dst)
+		if route == nil {
+			continue
+		}
+		p.Flows = append(p.Flows, Flow{Src: src, Dst: dst, Bytes: 1 << 20, Route: route})
+	}
+	return p
+}
+
+func BenchmarkTime(b *testing.B) {
+	t := New(4, 8, hw.TableID2D())
+	p := benchPhase(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Time(p)
+	}
+}
+
+func BenchmarkTimeLarge(b *testing.B) {
+	t := New(32, 32, hw.TableID2D())
+	p := benchPhase(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Time(p)
+	}
+}
+
+func BenchmarkSeqTime(b *testing.B) {
+	t := New(4, 8, hw.TableID2D())
+	phases := make([]Phase, 14)
+	for i := range phases {
+		phases[i] = benchPhase(t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.SeqTime(phases)
+	}
+}
+
+func BenchmarkPhaseLoads(b *testing.B) {
+	t := New(4, 8, hw.TableID2D())
+	p := benchPhase(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Loads()
+	}
+}

@@ -3,6 +3,7 @@ package mesh
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Flow is one point-to-point transfer inside a communication phase:
@@ -28,14 +29,23 @@ type Phase struct {
 // LinkLoads accumulates the byte load each alive link carries.
 type LinkLoads map[Link]float64
 
+// forEachLink calls fn for every (flow index, traversed link) pair of
+// the phase, in flow order then route order. It is the single
+// load-accumulation walk shared by Loads, the dense Time kernel and
+// the generic fallback, so their float summation orders cannot drift.
+func (p Phase) forEachLink(fn func(i int, l Link)) {
+	for i := range p.Flows {
+		r := p.Flows[i].Route
+		for j := 0; j+1 < len(r); j++ {
+			fn(i, Link{r[j], r[j+1]})
+		}
+	}
+}
+
 // Loads computes the per-link byte loads of the phase.
 func (p Phase) Loads() LinkLoads {
 	out := make(LinkLoads)
-	for _, f := range p.Flows {
-		for _, l := range f.Route.Links() {
-			out[l] += f.Bytes
-		}
-	}
+	p.forEachLink(func(i int, l Link) { out[l] += p.Flows[i].Bytes })
 	return out
 }
 
@@ -94,26 +104,137 @@ type PhaseTime struct {
 // Total returns the phase completion time.
 func (pt PhaseTime) Total() float64 { return pt.Serialization + pt.HopLatency }
 
+// timeScratch holds the dense per-link accumulators of the Time
+// kernel, reused through a pool so steady-state evaluation allocates
+// nothing. Slices are indexed by canonical link ID and grown to the
+// largest topology seen.
+type timeScratch struct {
+	loads    []float64
+	msgBytes []float64
+	msgCount []int32
+}
+
+var timePool = sync.Pool{New: func() any { return new(timeScratch) }}
+
+// grab sizes the scratch for n links and zeroes it.
+func (s *timeScratch) grab(n int) {
+	if cap(s.loads) < n {
+		s.loads = make([]float64, n)
+		s.msgBytes = make([]float64, n)
+		s.msgCount = make([]int32, n)
+		return
+	}
+	s.loads = s.loads[:n]
+	s.msgBytes = s.msgBytes[:n]
+	s.msgCount = s.msgCount[:n]
+	for i := range s.loads {
+		s.loads[i] = 0
+		s.msgBytes[i] = 0
+		s.msgCount[i] = 0
+	}
+}
+
 // Time evaluates the phase on topology t.
-func (t *Topology) Time(p Phase) PhaseTime {
+//
+// The kernel accumulates per-link loads into flat arrays over the
+// canonical link index and scans IDs in ascending order for the
+// bottleneck — bit-identical to the historical map-accumulate-and-sort
+// implementation, because link IDs ascend in exactly the (From, To)
+// order the old sort used and the per-accumulator float summation
+// order (flow order, then route order) is unchanged. Routes that
+// traverse non-mesh links (synthetic test phases) fall back to the
+// generic map path.
+func (t *Topology) Time(p Phase) PhaseTime { return t.timePhase(p, false, 0) }
+
+// timePhase is the shared kernel behind Time and the template
+// evaluation path: when scaled is set every flow carries scale bytes
+// (templates store byte-invariant structures), otherwise each flow's
+// own Bytes field is used.
+func (t *Topology) timePhase(p Phase, scaled bool, scale float64) PhaseTime {
+	var out PhaseTime
+	for i := range p.Flows {
+		b := p.Flows[i].Bytes
+		if scaled {
+			b = scale
+		}
+		out.TotalBytes += b
+		if h := p.Flows[i].Route.Hops(); h > out.MaxHops {
+			out.MaxHops = h
+		}
+	}
+	s := timePool.Get().(*timeScratch)
+	s.grab(len(t.links))
+	ok := true
+	p.forEachLink(func(i int, l Link) {
+		if !ok {
+			return
+		}
+		id := t.LinkID(l)
+		if id < 0 {
+			ok = false
+			return
+		}
+		bytes := p.Flows[i].Bytes
+		if scaled {
+			bytes = scale
+		}
+		s.loads[id] += bytes
+		s.msgBytes[id] += bytes
+		s.msgCount[id]++
+		out.LinkBytes += bytes
+	})
+	if !ok {
+		timePool.Put(s)
+		return t.timeGeneric(p, scaled, scale)
+	}
+	for id := range s.loads {
+		n := s.msgCount[id]
+		if n == 0 {
+			continue
+		}
+		mean := s.msgBytes[id] / float64(n)
+		bw := t.link.EffectiveBandwidth(mean)
+		ser := s.loads[id] / bw
+		if ser > out.Serialization {
+			out.Serialization = ser
+			out.Bottleneck = t.links[id]
+			out.BottleneckBytes = s.loads[id]
+		}
+	}
+	timePool.Put(s)
+	out.HopLatency = float64(out.MaxHops) * t.link.Latency
+	return out
+}
+
+// timeGeneric is the historical map-based kernel, kept for phases
+// whose routes step between non-adjacent dies.
+func (t *Topology) timeGeneric(p Phase, scaled bool, scale float64) PhaseTime {
 	var out PhaseTime
 	loads := make(LinkLoads)
 	// Per-link mean message size drives granularity efficiency.
 	msgBytes := make(map[Link]float64)
 	msgCount := make(map[Link]int)
 	for _, f := range p.Flows {
-		out.TotalBytes += f.Bytes
+		b := f.Bytes
+		if scaled {
+			b = scale
+		}
+		out.TotalBytes += b
 		h := f.Route.Hops()
 		if h > out.MaxHops {
 			out.MaxHops = h
 		}
-		for _, l := range f.Route.Links() {
-			loads[l] += f.Bytes
-			msgBytes[l] += f.Bytes
-			msgCount[l]++
-			out.LinkBytes += f.Bytes
-		}
 	}
+	p.forEachLink(func(i int, l Link) {
+		bytes := p.Flows[i].Bytes
+		if scaled {
+			bytes = scale
+		}
+		loads[l] += bytes
+		msgBytes[l] += bytes
+		msgCount[l]++
+		out.LinkBytes += bytes
+	})
 	keys := make([]Link, 0, len(loads))
 	for l := range loads {
 		keys = append(keys, l)
@@ -186,12 +307,7 @@ func (t *Topology) Utilization(p Phase) Utilization {
 			max = v
 		}
 	}
-	alive := 0
-	for _, ok := range t.linkAlive {
-		if ok {
-			alive++
-		}
-	}
+	alive := t.aliveLinks()
 	u := Utilization{}
 	if max > 0 {
 		u.Balance = sum / float64(len(loads)) / max

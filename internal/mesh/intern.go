@@ -1,0 +1,169 @@
+package mesh
+
+import (
+	"math"
+	"sync"
+
+	"temp/internal/hw"
+)
+
+// The topology interner. Every cost-model evaluation begins by
+// materializing the wafer's mesh; before interning, each evaluation
+// rebuilt the same Topology (die/link masks, link index) from scratch.
+// The interner keys topologies by (rows, cols, link parameters, fault
+// mask) and hands out one frozen instance per key, so the evaluation
+// hot path shares a single immutable topology — and the derived-
+// structure caches (lowered collectives, orchestrations, placements)
+// can key off its pointer identity.
+
+// internKey identifies one topology state. hw.D2D is a flat struct of
+// floats, so the key is comparable; mask is the canonical fault-state
+// encoding ("" for a healthy mesh).
+type internKey struct {
+	rows, cols int
+	link       hw.D2D
+	mask       string
+}
+
+// maxFaultedInterns bounds the faulted-mask side of the interner.
+// Healthy topologies are one per wafer geometry (a handful per
+// process), but Monte Carlo fault studies intern one random mask per
+// trial with near-zero cross-trial reuse — unbounded retention would
+// grow memory for the process lifetime. When the bound is hit the
+// faulted table is reset wholesale; evicted topologies stay frozen
+// and fully functional (their derived caches live on the topology,
+// not in global maps), they merely stop being shared and become
+// collectable once callers drop them.
+const maxFaultedInterns = 256
+
+var interner struct {
+	mu      sync.Mutex
+	healthy map[internKey]*Topology
+	faulted map[internKey]*Topology
+}
+
+// Shared returns the interned immutable healthy topology for the
+// given grid and link parameters.
+func Shared(rows, cols int, link hw.D2D) *Topology {
+	return intern(internKey{rows: rows, cols: cols, link: link}, func() *Topology {
+		return New(rows, cols, link)
+	})
+}
+
+// Intern returns the canonical shared instance of the receiver's exact
+// state (grid, link parameters, die/link/core fault mask), freezing
+// the receiver if it becomes the canonical instance. After Intern the
+// receiver must be treated as immutable — the Set* mutators panic.
+// Healthy topologies share the Shared/FromWafer instance.
+func (t *Topology) Intern() *Topology {
+	if t.frozen {
+		return t
+	}
+	key := internKey{rows: t.rows, cols: t.cols, link: t.link, mask: t.maskKey()}
+	return intern(key, func() *Topology { return t })
+}
+
+// Frozen reports whether the topology is interned (immutable). The
+// derived-structure caches only engage on frozen topologies.
+func (t *Topology) Frozen() bool { return t.frozen }
+
+func intern(key internKey, build func() *Topology) *Topology {
+	interner.mu.Lock()
+	defer interner.mu.Unlock()
+	table := &interner.healthy
+	if key.mask != "" {
+		table = &interner.faulted
+	}
+	if t, ok := (*table)[key]; ok {
+		return t
+	}
+	t := build()
+	t.frozen = true
+	if key.mask != "" && len(interner.faulted) >= maxFaultedInterns {
+		interner.faulted = nil
+	}
+	if *table == nil {
+		*table = map[internKey]*Topology{}
+	}
+	(*table)[key] = t
+	return t
+}
+
+// maskKey canonically encodes the fault state: empty for a healthy
+// mesh, else the dead-die set, dead-link set and non-unit core
+// fractions (bit-exact).
+func (t *Topology) maskKey() string {
+	if t.healthy() && !t.degradedCores() {
+		return ""
+	}
+	var b []byte
+	put32 := func(v uint32) {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	for i, alive := range t.dieAlive {
+		if !alive {
+			put32(uint32(i))
+		}
+	}
+	b = append(b, '|')
+	for id, alive := range t.linkAlive {
+		if !alive {
+			put32(uint32(id))
+		}
+	}
+	b = append(b, '|')
+	for i, f := range t.coreFrac {
+		if f != 1.0 {
+			put32(uint32(i))
+			bits := math.Float64bits(f)
+			put32(uint32(bits))
+			put32(uint32(bits >> 32))
+		}
+	}
+	return string(b)
+}
+
+func (t *Topology) degradedCores() bool {
+	for _, f := range t.coreFrac {
+		if f != 1.0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a mutable deep copy of the topology's fault state.
+// The immutable link index is shared with the receiver.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{
+		rows:      t.rows,
+		cols:      t.cols,
+		link:      t.link,
+		dieAlive:  append([]bool(nil), t.dieAlive...),
+		linkAlive: append([]bool(nil), t.linkAlive...),
+		coreFrac:  append([]float64(nil), t.coreFrac...),
+		deadDies:  t.deadDies,
+		deadLinks: t.deadLinks,
+		links:     t.links,
+		slot:      t.slot,
+		enum:      t.enum,
+	}
+	return c
+}
+
+// Derived returns the value cached under key on a frozen topology,
+// building it with build on the first request. Concurrent first
+// requests may build twice; builds must be deterministic, and one
+// winner is kept. On a mutable topology nothing is cached (the result
+// would go stale on the next fault mutation) and build's result is
+// returned directly.
+func (t *Topology) Derived(key any, build func() any) any {
+	if !t.frozen {
+		return build()
+	}
+	if v, ok := t.derived.Load(key); ok {
+		return v
+	}
+	v, _ := t.derived.LoadOrStore(key, build())
+	return v
+}

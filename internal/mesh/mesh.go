@@ -11,6 +11,7 @@ package mesh
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"temp/internal/hw"
 )
@@ -32,16 +33,47 @@ type Link struct {
 func (l Link) String() string { return fmt.Sprintf("%d→%d", l.From, l.To) }
 
 // Topology is a rows×cols 2D mesh with optional fault masks. The
-// zero value is not usable; construct with New.
+// zero value is not usable; construct with New (mutable) or FromWafer
+// (interned, immutable — see Intern).
 type Topology struct {
 	rows, cols int
 	link       hw.D2D
 
-	dieAlive  []bool
-	linkAlive map[Link]bool
+	dieAlive []bool
+	// linkAlive is indexed by canonical link ID (see LinkID).
+	linkAlive []bool
 	// coreFrac[i] is the fraction of die i's compute cores that are
 	// functional (1.0 = healthy); used by the fault-tolerance study.
 	coreFrac []float64
+
+	// deadDies/deadLinks count current faults so healthy() is O(1) on
+	// the routing hot path.
+	deadDies, deadLinks int
+
+	// links is the canonical dense link index: every directed link of
+	// the pristine mesh, sorted ascending by (From, To), so that
+	// scanning IDs 0..len(links)-1 visits links in exactly the order
+	// the contention model's deterministic bottleneck scan requires.
+	// slot is the O(1) reverse lookup: slot[die*4+dir] is the ID of
+	// die's outgoing link in direction dir (up, left, right, down), or
+	// -1 when the mesh has no such link. Both are immutable and shared
+	// between a topology and its clones.
+	links []Link
+	slot  []int32
+	// enum is the historical allLinks enumeration order, kept so that
+	// Links() (and everything seeded off its iteration order, like
+	// fault injection) is unchanged by the dense index.
+	enum []Link
+
+	// frozen marks an interned topology: mutating an interned topology
+	// would corrupt every sharer, so the Set* methods panic. Frozen
+	// topologies are what the derived-structure caches key on.
+	frozen bool
+	// derived caches immutable structures computed from a frozen
+	// topology (lowered collectives, stream orchestrations, placement
+	// state). Only frozen topologies populate it: a mutable topology's
+	// cache would go stale on the next Set* call.
+	derived sync.Map
 }
 
 // New builds a healthy rows×cols mesh with the given link parameters.
@@ -50,25 +82,95 @@ func New(rows, cols int, link hw.D2D) *Topology {
 		panic(fmt.Sprintf("mesh: invalid grid %dx%d", rows, cols))
 	}
 	t := &Topology{
-		rows:      rows,
-		cols:      cols,
-		link:      link,
-		dieAlive:  make([]bool, rows*cols),
-		linkAlive: make(map[Link]bool),
-		coreFrac:  make([]float64, rows*cols),
+		rows:     rows,
+		cols:     cols,
+		link:     link,
+		dieAlive: make([]bool, rows*cols),
+		coreFrac: make([]float64, rows*cols),
 	}
+	t.buildLinkIndex()
+	t.linkAlive = make([]bool, len(t.links))
 	for i := range t.dieAlive {
 		t.dieAlive[i] = true
 		t.coreFrac[i] = 1.0
 	}
-	for _, l := range t.allLinks() {
-		t.linkAlive[l] = true
+	for i := range t.linkAlive {
+		t.linkAlive[i] = true
 	}
 	return t
 }
 
-// FromWafer builds the mesh of a wafer configuration.
-func FromWafer(w hw.Wafer) *Topology { return New(w.Rows, w.Cols, w.Link) }
+// linkDirs enumerates a die's outgoing directions in ascending
+// destination order: up (To=From-cols), left, right, down. With the
+// canonical index built From-major over these directions, link IDs
+// ascend exactly in (From, To) order.
+const numDirs = 4
+
+// buildLinkIndex constructs the canonical sorted link list, the
+// reverse-lookup slot table and the historical enumeration order.
+func (t *Topology) buildLinkIndex() {
+	n := t.rows * t.cols
+	t.slot = make([]int32, n*numDirs)
+	for i := range t.slot {
+		t.slot[i] = -1
+	}
+	for from := 0; from < n; from++ {
+		c := t.CoordOf(DieID(from))
+		cand := [numDirs]Coord{
+			{c.R - 1, c.C}, // up
+			{c.R, c.C - 1}, // left
+			{c.R, c.C + 1}, // right
+			{c.R + 1, c.C}, // down
+		}
+		for dir, nc := range cand {
+			if !t.InBounds(nc) {
+				continue
+			}
+			t.slot[from*numDirs+dir] = int32(len(t.links))
+			t.links = append(t.links, Link{DieID(from), t.ID(nc)})
+		}
+	}
+	t.enum = t.allLinks()
+}
+
+// FromWafer returns the interned immutable mesh of a wafer
+// configuration: repeated calls with the same grid and link parameters
+// share one cached topology (see Intern). Callers that need to mutate
+// it (fault injection) must Clone first.
+func FromWafer(w hw.Wafer) *Topology { return Shared(w.Rows, w.Cols, w.Link) }
+
+// NumLinks returns the number of directed links of the pristine mesh —
+// the size of the canonical link-ID space.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// LinkByID returns the link with the given canonical ID. IDs ascend in
+// (From, To) order, so scanning 0..NumLinks()-1 visits links in the
+// deterministic sorted order the bottleneck tie-break depends on.
+func (t *Topology) LinkByID(id int) Link { return t.links[id] }
+
+// LinkID returns the canonical dense ID of a directed mesh link, or -1
+// when the endpoints are not mesh-adjacent (callers fall back to the
+// generic map-based path for such synthetic routes).
+func (t *Topology) LinkID(l Link) int {
+	from := int(l.From)
+	if from < 0 || from >= t.rows*t.cols {
+		return -1
+	}
+	var dir int
+	switch d := int(l.To) - from; {
+	case d == -t.cols:
+		dir = 0
+	case d == -1 && t.cols > 1:
+		dir = 1
+	case d == 1 && t.cols > 1:
+		dir = 2
+	case d == t.cols:
+		dir = 3
+	default:
+		return -1
+	}
+	return int(t.slot[from*numDirs+dir])
+}
 
 // Rows returns the number of die rows.
 func (t *Topology) Rows() int { return t.rows }
@@ -148,8 +250,8 @@ func (t *Topology) allLinks() []Link {
 // Links returns all alive directed links in deterministic order.
 func (t *Topology) Links() []Link {
 	var out []Link
-	for _, l := range t.allLinks() {
-		if t.linkAlive[l] {
+	for _, l := range t.enum {
+		if t.linkAlive[t.LinkID(l)] {
 			out = append(out, l)
 		}
 	}
@@ -157,29 +259,61 @@ func (t *Topology) Links() []Link {
 }
 
 // TotalLinks returns the number of directed links in the healthy mesh.
-func (t *Topology) TotalLinks() int { return len(t.allLinks()) }
+func (t *Topology) TotalLinks() int { return len(t.links) }
 
 // DieAlive reports whether die d is functional.
 func (t *Topology) DieAlive(d DieID) bool {
 	return int(d) >= 0 && int(d) < len(t.dieAlive) && t.dieAlive[d]
 }
 
+// mutable panics when the topology is interned: a frozen topology is
+// shared by every caller that looked it up, so in-place faults would
+// corrupt them all. Clone first.
+func (t *Topology) mutable() {
+	if t.frozen {
+		panic("mesh: mutating an interned topology; Clone it first")
+	}
+}
+
 // SetDieAlive marks die d alive or failed.
-func (t *Topology) SetDieAlive(d DieID, alive bool) { t.dieAlive[d] = alive }
+func (t *Topology) SetDieAlive(d DieID, alive bool) {
+	t.mutable()
+	if t.dieAlive[d] != alive {
+		if alive {
+			t.deadDies--
+		} else {
+			t.deadDies++
+		}
+	}
+	t.dieAlive[d] = alive
+}
 
 // LinkAlive reports whether directed link l is functional.
-func (t *Topology) LinkAlive(l Link) bool { return t.linkAlive[l] }
+func (t *Topology) LinkAlive(l Link) bool {
+	id := t.LinkID(l)
+	return id >= 0 && t.linkAlive[id]
+}
 
 // SetLinkAlive marks the directed link (and by convention its
 // reverse) alive or failed; D2D links fail as a bundle.
 func (t *Topology) SetLinkAlive(l Link, alive bool) {
-	if _, ok := t.linkAlive[l]; ok {
-		t.linkAlive[l] = alive
+	t.mutable()
+	t.setLinkAlive(t.LinkID(l), alive)
+	t.setLinkAlive(t.LinkID(Link{l.To, l.From}), alive)
+}
+
+func (t *Topology) setLinkAlive(id int, alive bool) {
+	if id < 0 {
+		return
 	}
-	rev := Link{l.To, l.From}
-	if _, ok := t.linkAlive[rev]; ok {
-		t.linkAlive[rev] = alive
+	if t.linkAlive[id] != alive {
+		if alive {
+			t.deadLinks--
+		} else {
+			t.deadLinks++
+		}
 	}
+	t.linkAlive[id] = alive
 }
 
 // CoreFraction returns the functional-core fraction of die d.
@@ -187,6 +321,7 @@ func (t *Topology) CoreFraction(d DieID) float64 { return t.coreFrac[d] }
 
 // SetCoreFraction sets the functional-core fraction of die d.
 func (t *Topology) SetCoreFraction(d DieID, f float64) {
+	t.mutable()
 	if f < 0 {
 		f = 0
 	}
@@ -309,6 +444,35 @@ func (t *Topology) RouteYX(src, dst DieID) Path {
 	return p
 }
 
+// routeScratch pools the Dijkstra working arrays of RouteWeighted so
+// the router only allocates its returned path.
+type routeScratch struct {
+	dist []float64
+	prev []DieID
+	done []bool
+	rev  []DieID
+}
+
+var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
+
+func (s *routeScratch) grab(n int) {
+	const inf = 1e300
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prev = make([]DieID, n)
+		s.done = make([]bool, n)
+	}
+	s.dist = s.dist[:n]
+	s.prev = s.prev[:n]
+	s.done = s.done[:n]
+	for i := range s.dist {
+		s.dist[i] = inf
+		s.prev[i] = -1
+		s.done[i] = false
+	}
+	s.rev = s.rev[:0]
+}
+
 // RouteWeighted returns a minimum-cost path from src to dst where the
 // cost of traversing link l is 1 + weight(l). Dead links and dies are
 // skipped, so it doubles as the fault-aware router. Returns nil when
@@ -322,13 +486,9 @@ func (t *Topology) RouteWeighted(src, dst DieID, weight func(Link) float64) Path
 	}
 	const inf = 1e300
 	n := t.Dies()
-	dist := make([]float64, n)
-	prev := make([]DieID, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = inf
-		prev[i] = -1
-	}
+	s := routePool.Get().(*routeScratch)
+	s.grab(n)
+	dist, prev, done := s.dist, s.prev, s.done
 	dist[src] = 0
 	for {
 		// Linear scan extract-min: grids are small (≤ a few
@@ -340,14 +500,27 @@ func (t *Topology) RouteWeighted(src, dst DieID, weight func(Link) float64) Path
 			}
 		}
 		if best < 0 {
+			routePool.Put(s)
 			return nil
 		}
 		if best == dst {
 			break
 		}
 		done[best] = true
-		for _, nb := range t.Neighbors(best) {
+		// Neighbor relaxation in the historical Neighbors order (up,
+		// down, left, right) — prev ties go to the first relaxer, so
+		// the visit order is part of the deterministic contract.
+		c := t.CoordOf(best)
+		cand := [numDirs]Coord{{c.R - 1, c.C}, {c.R + 1, c.C}, {c.R, c.C - 1}, {c.R, c.C + 1}}
+		for _, nc := range cand {
+			if !t.InBounds(nc) {
+				continue
+			}
+			nb := t.ID(nc)
 			l := Link{best, nb}
+			if !t.DieAlive(nb) || !t.LinkAlive(l) {
+				continue
+			}
 			w := 1.0
 			if weight != nil {
 				w += weight(l)
@@ -358,20 +531,23 @@ func (t *Topology) RouteWeighted(src, dst DieID, weight func(Link) float64) Path
 			}
 		}
 	}
-	var rev Path
+	rev := s.rev
 	for cur := dst; cur >= 0; cur = prev[cur] {
 		rev = append(rev, cur)
 		if cur == src {
 			break
 		}
 	}
+	s.rev = rev
 	if rev[len(rev)-1] != src {
+		routePool.Put(s)
 		return nil
 	}
 	p := make(Path, len(rev))
 	for i := range rev {
 		p[i] = rev[len(rev)-1-i]
 	}
+	routePool.Put(s)
 	return p
 }
 
@@ -383,19 +559,10 @@ func (t *Topology) Route(src, dst DieID) Path {
 	return t.RouteWeighted(src, dst, nil)
 }
 
-func (t *Topology) healthy() bool {
-	for _, a := range t.dieAlive {
-		if !a {
-			return false
-		}
-	}
-	for _, a := range t.linkAlive {
-		if !a {
-			return false
-		}
-	}
-	return true
-}
+func (t *Topology) healthy() bool { return t.deadDies == 0 && t.deadLinks == 0 }
+
+// aliveLinks returns the number of functional directed links.
+func (t *Topology) aliveLinks() int { return len(t.links) - t.deadLinks }
 
 // Connected reports whether all alive dies form one connected
 // component over alive links.

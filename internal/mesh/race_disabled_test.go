@@ -1,0 +1,5 @@
+//go:build !race
+
+package mesh
+
+const raceEnabled = false

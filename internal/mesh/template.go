@@ -1,0 +1,123 @@
+package mesh
+
+// PhaseTemplate is an immutable, byte-invariant compiled phase
+// sequence: the route structures, payloads and labels of a lowered
+// collective depend only on the topology and the ordered die group,
+// while every flow's byte count rescales uniformly with the query
+// (ring chunks, stream sub-tensors, broadcast payloads). Compiling the
+// structure once and materializing per query removes route
+// computation — the dominant cost of lowering — from the evaluation
+// hot path.
+//
+// All flows of a template share one backing array, so Materialize is
+// exactly two allocations. Templates are safe for concurrent use: the
+// returned phases share the template's routes and payload strings,
+// which consumers never mutate in place (the TCME optimizer clones
+// phases and replaces routes wholesale).
+type PhaseTemplate struct {
+	phases []Phase
+	flows  []Flow
+}
+
+// NewPhaseTemplate compiles phases into a template. The input is
+// deep-copied at the phase/flow level; flow Bytes values are dropped
+// (they are supplied by Materialize).
+func NewPhaseTemplate(phases []Phase) *PhaseTemplate {
+	t := &PhaseTemplate{phases: make([]Phase, len(phases))}
+	total := 0
+	for _, p := range phases {
+		total += len(p.Flows)
+	}
+	t.flows = make([]Flow, 0, total)
+	for i, p := range phases {
+		start := len(t.flows)
+		t.flows = append(t.flows, p.Flows...)
+		end := len(t.flows)
+		t.phases[i] = Phase{Label: p.Label, Flows: t.flows[start:end:end]}
+	}
+	for i := range t.flows {
+		t.flows[i].Bytes = 0
+	}
+	return t
+}
+
+// Phases returns the number of phases in the template.
+func (t *PhaseTemplate) Phases() int { return len(t.phases) }
+
+// Flows returns the total flow count across phases.
+func (t *PhaseTemplate) Flows() int { return len(t.flows) }
+
+// LoweredSeq pairs a compiled template with the per-flow byte value
+// one evaluation assigns it — a phase sequence that never needs to be
+// materialized to be timed.
+type LoweredSeq struct {
+	Tmpl  *PhaseTemplate
+	Bytes float64
+}
+
+// SeqTimeLowered evaluates the concatenation of scaled templates
+// exactly as SeqTime would evaluate the materialized concatenation —
+// same phase order, same per-accumulator float summation order — but
+// without materializing anything. This is the zero-allocation
+// collective path of the analytic cost model; the TCME path still
+// materializes (MaterializeSeq) because the optimizer mutates phases.
+func (t *Topology) SeqTimeLowered(seq []LoweredSeq) PhaseTime {
+	var out PhaseTime
+	var worst float64
+	for _, ls := range seq {
+		if ls.Tmpl == nil {
+			continue
+		}
+		for i := range ls.Tmpl.phases {
+			pt := t.timePhase(ls.Tmpl.phases[i], true, ls.Bytes)
+			out.Serialization += pt.Serialization
+			out.HopLatency += pt.HopLatency
+			out.TotalBytes += pt.TotalBytes
+			out.LinkBytes += pt.LinkBytes
+			if pt.MaxHops > out.MaxHops {
+				out.MaxHops = pt.MaxHops
+			}
+			if pt.Total() > worst {
+				worst = pt.Total()
+				out.Bottleneck = pt.Bottleneck
+				out.BottleneckBytes = pt.BottleneckBytes
+			}
+		}
+	}
+	return out
+}
+
+// MaterializeSeq concatenates the materialized phases of a scaled
+// template sequence, in order.
+func MaterializeSeq(seq []LoweredSeq) []Phase {
+	var out []Phase
+	for _, ls := range seq {
+		if ls.Tmpl == nil {
+			continue
+		}
+		out = append(out, ls.Tmpl.Materialize(ls.Bytes)...)
+	}
+	return out
+}
+
+// Materialize returns the template's phase sequence with every flow
+// carrying bytes. Phase and flow order match the uncompiled lowering
+// exactly, so downstream float accumulation is bit-identical.
+func (t *PhaseTemplate) Materialize(bytes float64) []Phase {
+	if len(t.phases) == 0 {
+		return nil
+	}
+	flows := make([]Flow, len(t.flows))
+	copy(flows, t.flows)
+	for i := range flows {
+		flows[i].Bytes = bytes
+	}
+	phases := make([]Phase, len(t.phases))
+	off := 0
+	for i := range t.phases {
+		n := len(t.phases[i].Flows)
+		phases[i] = Phase{Label: t.phases[i].Label, Flows: flows[off : off+n : off+n]}
+		off += n
+	}
+	return phases
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"temp/internal/tensor"
 	"temp/internal/unit"
@@ -101,7 +102,13 @@ type Graph struct {
 	Ops   []Op
 }
 
-// BlockGraph builds the 13-operator transformer block of Fig. 12(a):
+// graphCache memoizes BlockGraph per configuration: the graph is a
+// pure function of the (comparable) Config, it sits on the cost
+// model's hot path, and callers treat the returned Ops as read-only.
+var graphCache sync.Map // Config → Graph
+
+// BlockGraph returns the 13-operator transformer block of Fig. 12(a).
+// The result is memoized and shared — callers must not modify Ops:
 //
 //	 1 LayerNorm
 //	 2 QKV projection (GEMM)
@@ -117,6 +124,15 @@ type Graph struct {
 //	12 FC2 (GEMM)
 //	13 residual add
 func BlockGraph(c Config) Graph {
+	if g, ok := graphCache.Load(c); ok {
+		return g.(Graph)
+	}
+	g, _ := graphCache.LoadOrStore(c, buildBlockGraph(c))
+	return g.(Graph)
+}
+
+// buildBlockGraph constructs the operator chain.
+func buildBlockGraph(c Config) Graph {
 	b, m, h := int64(c.Batch), int64(c.Seq), int64(c.Hidden)
 	f := int64(c.Intermediate())
 	a := int64(c.Heads)

@@ -25,6 +25,11 @@ type Dense struct {
 	// scratch from the last forward pass, used by backward.
 	lastIn  []float64
 	lastPre []float64
+	// reusable training buffers (Forward output, Backward dL/din);
+	// like lastIn/lastPre they make training single-threaded while
+	// keeping Infer/Predict read-only and concurrency-safe.
+	fwdOut []float64
+	bwdIn  []float64
 }
 
 // NewDense builds a layer with He-initialized weights.
@@ -77,9 +82,10 @@ func (d *Dense) Forward(x []float64) []float64 {
 	d.lastIn = append(d.lastIn[:0], x...)
 	if cap(d.lastPre) < d.Out {
 		d.lastPre = make([]float64, d.Out)
+		d.fwdOut = make([]float64, d.Out)
 	}
 	d.lastPre = d.lastPre[:d.Out]
-	out := make([]float64, d.Out)
+	out := d.fwdOut[:d.Out]
 	for o := 0; o < d.Out; o++ {
 		s := d.B[o]
 		row := d.W[o*d.In : (o+1)*d.In]
@@ -96,9 +102,16 @@ func (d *Dense) Forward(x []float64) []float64 {
 }
 
 // Backward consumes dL/dout, accumulates parameter gradients into gW
-// and gB, and returns dL/din.
+// and gB, and returns dL/din. The returned slice is layer-owned
+// scratch, valid until the layer's next Backward call.
 func (d *Dense) Backward(dOut, gW, gB []float64) []float64 {
-	dIn := make([]float64, d.In)
+	if cap(d.bwdIn) < d.In {
+		d.bwdIn = make([]float64, d.In)
+	}
+	dIn := d.bwdIn[:d.In]
+	for i := range dIn {
+		dIn[i] = 0
+	}
 	for o := 0; o < d.Out; o++ {
 		g := dOut[o]
 		if d.ReLU && d.lastPre[o] <= 0 {
@@ -119,6 +132,10 @@ func (d *Dense) Backward(dOut, gW, gB []float64) []float64 {
 type MLP struct {
 	Layers []*Dense
 	step   int
+
+	// training scratch, reused across TrainBatch calls.
+	gW, gB [][]float64
+	dOut   []float64
 }
 
 // NewMLP builds a network with the given layer widths; all hidden
@@ -184,16 +201,30 @@ func (c AdamConfig) withDefaults() AdamConfig {
 // returns the batch loss.
 func (m *MLP) TrainBatch(xs [][]float64, ys [][]float64, cfg AdamConfig) float64 {
 	cfg = cfg.withDefaults()
-	gW := make([][]float64, len(m.Layers))
-	gB := make([][]float64, len(m.Layers))
-	for i, l := range m.Layers {
-		gW[i] = make([]float64, len(l.W))
-		gB[i] = make([]float64, len(l.B))
+	if m.gW == nil {
+		m.gW = make([][]float64, len(m.Layers))
+		m.gB = make([][]float64, len(m.Layers))
+		for i, l := range m.Layers {
+			m.gW[i] = make([]float64, len(l.W))
+			m.gB[i] = make([]float64, len(l.B))
+		}
+	}
+	gW, gB := m.gW, m.gB
+	for i := range gW {
+		for j := range gW[i] {
+			gW[i][j] = 0
+		}
+		for j := range gB[i] {
+			gB[i][j] = 0
+		}
 	}
 	var loss float64
 	for s := range xs {
 		out := m.forward(xs[s])
-		dOut := make([]float64, len(out))
+		if cap(m.dOut) < len(out) {
+			m.dOut = make([]float64, len(out))
+		}
+		dOut := m.dOut[:len(out)]
 		for o := range out {
 			diff := out[o] - ys[s][o]
 			loss += diff * diff
@@ -238,6 +269,8 @@ func (m *MLP) Fit(xs, ys [][]float64, epochs, batch int, cfg AdamConfig, rng *ra
 		idx[i] = i
 	}
 	var last float64
+	bx := make([][]float64, 0, batch)
+	by := make([][]float64, 0, batch)
 	for e := 0; e < epochs; e++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss float64
@@ -247,8 +280,7 @@ func (m *MLP) Fit(xs, ys [][]float64, epochs, batch int, cfg AdamConfig, rng *ra
 			if end > len(idx) {
 				end = len(idx)
 			}
-			bx := make([][]float64, 0, end-at)
-			by := make([][]float64, 0, end-at)
+			bx, by = bx[:0], by[:0]
 			for _, i := range idx[at:end] {
 				bx = append(bx, xs[i])
 				by = append(by, ys[i])

@@ -28,6 +28,10 @@ const (
 	numStrategies
 )
 
+// NumStrategies is the number of intra-wafer strategies — the size of
+// a per-strategy lookup array indexed by Strategy.
+const NumStrategies = int(numStrategies)
+
 // String implements fmt.Stringer.
 func (s Strategy) String() string {
 	switch s {

@@ -1,0 +1,27 @@
+package solver
+
+import (
+	"testing"
+
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// BenchmarkDLS tracks the GA solve the paper's search-time comparison
+// hammers: dual-level search over the full power-of-two configuration
+// space with the analytic operator model.
+func BenchmarkDLS(b *testing.B) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	g := model.BlockGraph(m)
+	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	cm := &Analytic{W: w, M: m}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DLS(g, space, cm, DLSOptions{Seed: 7, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

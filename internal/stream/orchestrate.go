@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"sync"
 
 	"temp/internal/mesh"
 )
@@ -49,6 +50,12 @@ type Orchestration struct {
 	// neighbors (a physical ring exists).
 	ClosesRing bool
 	topo       *mesh.Topology
+
+	// tmpl is the compiled byte-invariant phase structure of the
+	// schedule, built once on frozen topologies (routes cannot change)
+	// and rescaled per Phases query.
+	tmplOnce sync.Once
+	tmpl     *mesh.PhaseTemplate
 }
 
 // Mode returns the orchestration mode.
@@ -177,8 +184,20 @@ func (o *Orchestration) hops(a, b mesh.DieID) int {
 
 // Phases lowers the schedule to mesh communication phases, one per
 // round, with every send routed on the topology. subBytes is the
-// size of one sub-tensor.
+// size of one sub-tensor. On a frozen (interned) topology the routed
+// structure is compiled once and rescaled per call; on a mutable
+// topology every call re-routes, because fault mutations between
+// calls can change the routes.
 func (o *Orchestration) Phases(subBytes float64) []mesh.Phase {
+	if o.topo.Frozen() {
+		o.tmplOnce.Do(func() { o.tmpl = mesh.NewPhaseTemplate(o.lowerPhases(1)) })
+		return o.tmpl.Materialize(subBytes)
+	}
+	return o.lowerPhases(subBytes)
+}
+
+// lowerPhases routes every scheduled send on the topology.
+func (o *Orchestration) lowerPhases(subBytes float64) []mesh.Phase {
 	phases := make([]mesh.Phase, 0, len(o.Sched.Sends))
 	for t, sends := range o.Sched.Sends {
 		ph := mesh.Phase{Label: fmt.Sprintf("stream-round-%d", t)}

@@ -11,9 +11,128 @@ package tcme
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"temp/internal/mesh"
 )
+
+// denseState is the optimizer's per-Optimize scratch over the
+// topology's canonical link index: flat load/count accumulators and a
+// hot-link bitmap replace the per-call map allocations of the
+// historical implementation. Decisions are bit-identical — the dense
+// bottleneck scan walks link IDs in exactly the sorted (From, To)
+// order the map version sorted into, and per-accumulator float
+// summation order (flow order, then route order) is unchanged. Phases
+// with off-mesh routes (synthetic tests) fall back to the map path.
+type denseState struct {
+	t       *mesh.Topology
+	loads   []float64
+	cnt     []int32
+	touched []int32
+	hot     []bool
+}
+
+var densePool = sync.Pool{New: func() any { return new(denseState) }}
+
+// newDense returns pooled scratch for t, or nil when any route of p
+// steps between non-adjacent dies (the map fallback handles those).
+func newDense(t *mesh.Topology, p mesh.Phase) *denseState {
+	for _, f := range p.Flows {
+		for j := 0; j+1 < len(f.Route); j++ {
+			if t.LinkID(mesh.Link{From: f.Route[j], To: f.Route[j+1]}) < 0 {
+				return nil
+			}
+		}
+	}
+	d := densePool.Get().(*denseState)
+	d.t = t
+	n := t.NumLinks()
+	if cap(d.loads) < n {
+		d.loads = make([]float64, n)
+		d.cnt = make([]int32, n)
+		d.hot = make([]bool, n)
+	}
+	d.loads = d.loads[:n]
+	d.cnt = d.cnt[:n]
+	d.hot = d.hot[:n]
+	d.touched = d.touched[:0]
+	return d
+}
+
+func (d *denseState) release() {
+	if d != nil {
+		d.reset()
+		densePool.Put(d)
+	}
+}
+
+// reset clears only the touched entries.
+func (d *denseState) reset() {
+	for _, id := range d.touched {
+		d.loads[id] = 0
+		d.cnt[id] = 0
+	}
+	d.touched = d.touched[:0]
+}
+
+// accumulate recomputes the per-link loads of p. The optimizer's own
+// moves only ever produce mesh-adjacent routes, so the IDs stay valid
+// throughout an Optimize run.
+func (d *denseState) accumulate(p mesh.Phase) {
+	d.reset()
+	for i := range p.Flows {
+		f := &p.Flows[i]
+		for j := 0; j+1 < len(f.Route); j++ {
+			id := d.t.LinkID(mesh.Link{From: f.Route[j], To: f.Route[j+1]})
+			if d.cnt[id] == 0 {
+				d.touched = append(d.touched, int32(id))
+			}
+			d.cnt[id]++
+			d.loads[id] += f.Bytes
+		}
+	}
+}
+
+// maxLoad mirrors Phase.MaxLoad: the most loaded link, ties broken by
+// ascending (From, To) — which is ascending link ID.
+func (d *denseState) maxLoad(p mesh.Phase) (mesh.Link, float64) {
+	d.accumulate(p)
+	var (
+		best     mesh.Link
+		bestLoad float64
+		found    bool
+	)
+	for id := range d.loads {
+		if d.cnt[id] == 0 {
+			continue
+		}
+		if !found || d.loads[id] > bestLoad {
+			best, bestLoad, found = d.t.LinkByID(id), d.loads[id], true
+		}
+	}
+	return best, bestLoad
+}
+
+// potential mirrors phasePotential on the dense accumulators.
+func (d *denseState) potential(p mesh.Phase) potential {
+	d.accumulate(p)
+	var pot potential
+	for _, id := range d.touched {
+		if d.loads[id] > pot.max {
+			pot.max = d.loads[id]
+		}
+	}
+	if pot.max == 0 {
+		return pot
+	}
+	thresh := pot.max * (1 - 1e-9)
+	for _, id := range d.touched {
+		if d.loads[id] >= thresh {
+			pot.count++
+		}
+	}
+	return pot
+}
 
 // Options tunes the optimizer; the zero value enables everything with
 // the default iteration cap.
@@ -61,10 +180,17 @@ func Optimize(t *mesh.Topology, p mesh.Phase, opts Options) Result {
 	}
 	cur := clonePhase(p)
 	res := Result{}
-	_, res.InitialMaxLoad = cur.MaxLoad()
+	d := newDense(t, cur)
+	maxLoad := func() (mesh.Link, float64) {
+		if d != nil {
+			return d.maxLoad(cur)
+		}
+		return cur.MaxLoad()
+	}
+	_, res.InitialMaxLoad = maxLoad()
 
 	for iter := 0; iter < maxIter; iter++ {
-		mcl, load := cur.MaxLoad()
+		mcl, load := maxLoad()
 		if load <= 0 {
 			break
 		}
@@ -77,19 +203,19 @@ func Optimize(t *mesh.Topology, p mesh.Phase, opts Options) Result {
 			res.MergedFlows += merged
 			moves += merged
 			if merged > 0 {
-				mcl, _ = cur.MaxLoad()
+				mcl, _ = maxLoad()
 				hot = hotFlowIdx(cur, mcl)
 			}
 		}
 		if !opts.DisableReroute {
-			rev := reverseGroups(t, &cur)
+			rev := reverseGroups(t, &cur, d)
 			res.ReroutedFlows += rev
 			moves += rev
 			if rev > 0 {
-				mcl, _ = cur.MaxLoad()
+				mcl, _ = maxLoad()
 				hot = hotFlowIdx(cur, mcl)
 			}
-			rr := reroute(t, &cur, hot)
+			rr := reroute(t, &cur, hot, d)
 			res.ReroutedFlows += rr
 			moves += rr
 		}
@@ -98,7 +224,8 @@ func Optimize(t *mesh.Topology, p mesh.Phase, opts Options) Result {
 		}
 	}
 	res.Phase = cur
-	_, res.FinalMaxLoad = cur.MaxLoad()
+	_, res.FinalMaxLoad = maxLoad()
+	d.release()
 	return res
 }
 
@@ -129,9 +256,10 @@ func clonePhase(p mesh.Phase) mesh.Phase {
 // largest first (deterministic).
 func hotFlowIdx(p mesh.Phase, l mesh.Link) []int {
 	var idx []int
-	for i, f := range p.Flows {
-		for _, fl := range f.Route.Links() {
-			if fl == l {
+	for i := range p.Flows {
+		r := p.Flows[i].Route
+		for j := 0; j+1 < len(r); j++ {
+			if (mesh.Link{From: r[j], To: r[j+1]}) == l {
 				idx = append(idx, i)
 				break
 			}
@@ -303,18 +431,48 @@ func groupKey(payload string) string {
 // links and the profitable flip may sit on any of them). A flip is
 // accepted when it strictly decreases the phase potential. Returns
 // the number of flipped flows.
-func reverseGroups(t *mesh.Topology, p *mesh.Phase) int {
-	cur := phasePotential(*p)
+func reverseGroups(t *mesh.Topology, p *mesh.Phase, d *denseState) int {
+	var cur potential
+	if d != nil {
+		cur = d.potential(*p)
+	} else {
+		cur = phasePotential(*p)
+	}
 	if cur.max <= 0 {
 		return 0
 	}
-	loads := p.Loads()
 	thresh := cur.max * (1 - 1e-9)
-	hotLinks := map[mesh.Link]bool{}
-	for l, v := range loads {
-		if v >= thresh {
-			hotLinks[l] = true
+	// Mark bottleneck-level links: the dense path uses the hot bitmap,
+	// the fallback a link set.
+	var hotLinks map[mesh.Link]bool
+	if d != nil {
+		// d.loads still holds p's accumulation from potential above.
+		for _, id := range d.touched {
+			if d.loads[id] >= thresh {
+				d.hot[id] = true
+			}
 		}
+	} else {
+		loads := p.Loads()
+		hotLinks = map[mesh.Link]bool{}
+		for l, v := range loads {
+			if v >= thresh {
+				hotLinks[l] = true
+			}
+		}
+	}
+	crossesHot := func(r mesh.Path) bool {
+		for j := 0; j+1 < len(r); j++ {
+			l := mesh.Link{From: r[j], To: r[j+1]}
+			if d != nil {
+				if d.hot[t.LinkID(l)] {
+					return true
+				}
+			} else if hotLinks[l] {
+				return true
+			}
+		}
+		return false
 	}
 	// Collect groups crossing any hot link.
 	groupOf := map[string][]int{}
@@ -329,18 +487,20 @@ func reverseGroups(t *mesh.Topology, p *mesh.Phase) int {
 	for k, idx := range groupOf {
 		crosses := false
 		for _, i := range idx {
-			for _, l := range p.Flows[i].Route.Links() {
-				if hotLinks[l] {
-					crosses = true
-					break
-				}
-			}
-			if crosses {
+			if crossesHot(p.Flows[i].Route) {
+				crosses = true
 				break
 			}
 		}
 		if crosses && len(idx) > 0 {
 			keys = append(keys, k)
+		}
+	}
+	if d != nil {
+		// Clear the bitmap before candidate evaluation re-accumulates
+		// (and re-populates touched with) candidate state.
+		for _, id := range d.touched {
+			d.hot[id] = false
 		}
 	}
 	sort.Strings(keys)
@@ -365,7 +525,13 @@ func reverseGroups(t *mesh.Topology, p *mesh.Phase) int {
 		if !ok {
 			continue
 		}
-		if phasePotential(candidate).less(cur) {
+		var pot potential
+		if d != nil {
+			pot = d.potential(candidate)
+		} else {
+			pot = phasePotential(candidate)
+		}
+		if pot.less(cur) {
 			*p = candidate
 			// One flip per iteration: re-evaluate from the new
 			// bottleneck next round.
@@ -379,11 +545,42 @@ func reverseGroups(t *mesh.Topology, p *mesh.Phase) int {
 // CanReroute step of Fig. 11(d)). A reroute is accepted only when it
 // strictly decreases the phase potential, which keeps the loop
 // monotone. Returns the number of accepted reroutes.
-func reroute(t *mesh.Topology, p *mesh.Phase, hot []int) int {
+func reroute(t *mesh.Topology, p *mesh.Phase, hot []int, d *denseState) int {
 	count := 0
 	for _, i := range hot {
 		f := p.Flows[i]
 		if f.Src == f.Dst || f.Route.Hops() == 0 {
+			continue
+		}
+		if d != nil {
+			cur := d.potential(*p)
+			// Remove this flow's own contribution so the weight
+			// reflects the load it would join.
+			for j := 0; j+1 < len(f.Route); j++ {
+				d.loads[t.LinkID(mesh.Link{From: f.Route[j], To: f.Route[j+1]})] -= f.Bytes
+			}
+			var norm float64
+			for _, id := range d.touched {
+				if d.loads[id] > norm {
+					norm = d.loads[id]
+				}
+			}
+			if norm <= 0 {
+				norm = 1
+			}
+			alt := t.RouteWeighted(f.Src, f.Dst, func(l mesh.Link) float64 {
+				return 4 * d.loads[t.LinkID(l)] / norm
+			})
+			if alt == nil || samePath(alt, f.Route) {
+				continue
+			}
+			old := f.Route
+			p.Flows[i].Route = alt
+			if d.potential(*p).less(cur) {
+				count++
+			} else {
+				p.Flows[i].Route = old
+			}
 			continue
 		}
 		cur := phasePotential(*p)
