@@ -27,12 +27,16 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"temp/internal/baselines"
 	"temp/internal/collective"
 	"temp/internal/cost"
 	"temp/internal/engine"
 	"temp/internal/experiments"
+	"temp/internal/fault"
+	"temp/internal/hw"
 	"temp/internal/sim"
 	"temp/internal/solver"
 	"temp/internal/spec"
@@ -153,11 +157,11 @@ func scenarioTable(results []sim.ScenarioResult) *experiments.Table {
 	t := &experiments.Table{
 		ID:      "scenarios",
 		Title:   "Declarative scenario batch",
-		Headers: []string{"scenario", "system", "config", "status", "step(s)", "tput tok/s", "mem/die", "fault-tput", "solver"},
+		Headers: []string{"scenario", "system", "config", "status", "step(s)", "tput tok/s", "mem/die", "fault-tput", "repair", "solver"},
 	}
 	for _, r := range results {
 		if r.Err != nil {
-			t.AddRow(r.Name, "-", "-", "ERROR", "-", "-", "-", "-", "-")
+			t.AddRow(r.Name, "-", "-", "ERROR", "-", "-", "-", "-", "-", "-")
 			t.AddNote("%s: %v", r.Name, r.Err)
 			continue
 		}
@@ -169,6 +173,10 @@ func scenarioTable(results []sim.ScenarioResult) *experiments.Table {
 		if r.Faulted {
 			ft = fmt.Sprintf("%.3f", r.FaultNormTput)
 		}
+		rp := "-"
+		if r.Recovery != nil {
+			rp = fmt.Sprintf("%.3f->%.3f", r.Recovery.RepriceNorm, r.Recovery.RepairedNorm)
+		}
 		sv := "-"
 		if r.Solver != nil {
 			sv = fmt.Sprintf("%s %.3fms", r.Solver.Strategy, r.Solver.FinalCost*1e3)
@@ -176,16 +184,115 @@ func scenarioTable(results []sim.ScenarioResult) *experiments.Table {
 		t.AddRow(r.Name, r.Result.System, r.Result.Config.String(), status,
 			fmt.Sprintf("%.3f", r.Result.StepTime),
 			fmt.Sprintf("%.1f", r.Result.ThroughputTokens),
-			unit.Bytes(r.Result.Memory.Total()), ft, sv)
+			unit.Bytes(r.Result.Memory.Total()), ft, rp, sv)
+		if r.Campaign != nil {
+			worst := r.Campaign.Cells[len(r.Campaign.Cells)-1]
+			t.AddNote("%s: campaign %d cells x %d trials; worst cell link %.0f%% core %.0f%%: functional %.2f, mean norm %.3f",
+				r.Name, len(r.Campaign.Cells), r.Campaign.Trials,
+				worst.LinkRate*100, worst.CoreRate*100, worst.FunctionalRate, worst.MeanNorm)
+		}
 	}
 	return t
 }
 
-func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, override *spec.SolverStage, costStage *spec.CostStage) error {
+// attachResilience mutates a scenario spec per the -repair and
+// -fault-campaign flags: -repair rides on an existing fault stage;
+// -fault-campaign adds one (the campaign needs no injection rates, so
+// a missing fault stage is created empty).
+func attachResilience(ss *spec.ScenarioSpec, repair, campaign bool) {
+	if repair && ss.Fault != nil && ss.Fault.Repair == nil {
+		ss.Fault.Repair = &spec.RepairSpec{}
+	}
+	if campaign {
+		if ss.Fault == nil {
+			ss.Fault = &spec.FaultSpec{}
+		}
+		if ss.Fault.Campaign == nil {
+			ss.Fault.Campaign = &spec.CampaignSpec{}
+		}
+	}
+}
+
+// writeCampaignsJSON writes the campaign survivability artifact: one
+// result per campaign-staged scenario.
+func writeCampaignsJSON(path string, crs []fault.CampaignResult) error {
+	buf, err := json.MarshalIndent(crs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// runStandaloneCampaign runs a fault campaign outside the scenario
+// path: baselines.Best picks the mapping for the selected model/wafer
+// pair, then the campaign sweeps it over the default (-quick: reduced)
+// grid and writes the survivability artifact.
+func runStandaloneCampaign(path, modelNames, waferName, backend string, quick bool, seed int64, workers int) error {
+	name := "gpt3-6.7b"
+	if modelNames != "" {
+		name = strings.TrimSpace(strings.Split(modelNames, ",")[0])
+	}
+	m, err := spec.LookupModel(name)
+	if err != nil {
+		return err
+	}
+	w := hw.EvaluationWafer()
+	if waferName != "" {
+		if w, err = spec.LookupWafer(waferName); err != nil {
+			return err
+		}
+	}
+	key := ""
+	if backend != "" {
+		stage, err := spec.CostOverride(backend, seed)
+		if err != nil {
+			return err
+		}
+		key = stage.Key
+	}
+	sys := baselines.TEMP()
+	best, err := baselines.Best(sys, m, w)
+	if err != nil {
+		return err
+	}
+	c := fault.Campaign{
+		Model: m, Wafer: w, Config: best.Config, Opts: sys.Opts,
+		Backend: key, Seed: seed, Workers: workers,
+	}
+	if quick {
+		c.LinkRates = []float64{0, 0.2, 0.4}
+		c.CoreRates = []float64{0, 0.1}
+		c.Trials = 4
+	}
+	cr, err := c.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fault campaign: %s on %s, config %s (%d trials/cell, seed %d, backend %s)\n",
+		cr.Model, cr.Wafer, cr.Config, cr.Trials, cr.Seed, cr.Backend)
+	for _, cl := range cr.Cells {
+		fmt.Printf("  link %4.0f%% core %4.0f%%: functional %5.1f%%  mean %.3f  p5 %.3f  min %.3f\n",
+			cl.LinkRate*100, cl.CoreRate*100, cl.FunctionalRate*100, cl.MeanNorm, cl.P5Norm, cl.MinNorm)
+	}
+	return writeCampaignsJSON(path, []fault.CampaignResult{cr})
+}
+
+func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, override *spec.SolverStage, costStage *spec.CostStage, campaignPath string) error {
 	start := time.Now()
 	results := sim.RunScenarioSpecsWithStages(specs, override, costStage)
 	tab := scenarioTable(results)
 	tab.Fprint(os.Stdout)
+	if campaignPath != "" {
+		var crs []fault.CampaignResult
+		for _, r := range results {
+			if r.Campaign != nil {
+				crs = append(crs, *r.Campaign)
+			}
+		}
+		if err := writeCampaignsJSON(campaignPath, crs); err != nil {
+			return err
+		}
+	}
 	if jsonPath != "" {
 		stats := engine.Default().Cache().Stats()
 		rec := toRecord(tab, time.Since(start))
@@ -262,6 +369,8 @@ func main() {
 	scenarios := flag.String("scenarios", "", "run every *.json scenario in a directory")
 	strategy := flag.String("strategy", "", "add/override a solver stage on scenario runs (-list-strategies)")
 	budget := flag.String("budget", "", "solver-stage budget: eval count, duration, or both (\"20000,30s\")")
+	repair := flag.Bool("repair", false, "add a degradation-aware repair stage to scenario fault stages")
+	faultCampaign := flag.String("fault-campaign", "", "run a deterministic fault campaign and write survivability JSON to this file")
 	seed := flag.Int64("seed", 7, "solver-stage randomness seed")
 	backend := flag.String("backend", "", "cost backend pricing every evaluation (-list-backends); accepts name or name@seed=N")
 	listM := flag.Bool("list-models", false, "list registered model names")
@@ -311,7 +420,8 @@ func main() {
 			costStage, err = spec.CostOverride(*backend, *seed)
 		}
 		if err == nil {
-			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers, override, costStage)
+			attachResilience(&ss, *repair, *faultCampaign != "")
+			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers, override, costStage, *faultCampaign)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
@@ -329,9 +439,21 @@ func main() {
 			costStage, err = spec.CostOverride(*backend, *seed)
 		}
 		if err == nil {
-			err = runScenarios(sss, *jsonPath, *workers, override, costStage)
+			for i := range sss {
+				attachResilience(&sss[i], *repair, *faultCampaign != "")
+			}
+			err = runScenarios(sss, *jsonPath, *workers, override, costStage, *faultCampaign)
 		}
 		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", err)
+			os.Exit(1)
+		}
+		return
+	case *faultCampaign != "":
+		// Standalone campaign: the best TEMP mapping of the selected
+		// model/wafer pair, swept over the default (or -quick reduced)
+		// grid — the CI survivability artifact path.
+		if err := runStandaloneCampaign(*faultCampaign, *modelNames, *waferName, *backend, *quick, *seed, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
 			os.Exit(1)
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 
 	"temp/internal/cost"
 	"temp/internal/engine"
+	"temp/internal/fault"
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
@@ -71,10 +73,61 @@ func printScenarioResult(r sim.ScenarioResult) {
 	if r.Faulted {
 		line += fmt.Sprintf(" fault-norm-tput=%.3f", r.FaultNormTput)
 	}
+	if r.Recovery != nil {
+		line += fmt.Sprintf(" repair=%.3f->%.3f", r.Recovery.RepriceNorm, r.Recovery.RepairedNorm)
+	}
 	if r.Solver != nil {
 		line += fmt.Sprintf(" solver=%s cost=%.3fms", r.Solver.Strategy, r.Solver.FinalCost*1e3)
 	}
 	fmt.Println(line)
+}
+
+// attachResilience mutates a scenario spec per the -repair and
+// -fault-campaign flags: -repair rides on an existing fault stage;
+// -fault-campaign adds one (the campaign does not need injection
+// rates, so a missing fault stage is created empty).
+func attachResilience(ss *spec.ScenarioSpec, repair, campaign bool) {
+	if repair && ss.Fault != nil && ss.Fault.Repair == nil {
+		ss.Fault.Repair = &spec.RepairSpec{}
+	}
+	if campaign {
+		if ss.Fault == nil {
+			ss.Fault = &spec.FaultSpec{}
+		}
+		if ss.Fault.Campaign == nil {
+			ss.Fault.Campaign = &spec.CampaignSpec{}
+		}
+	}
+}
+
+// printRecovery renders a repair-stage record.
+func printRecovery(rec *fault.Recovery) {
+	fmt.Printf("repair     %d dead links, %d dead dies: re-price %.3f -> repaired %.3f on %s (%s, %d evals, %s)\n",
+		rec.Report.DeadLinks, rec.Report.DeadDies, rec.RepriceNorm, rec.RepairedNorm,
+		rec.RepairedConfig, rec.Strategy, rec.WarmEvals, rec.WarmElapsed)
+	if rec.ColdEvals > 0 {
+		fmt.Printf("           cold re-solve: %.3f (%d evals, %s)\n",
+			rec.ColdNorm, rec.ColdEvals, rec.ColdElapsed)
+	}
+}
+
+// printCampaign renders a survivability grid.
+func printCampaign(cr *fault.CampaignResult) {
+	fmt.Printf("campaign   %s on %s, config %s (%d trials/cell, seed %d, backend %s)\n",
+		cr.Model, cr.Wafer, cr.Config, cr.Trials, cr.Seed, cr.Backend)
+	for _, c := range cr.Cells {
+		fmt.Printf("  link %4.0f%% core %4.0f%%: functional %5.1f%%  mean %.3f  p5 %.3f  min %.3f\n",
+			c.LinkRate*100, c.CoreRate*100, c.FunctionalRate*100, c.MeanNorm, c.P5Norm, c.MinNorm)
+	}
+}
+
+// writeCampaignJSON writes one campaign result as a JSON artifact.
+func writeCampaignJSON(path string, cr *fault.CampaignResult) error {
+	buf, err := json.MarshalIndent(cr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // printSolverOutcome renders a scenario's search stage.
@@ -93,11 +146,12 @@ func printSolverOutcome(o *sim.SolverOutcome) {
 		o.Dominant, o.Share*100)
 }
 
-func runScenarioFile(path string, override *spec.SolverStage, costStage *spec.CostStage) error {
+func runScenarioFile(path string, override *spec.SolverStage, costStage *spec.CostStage, repair bool, campaignPath string) error {
 	ss, err := spec.LoadScenario(path)
 	if err != nil {
 		return err
 	}
+	attachResilience(&ss, repair, campaignPath != "")
 	sc, err := ss.Resolve()
 	if err != nil {
 		return err
@@ -132,6 +186,17 @@ func runScenarioFile(path string, override *spec.SolverStage, costStage *spec.Co
 		fmt.Printf("fault      norm tput %.3f (link=%.2f core=%.2f, %d trials)\n",
 			res.FaultNormTput, sc.Fault.LinkRate, sc.Fault.CoreRate, sc.Fault.TrialCount())
 	}
+	if res.Recovery != nil {
+		printRecovery(res.Recovery)
+	}
+	if res.Campaign != nil {
+		printCampaign(res.Campaign)
+		if campaignPath != "" {
+			if err := writeCampaignJSON(campaignPath, res.Campaign); err != nil {
+				return err
+			}
+		}
+	}
 	if res.Solver != nil {
 		printSolverOutcome(res.Solver)
 	}
@@ -162,6 +227,8 @@ func main() {
 		scenarios = flag.String("scenarios", "", "run every *.json scenario in a directory")
 		strategy  = flag.String("strategy", "", "add/override a solver stage on scenario runs (-list-strategies)")
 		budget    = flag.String("budget", "", "solver-stage budget: eval count, duration, or both (\"20000,30s\")")
+		repair    = flag.Bool("repair", false, "add a degradation-aware repair stage to scenario fault stages")
+		campaign  = flag.String("fault-campaign", "", "run a deterministic fault campaign and write survivability JSON to this file")
 		seed      = flag.Int64("seed", 7, "solver-stage and surrogate-training randomness seed")
 		backend   = flag.String("backend", "", "cost backend pricing the evaluation (-list-backends); accepts name or name@seed=N")
 		listM     = flag.Bool("list-models", false, "list registered model names")
@@ -206,7 +273,7 @@ func main() {
 			costStage, err = spec.CostOverride(*backend, *seed)
 		}
 		if err == nil {
-			err = runScenarioFile(*scenario, override, costStage)
+			err = runScenarioFile(*scenario, override, costStage, *repair, *campaign)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempsim:", err)
@@ -228,10 +295,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tempsim:", err)
 			os.Exit(1)
 		}
+		for i := range specs {
+			attachResilience(&specs[i], *repair, *campaign != "")
+		}
 		failed := false
+		var lastCampaign *fault.CampaignResult
 		for _, r := range sim.RunScenarioSpecsWithStages(specs, override, costStage) {
 			printScenarioResult(r)
 			failed = failed || r.Err != nil
+			if r.Campaign != nil {
+				lastCampaign = r.Campaign
+			}
+		}
+		if *campaign != "" && lastCampaign != nil {
+			if err := writeCampaignJSON(*campaign, lastCampaign); err != nil {
+				fmt.Fprintln(os.Stderr, "tempsim:", err)
+				os.Exit(1)
+			}
 		}
 		if failed {
 			os.Exit(1)
@@ -282,6 +362,10 @@ func main() {
 		}
 		key = stage.Key
 	}
+	if *repair {
+		fmt.Fprintln(os.Stderr, "tempsim: -repair needs a scenario with a fault stage (-scenario/-scenarios)")
+		os.Exit(1)
+	}
 	b, err := engine.EvaluateJob(engine.Job{Model: m, Wafer: w, Config: cfg, Opts: o, Backend: key})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tempsim:", err)
@@ -290,5 +374,19 @@ func main() {
 	printBreakdown(m, w, cfg, o, b)
 	if *debugTr {
 		fmt.Println("trace     ", cost.Debug(m, w, cfg, o))
+	}
+	if *campaign != "" {
+		cr, err := fault.Campaign{
+			Model: m, Wafer: w, Config: cfg, Opts: o,
+			Backend: key, Workers: *workers,
+		}.Run()
+		if err == nil {
+			printCampaign(&cr)
+			err = writeCampaignJSON(*campaign, &cr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempsim:", err)
+			os.Exit(1)
+		}
 	}
 }

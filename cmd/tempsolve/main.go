@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"temp/internal/baselines"
 	"temp/internal/cost"
 	"temp/internal/engine"
+	"temp/internal/fault"
 	"temp/internal/hw"
 	"temp/internal/model"
 	"temp/internal/parallel"
@@ -34,12 +36,60 @@ import (
 	"temp/internal/unit"
 )
 
+// resilience carries the -repair/-fault-campaign post-solve stages:
+// both act on the solved dominant configuration, repair warm-starting
+// its search from that mapping.
+type resilience struct {
+	repair       bool
+	campaignPath string
+	in           fault.Injection
+	faultSeed    int64
+	seed         int64
+	workers      int
+}
+
+// run applies the stages to the solved mapping.
+func (rz resilience) run(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options, backendKey string) error {
+	if rz.repair {
+		rec, err := fault.RepairInjected(m, w, cfg, o, rz.in, rz.faultSeed, fault.RepairOptions{
+			Backend: backendKey, Seed: rz.seed,
+			Budget: solver.Budget{Workers: rz.workers},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repair       link=%.0f%% core=%.0f%% seed=%d: %d dead links, %d dead dies\n",
+			rz.in.LinkRate*100, rz.in.CoreRate*100, rz.faultSeed,
+			rec.Report.DeadLinks, rec.Report.DeadDies)
+		fmt.Printf("             re-price %.3f -> repaired %.3f on %s (%s, %d evals, %s)\n",
+			rec.RepriceNorm, rec.RepairedNorm, rec.RepairedConfig,
+			rec.Strategy, rec.WarmEvals, rec.WarmElapsed)
+	}
+	if rz.campaignPath != "" {
+		cr, err := fault.Campaign{
+			Model: m, Wafer: w, Config: cfg, Opts: o,
+			Backend: backendKey, Workers: rz.workers,
+		}.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("campaign     %d cells x %d trials -> %s\n",
+			len(cr.Cells), cr.Trials, rz.campaignPath)
+		buf, err := json.MarshalIndent(cr, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(rz.campaignPath, append(buf, '\n'), 0o644)
+	}
+	return nil
+}
+
 // solve runs the search strategy plus full-simulator cross-check for
 // one model/wafer pair. backendKey selects the cost backend whose
 // operator model prices the search exactly ("" = analytic); the
 // multifid strategy (and the portfolio, which races it) additionally
 // screens on the surrogate tier seeded with screenSeed.
-func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, backendKey string, screenSeed int64) error {
+func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, backendKey string, screenSeed int64, o cost.Options, rz resilience) error {
 	g := model.BlockGraph(m)
 	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 	if len(space) == 0 {
@@ -97,13 +147,16 @@ func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, back
 	}
 	fmt.Printf("full-simulator best: %s → step %s, %.1f tokens/s (OOM=%v)\n",
 		best.Config, unit.Seconds(best.StepTime), best.ThroughputTokens, best.OOM())
-	return nil
+	// The resilience stages act on the mapping a user would deploy —
+	// the full-simulator best — so the recovery norms are relative to
+	// the deployed baseline.
+	return rz.run(m, w, best.Config, o, backendKey)
 }
 
 // solveScenario resolves a scenario spec and solves its model/wafer.
 // The scenario's own solver stage applies unless the CLI overrides
 // the strategy.
-func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, override bool, costStage *spec.CostStage, screenSeed int64) error {
+func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, override bool, costStage *spec.CostStage, screenSeed int64, rz resilience) error {
 	sc, err := ss.Resolve()
 	if err != nil {
 		return err
@@ -132,7 +185,7 @@ func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, ov
 	if s := sc.Cost.SurrogateSeed(); s != 0 {
 		screenSeed = s
 	}
-	return solve(sc.Model, sc.Wafer, st, b, backendKey, screenSeed)
+	return solve(sc.Model, sc.Wafer, st, b, backendKey, screenSeed, sc.System.Opts, rz)
 }
 
 func main() {
@@ -146,6 +199,11 @@ func main() {
 		budget    = flag.String("budget", "", "search budget: eval count, duration, or both (\"20000,30s\")")
 		noGA      = flag.Bool("no-ga", false, "stop after chain dynamic programming (alias for -strategy dp)")
 		seed      = flag.Int64("seed", 7, "search randomness seed")
+		repair    = flag.Bool("repair", false, "after solving, inject a seeded fault mask and repair from the solved mapping")
+		faultLink = flag.Float64("fault-link", 0.15, "-repair link-fault rate")
+		faultCore = flag.Float64("fault-core", 0, "-repair core-fault rate")
+		faultSeed = flag.Int64("fault-seed", 3, "-repair fault-mask seed")
+		campaign  = flag.String("fault-campaign", "", "run a fault campaign on the solved mapping and write survivability JSON to this file")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
 		scenario  = flag.String("scenario", "", "solve the model/wafer of one scenario JSON file")
 		scenarios = flag.String("scenarios", "", "solve every *.json scenario in a directory")
@@ -219,12 +277,20 @@ func main() {
 	if costStage != nil {
 		backendKey = costStage.Key
 	}
+	rz := resilience{
+		repair:       *repair,
+		campaignPath: *campaign,
+		in:           fault.Injection{LinkRate: *faultLink, CoreRate: *faultCore, CoresPerDie: 64},
+		faultSeed:    *faultSeed,
+		seed:         *seed,
+		workers:      *workers,
+	}
 
 	switch {
 	case *scenario != "":
 		ss, err := spec.LoadScenario(*scenario)
 		if err == nil {
-			err = solveScenario(ss, st, b, overridden, costStage, *seed)
+			err = solveScenario(ss, st, b, overridden, costStage, *seed, rz)
 		}
 		if err != nil {
 			fail(err)
@@ -239,7 +305,7 @@ func main() {
 			if i > 0 {
 				fmt.Println()
 			}
-			if err := solveScenario(ss, st, b, overridden, costStage, *seed); err != nil {
+			if err := solveScenario(ss, st, b, overridden, costStage, *seed, rz); err != nil {
 				fail(err)
 			}
 		}
@@ -258,7 +324,7 @@ func main() {
 	} else {
 		w = hw.WaferWithGrid(*rows, *cols)
 	}
-	if err := solve(m, w, st, b, backendKey, *seed); err != nil {
+	if err := solve(m, w, st, b, backendKey, *seed, baselines.TEMP().Opts, rz); err != nil {
 		fail(err)
 	}
 }

@@ -1,11 +1,14 @@
 // fault_tolerance demonstrates the §VIII-F mechanism: inject link and
 // core faults into the wafer, localize them, and measure how TEMP's
 // adaptive re-partitioning and re-routing preserve throughput
-// (Fig. 20's curves).
+// (Fig. 20's curves) — then go beyond re-pricing: repair the mapping
+// on the degraded fabric, sweep a survivability campaign, and find
+// the worst-case mask for the chosen mapping.
 package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"temp"
@@ -19,15 +22,21 @@ func main() {
 
 	fmt.Println("link faults (Fig. 20(b)): throughput is sensitive — a cliff appears")
 	for _, rate := range []float64{0, 0.1, 0.2, 0.35, 0.5, 0.8} {
-		v := temp.FaultNormalizedThroughput(m, w, cfg, o,
+		v, err := temp.FaultNormalizedThroughput(m, w, cfg, o,
 			temp.FaultInjection{LinkRate: rate}, 6, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  link fault rate %4.0f%% → normalized throughput %.2f\n", rate*100, v)
 	}
 
 	fmt.Println("core faults (Fig. 20(c)): graceful degradation under re-balancing")
 	for _, rate := range []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25} {
-		v := temp.FaultNormalizedThroughput(m, w, cfg, o,
+		v, err := temp.FaultNormalizedThroughput(m, w, cfg, o,
 			temp.FaultInjection{CoreRate: rate, CoresPerDie: 64}, 6, 43)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  core fault rate %4.0f%% → normalized throughput %.2f\n", rate*100, v)
 	}
 
@@ -41,4 +50,41 @@ func main() {
 		fmt.Printf("  degraded step: %.3fs (%.0f tokens/s)\n",
 			out.Breakdown.StepTime, out.Breakdown.ThroughputTokens)
 	}
+
+	// Repair: instead of keeping the pre-fault mapping on the degraded
+	// fabric, warm-start a bounded search from it and re-map. A
+	// communication-heavy mapping shows the recovery best: dead links
+	// hurt it most, and the repair solve finds a layout that routes
+	// around them.
+	rec, err := temp.RepairInjectedFaults(m, w, temp.ParallelConfig{DP: 2, TATP: 16}, o,
+		temp.FaultInjection{LinkRate: 0.15}, 3,
+		temp.FaultRepairOptions{Budget: temp.SearchBudget{MaxEvals: 1500}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repair at 15%% link faults: re-price %.2f → repaired %.2f (config %s, %d evals, %s)\n",
+		rec.RepriceNorm, rec.RepairedNorm, rec.RepairedConfig, rec.WarmEvals, rec.Strategy)
+
+	// Campaign: a deterministic Monte Carlo survivability grid.
+	cr, err := temp.FaultCampaign{
+		Model: m, Wafer: w, Config: cfg, Opts: o,
+		LinkRates: []float64{0, 0.2, 0.4},
+		CoreRates: []float64{0, 0.1},
+		Trials:    4, Seed: 42,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("survivability campaign (functional rate / mean norm tput):")
+	for _, c := range cr.Cells {
+		fmt.Printf("  link %.0f%% core %.0f%%: functional %.2f, mean %.2f, p5 %.2f\n",
+			c.LinkRate*100, c.CoreRate*100, c.FunctionalRate, c.MeanNorm, c.P5Norm)
+	}
+
+	// Worst case: which 2 links hurt this mapping the most?
+	wc, err := temp.FaultMaskSearch{K: 2, Seed: 42}.Run(m, w, cfg, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst 2-link mask: norm tput %.2f, links %v\n", wc.Norm, wc.Links)
 }

@@ -81,9 +81,19 @@ type OperatorReplay struct {
 // the replay tier's stream orchestrations and ring lowerings hit the
 // same compiled-template caches the analytic evaluator populates.
 func NewOperatorReplay(m model.Config, w hw.Wafer) *OperatorReplay {
+	return NewOperatorReplayOn(m, w, mesh.FromWafer(w))
+}
+
+// NewOperatorReplayOn is NewOperatorReplay pinned to an explicit
+// topology — typically a fault-degraded mesh, so searches can rank
+// candidate configurations by how well their streams and collectives
+// route around dead links (the repair solver's degraded cost model).
+// Intern the topology first: frozen instances share the compiled
+// lowering caches across every model built on the same fault mask.
+func NewOperatorReplayOn(m model.Config, w hw.Wafer, topo *mesh.Topology) *OperatorReplay {
 	return &OperatorReplay{
 		analytic: OperatorAnalytic{W: w, M: m},
-		topo:     mesh.FromWafer(w),
+		topo:     topo,
 		cache:    map[parallel.Config]*replayPlacement{},
 	}
 }

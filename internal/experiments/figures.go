@@ -598,7 +598,10 @@ func Fig20Fault(quick bool) (*Table, error) {
 	var cliffAt float64 = -1
 	prev := 1.0
 	for _, r := range linkRates {
-		v := fault.NormalizedThroughput(m, w, cfg, o, fault.Injection{LinkRate: r}, trials, 42)
+		v, err := fault.NormalizedThroughput(m, w, cfg, o, fault.Injection{LinkRate: r}, trials, 42)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow("link", f2(r), f3(v))
 		if cliffAt < 0 && prev-v > 0.4 {
 			cliffAt = r
@@ -608,7 +611,10 @@ func Fig20Fault(quick bool) (*Table, error) {
 	coreRates := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25}
 	var at25 float64
 	for _, r := range coreRates {
-		v := fault.NormalizedThroughput(m, w, cfg, o, fault.Injection{CoreRate: r, CoresPerDie: 64}, trials, 43)
+		v, err := fault.NormalizedThroughput(m, w, cfg, o, fault.Injection{CoreRate: r, CoresPerDie: 64}, trials, 43)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow("core", f2(r), f3(v))
 		if r == 0.25 {
 			at25 = v

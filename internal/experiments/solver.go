@@ -235,18 +235,19 @@ func Runners() []Runner {
 		{"fig21", Fig21CostModel},
 		{"tabH", SearchTime},
 		{"strategies", Strategies},
+		{"fault", FaultResilience},
 		{"dls-quality", func(bool) (*Table, error) { return DLSQuality() }},
 	}
 }
 
 // allRunners is the subset All regenerates (everything but the
-// internal validation tables — "strategies" is an on-demand
-// optimizer-axis comparison, not a paper artefact), selected by id so
-// registry order can change freely.
+// internal validation tables — "strategies" and "fault" are on-demand
+// axis comparisons, not paper artefacts), selected by id so registry
+// order can change freely.
 func allRunners() []Runner {
 	var out []Runner
 	for _, r := range Runners() {
-		if r.ID != "dls-quality" && r.ID != "strategies" {
+		if r.ID != "dls-quality" && r.ID != "strategies" && r.ID != "fault" {
 			out = append(out, r)
 		}
 	}

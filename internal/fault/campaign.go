@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"temp/internal/cost"
+	"temp/internal/engine"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// TrialSeed derives the RNG seed of one Monte Carlo trial from the
+// campaign seed and the trial's grid coordinates (splitmix64
+// finalizer). Every trial owns an independent seeded RNG, so the
+// campaign is bit-identical at any worker count and any evaluation
+// order — unlike a single RNG streamed across trials, where
+// parallelism would reorder the draws.
+func TrialSeed(seed int64, cell, trial int) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15*uint64(cell+1) ^ 0xbf58476d1ce4e5b9*uint64(trial+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z &^ (1 << 63))
+}
+
+// Campaign is a deterministic Monte Carlo fault campaign: a
+// LinkRate × CoreRate grid of injections, each cell sampled over
+// Trials seeded masks, fanned through the engine worker pool. The
+// output survivability curves answer the §VIII-F question at scale:
+// at which fault rates does this mapping stop being functional, and
+// how much throughput does the adaptive tolerance retain on the way
+// down.
+type Campaign struct {
+	Model   model.Config
+	Wafer   hw.Wafer
+	Config  parallel.Config
+	Opts    cost.Options
+	Backend string
+	// LinkRates × CoreRates is the injection grid (defaults:
+	// DefaultLinkRates × DefaultCoreRates).
+	LinkRates []float64
+	CoreRates []float64
+	// CoresPerDie sizes the per-die core array (default 64).
+	CoresPerDie int
+	// Trials is the Monte Carlo sample count per cell (default 8).
+	Trials int
+	// Seed drives every trial's mask via TrialSeed (default 42).
+	Seed int64
+	// Workers bounds the fan-out (0 = GOMAXPROCS). Results are
+	// bit-identical at any worker count.
+	Workers int
+}
+
+// Default campaign grid: the Fig. 20 sweep region, crossed.
+var (
+	DefaultLinkRates = []float64{0, 0.1, 0.2, 0.3, 0.4}
+	DefaultCoreRates = []float64{0, 0.1, 0.2}
+)
+
+// CellStats is the survivability summary of one (LinkRate, CoreRate)
+// grid cell.
+type CellStats struct {
+	LinkRate float64 `json:"link_rate"`
+	CoreRate float64 `json:"core_rate"`
+	// FunctionalRate is the fraction of trials whose degraded fabric
+	// still placed and priced the configuration.
+	FunctionalRate float64 `json:"functional_rate"`
+	// MeanNorm / P5Norm / MinNorm summarize normalized throughput
+	// across trials (non-functional trials count as zero). P5Norm is
+	// the lower 5th percentile (floor-indexed order statistic).
+	MeanNorm float64 `json:"mean_norm"`
+	P5Norm   float64 `json:"p5_norm"`
+	MinNorm  float64 `json:"min_norm"`
+}
+
+// CampaignResult is the JSON-serializable campaign output.
+type CampaignResult struct {
+	Model   string `json:"model"`
+	Wafer   string `json:"wafer"`
+	Config  string `json:"config"`
+	Backend string `json:"backend"`
+	Trials  int    `json:"trials"`
+	Seed    int64  `json:"seed"`
+	// BaselineTokens is the fault-free throughput every norm is
+	// relative to.
+	BaselineTokens float64 `json:"baseline_tokens_per_sec"`
+	// Cells are the grid cells in link-major order.
+	Cells []CellStats `json:"cells"`
+}
+
+// Run executes the campaign. Deterministic: per-trial RNGs are seeded
+// by TrialSeed and every trial writes its own result slot, so any
+// worker count produces bit-identical output.
+func (c Campaign) Run() (CampaignResult, error) {
+	trials := c.Trials
+	if trials <= 0 {
+		trials = 8
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	links := c.LinkRates
+	if len(links) == 0 {
+		links = DefaultLinkRates
+	}
+	cores := c.CoreRates
+	if len(cores) == 0 {
+		cores = DefaultCoreRates
+	}
+	for _, r := range append(append([]float64(nil), links...), cores...) {
+		if r < 0 || r > 1 {
+			return CampaignResult{}, fmt.Errorf("fault: campaign rate %v outside [0,1]", r)
+		}
+	}
+	base, err := cost.EvaluateWith(c.Backend, c.Model, c.Wafer, c.Config, c.Opts)
+	if err != nil {
+		return CampaignResult{}, fmt.Errorf("fault: campaign baseline: %w", err)
+	}
+	if base.ThroughputTokens <= 0 {
+		return CampaignResult{}, fmt.Errorf("fault: campaign baseline throughput is not positive")
+	}
+
+	type cell struct{ link, core float64 }
+	var cells []cell
+	for _, lr := range links {
+		for _, cr := range cores {
+			cells = append(cells, cell{lr, cr})
+		}
+	}
+	n := len(cells) * trials
+	norms := make([]float64, n)
+	functional := make([]bool, n)
+	engine.ForEach(c.Workers, n, func(i int) {
+		ci, ti := i/trials, i%trials
+		in := Injection{
+			LinkRate:    cells[ci].link,
+			CoreRate:    cells[ci].core,
+			CoresPerDie: c.CoresPerDie,
+		}
+		rng := rand.New(rand.NewSource(TrialSeed(seed, ci, ti)))
+		out := EvaluateWith(c.Backend, c.Model, c.Wafer, c.Config, c.Opts, in, rng)
+		if out.Functional {
+			norms[i] = out.Breakdown.ThroughputTokens / base.ThroughputTokens
+			functional[i] = true
+		}
+	})
+
+	backend := cost.CanonicalBackendKey(c.Backend)
+	if backend == "" {
+		backend = "analytic"
+	}
+	res := CampaignResult{
+		Model: c.Model.Name, Wafer: c.Wafer.Name, Config: c.Config.Normalize().String(),
+		Backend: backend, Trials: trials, Seed: seed,
+		BaselineTokens: base.ThroughputTokens,
+	}
+	sorted := make([]float64, trials)
+	for ci, cl := range cells {
+		st := CellStats{LinkRate: cl.link, CoreRate: cl.core}
+		var sum float64
+		fn := 0
+		for ti := 0; ti < trials; ti++ {
+			v := norms[ci*trials+ti]
+			sum += v
+			sorted[ti] = v
+			if functional[ci*trials+ti] {
+				fn++
+			}
+		}
+		sort.Float64s(sorted)
+		st.FunctionalRate = float64(fn) / float64(trials)
+		st.MeanNorm = sum / float64(trials)
+		st.P5Norm = sorted[(trials-1)*5/100]
+		st.MinNorm = sorted[0]
+		res.Cells = append(res.Cells, st)
+	}
+	return res, nil
+}

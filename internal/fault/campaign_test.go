@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"reflect"
+	"testing"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testCampaign is the pinned campaign the invariance and golden tests
+// share: one paper model on the evaluation wafer, a small grid.
+func testCampaign() Campaign {
+	return Campaign{
+		Model:     model.GPT3_6_7B(),
+		Wafer:     hw.EvaluationWafer(),
+		Config:    parallel.Config{DP: 4, TATP: 8},
+		Opts:      cost.TEMPOptions(),
+		LinkRates: []float64{0, 0.1, 0.2},
+		CoreRates: []float64{0, 0.1},
+		Trials:    4,
+		Seed:      42,
+	}
+}
+
+// TestCampaignWorkerInvariance pins the determinism contract: the
+// campaign is bit-identical at any worker count (per-trial seeded
+// RNGs, index-addressed result slots).
+func TestCampaignWorkerInvariance(t *testing.T) {
+	var ref CampaignResult
+	for i, workers := range []int{1, 4, 16} {
+		c := testCampaign()
+		c.Workers = workers
+		got, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d campaign diverges from workers=1:\n got %+v\nwant %+v", workers, got, ref)
+		}
+	}
+}
+
+// TestCampaignGolden pins the survivability curve of the test campaign
+// against testdata/campaign_golden.json (regenerate with -update).
+func TestCampaignGolden(t *testing.T) {
+	got, err := testCampaign().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/campaign_golden.json"
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	var want CampaignResult
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("campaign diverged from golden curve:\n got %+v\nwant %+v\n(run with -update if the change is intended)", got, want)
+	}
+}
+
+func TestCampaignRejectsBadRate(t *testing.T) {
+	c := testCampaign()
+	c.LinkRates = []float64{1.5}
+	if _, err := c.Run(); err == nil {
+		t.Error("link rate 1.5 accepted")
+	}
+	c = testCampaign()
+	c.CoreRates = []float64{-0.1}
+	if _, err := c.Run(); err == nil {
+		t.Error("core rate -0.1 accepted")
+	}
+}
+
+func TestNormalizedThroughputRejectsNonPositiveTrials(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	cfg := parallel.Config{DP: 4, TATP: 8}
+	for _, trials := range []int{0, -3} {
+		v, err := NormalizedThroughput(m, w, cfg, cost.TEMPOptions(),
+			Injection{LinkRate: 0.1}, trials, 1)
+		if err == nil {
+			t.Errorf("trials=%d accepted", trials)
+		}
+		if v != 0 {
+			t.Errorf("trials=%d returned %v, want 0", trials, v)
+		}
+	}
+}
+
+// TestTrialSeedDecorrelated spot-checks that trial seeds differ across
+// cells and trials (the campaign's per-trial RNG independence).
+func TestTrialSeedDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for cell := 0; cell < 8; cell++ {
+		for trial := 0; trial < 8; trial++ {
+			s := TrialSeed(42, cell, trial)
+			if s < 0 {
+				t.Fatalf("negative trial seed %d", s)
+			}
+			if seen[s] {
+				t.Fatalf("duplicate trial seed %d at cell %d trial %d", s, cell, trial)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package fault
 
 import (
+	"fmt"
 	"math/rand"
 
 	"temp/internal/cost"
@@ -35,20 +36,21 @@ func (in Injection) Active() bool {
 
 // Apply injects faults into a topology using the given source of
 // randomness. Link bundles (both directions) fail together.
+//
+// Bundles are visited over the dense canonical link index: IDs ascend
+// in (From, To) order, so keeping only l.From < l.To walks each bundle
+// exactly once — the canonical order gives dedup for free, with no
+// per-trial map. The visit order matches the historical first-
+// occurrence order of Links(), so seeded masks are unchanged.
 func (in Injection) Apply(t *mesh.Topology, rng *rand.Rand) {
 	if in.LinkRate > 0 {
-		seen := map[mesh.Link]bool{}
-		for _, l := range t.Links() {
-			key := l
-			if l.To < l.From {
-				key = mesh.Link{From: l.To, To: l.From}
-			}
-			if seen[key] {
+		for id := 0; id < t.NumLinks(); id++ {
+			l := t.LinkByID(id)
+			if l.From > l.To {
 				continue
 			}
-			seen[key] = true
 			if rng.Float64() < in.LinkRate {
-				t.SetLinkAlive(key, false)
+				t.SetLinkAlive(l, false)
 			}
 		}
 	}
@@ -84,11 +86,12 @@ type Report struct {
 	Connected bool
 }
 
-// Localize scans a topology for faults (step 1 of Fig. 20(a)).
+// Localize scans a topology for faults (step 1 of Fig. 20(a)). The
+// dense link index spans the pristine mesh regardless of the fault
+// mask, so dead bundles are counted with a plain walk over canonical
+// IDs — no dedup map and no pristine-mesh rebuild.
 func Localize(t *mesh.Topology) Report {
 	r := Report{Connected: t.Connected()}
-	seen := map[mesh.Link]bool{}
-	total := 0
 	for d := 0; d < t.Dies(); d++ {
 		id := mesh.DieID(d)
 		if !t.DieAlive(id) {
@@ -101,19 +104,12 @@ func Localize(t *mesh.Topology) Report {
 	if alive > 0 {
 		r.MeanCapacity /= float64(alive)
 	}
-	// Count dead bundles against the pristine mesh.
-	pristine := mesh.Shared(t.Rows(), t.Cols(), t.LinkParams())
-	for _, l := range pristine.Links() {
-		key := l
-		if l.To < l.From {
-			key = mesh.Link{From: l.To, To: l.From}
-		}
-		if seen[key] {
+	for id := 0; id < t.NumLinks(); id++ {
+		l := t.LinkByID(id)
+		if l.From > l.To {
 			continue
 		}
-		seen[key] = true
-		total++
-		if !t.LinkAlive(key) {
+		if !t.LinkAlive(l) {
 			r.DeadLinks++
 		}
 	}
@@ -149,9 +145,25 @@ func EvaluateWith(backend string, m model.Config, w hw.Wafer, cfg parallel.Confi
 	in.Apply(topo, rng)
 	topo = topo.Intern()
 	rep := Localize(topo)
-	if !rep.Connected || rep.DeadDies > 0 && !topo.Connected() {
+	// Report.Connected is t.Connected(): one explicit functional check.
+	if !rep.Connected {
 		return Outcome{Report: rep}
 	}
+	b, ok := priceDegraded(backend, m, w, cfg, o, topo)
+	if !ok {
+		return Outcome{Report: rep}
+	}
+	return Outcome{Report: rep, Breakdown: b, Functional: true}
+}
+
+// priceDegraded places cfg on an already-degraded (and connected)
+// topology and prices it at the backend tier with TEMP's adaptive
+// re-partitioning enabled. ok is false when the configuration cannot
+// be placed or priced on the surviving fabric — the shared functional
+// check behind Evaluate, the repair solver, the campaign harness and
+// the worst-case mask search.
+func priceDegraded(backend string, m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options,
+	topo *mesh.Topology) (cost.Breakdown, bool) {
 	o.AdaptiveRebalance = true
 	var place *parallel.Placement
 	var err error
@@ -161,20 +173,22 @@ func EvaluateWith(backend string, m model.Config, w hw.Wafer, cfg parallel.Confi
 		place, err = parallel.Place(cfg, topo)
 	}
 	if err != nil {
-		return Outcome{Report: rep}
+		return cost.Breakdown{}, false
 	}
 	b, err := cost.EvaluateOnWith(backend, m, w, cfg, o, topo, place)
 	if err != nil {
-		return Outcome{Report: rep}
+		return cost.Breakdown{}, false
 	}
-	return Outcome{Report: rep, Breakdown: b, Functional: true}
+	return b, true
 }
 
 // NormalizedThroughput runs trials at a fault rate and returns mean
 // throughput relative to the fault-free baseline — the y-axis of
-// Fig. 20(b)/(c). Non-functional trials contribute zero.
+// Fig. 20(b)/(c). Non-functional trials contribute zero. A
+// non-positive trial count is a validation error (returned as 0 plus
+// the error, never NaN).
 func NormalizedThroughput(m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options,
-	in Injection, trials int, seed int64) float64 {
+	in Injection, trials int, seed int64) (float64, error) {
 	return NormalizedThroughputWith("", m, w, cfg, o, in, trials, seed)
 }
 
@@ -182,10 +196,16 @@ func NormalizedThroughput(m model.Config, w hw.Wafer, cfg parallel.Config, o cos
 // cost-backend fidelity; baseline and faulted trials price through
 // the same tier, so the normalization stays consistent.
 func NormalizedThroughputWith(backend string, m model.Config, w hw.Wafer, cfg parallel.Config, o cost.Options,
-	in Injection, trials int, seed int64) float64 {
+	in Injection, trials int, seed int64) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("fault: trial count %d is not positive", trials)
+	}
 	base, err := cost.EvaluateWith(backend, m, w, cfg, o)
-	if err != nil || base.ThroughputTokens <= 0 {
-		return 0
+	if err != nil {
+		return 0, err
+	}
+	if base.ThroughputTokens <= 0 {
+		return 0, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var sum float64
@@ -195,5 +215,5 @@ func NormalizedThroughputWith(backend string, m model.Config, w hw.Wafer, cfg pa
 			sum += out.Breakdown.ThroughputTokens / base.ThroughputTokens
 		}
 	}
-	return sum / float64(trials)
+	return sum / float64(trials), nil
 }

@@ -70,8 +70,11 @@ func TestCoreFaultsDegradeGracefully(t *testing.T) {
 	m := model.GPT3_6_7B()
 	w := hw.EvaluationWafer()
 	cfg := parallel.Config{DP: 4, TATP: 8}
-	v := NormalizedThroughput(m, w, cfg, cost.TEMPOptions(),
+	v, err := NormalizedThroughput(m, w, cfg, cost.TEMPOptions(),
 		Injection{CoreRate: 0.25, CoresPerDie: 64}, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if v < 0.6 || v > 0.9 {
 		t.Errorf("throughput at 25%% core faults = %.2f, want ~0.7–0.8 (paper ~0.8)", v)
 	}
@@ -84,8 +87,14 @@ func TestLinkFaultCliff(t *testing.T) {
 	w := hw.EvaluationWafer()
 	cfg := parallel.Config{DP: 4, TATP: 8}
 	o := cost.TEMPOptions()
-	low := NormalizedThroughput(m, w, cfg, o, Injection{LinkRate: 0.1}, 6, 11)
-	high := NormalizedThroughput(m, w, cfg, o, Injection{LinkRate: 0.6}, 6, 12)
+	low, err := NormalizedThroughput(m, w, cfg, o, Injection{LinkRate: 0.1}, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := NormalizedThroughput(m, w, cfg, o, Injection{LinkRate: 0.6}, 6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if low < 0.5 {
 		t.Errorf("10%% link faults already collapse throughput: %.2f", low)
 	}

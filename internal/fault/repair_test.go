@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"testing"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/solver"
+)
+
+// TestRepairBeatsReprice pins the PR's acceptance scenario: on a
+// seeded link-fault mask that leaves the fabric connected, the
+// warm-started repair search recovers strictly more normalized
+// throughput than re-pricing the pre-fault mapping, within a bounded
+// evaluation budget.
+func TestRepairBeatsReprice(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	pre := parallel.Config{DP: 2, TATP: 16}
+	const maxEvals = 2000
+	rec, err := RepairInjected(m, w, pre, cost.TEMPOptions(),
+		Injection{LinkRate: 0.15}, 3,
+		RepairOptions{Budget: solver.Budget{MaxEvals: maxEvals}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Functional {
+		t.Fatal("pinned mask left the fabric non-functional")
+	}
+	if rec.RepriceNorm <= 0 {
+		t.Fatalf("re-price norm %v, want > 0", rec.RepriceNorm)
+	}
+	if rec.RepairedNorm <= rec.RepriceNorm {
+		t.Errorf("repair %.4f does not strictly beat re-price %.4f",
+			rec.RepairedNorm, rec.RepriceNorm)
+	}
+	// Strategies check the budget between move batches, so allow the
+	// one-eval overshoot hillclimb exhibits at some budgets.
+	if rec.WarmEvals <= 0 || rec.WarmEvals > maxEvals+1 {
+		t.Errorf("warm search used %d evals, want (0, %d]", rec.WarmEvals, maxEvals+1)
+	}
+	if rec.Report.DeadLinks == 0 {
+		t.Error("pinned mask killed no links")
+	}
+}
+
+// TestRepairNeverBelowReprice: the pre-fault configuration is always a
+// verification candidate, so repair can never report a worse recovery
+// than keeping the old mapping — even when the search finds nothing.
+func TestRepairNeverBelowReprice(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	pre := parallel.Config{DP: 8, TATP: 4} // robust mapping: repair rarely improves it
+	rec, err := RepairInjected(m, w, pre, cost.TEMPOptions(),
+		Injection{LinkRate: 0.1}, 5,
+		RepairOptions{Budget: solver.Budget{MaxEvals: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RepairedNorm < rec.RepriceNorm {
+		t.Errorf("repaired %.4f below re-price %.4f", rec.RepairedNorm, rec.RepriceNorm)
+	}
+}
+
+// TestRepairDisconnectedMask: a mask that partitions the fabric ends
+// repair early with zero recovery and zero search effort.
+func TestRepairDisconnectedMask(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	rec, err := RepairInjected(m, w, parallel.Config{DP: 4, TATP: 8}, cost.TEMPOptions(),
+		Injection{LinkRate: 0.3}, 42, RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Report.Connected {
+		t.Skip("seed 42 @ 30% no longer disconnects; repick the seed")
+	}
+	if rec.Functional || rec.RepairedNorm != 0 || rec.RepriceNorm != 0 || rec.WarmEvals != 0 {
+		t.Errorf("disconnected repair should be a zero recovery: %+v", rec)
+	}
+}
+
+// TestRepairDeterministic: same seed, same recovery (wall-clock aside).
+func TestRepairDeterministic(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	pre := parallel.Config{DP: 2, TATP: 16}
+	run := func() Recovery {
+		rec, err := RepairInjected(m, w, pre, cost.TEMPOptions(),
+			Injection{LinkRate: 0.15}, 3,
+			RepairOptions{Budget: solver.Budget{MaxEvals: 500}, Cold: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	a, b := run(), run()
+	if a.RepairedNorm != b.RepairedNorm || a.RepairedConfig != b.RepairedConfig ||
+		a.RepriceNorm != b.RepriceNorm || a.ColdNorm != b.ColdNorm ||
+		a.WarmEvals != b.WarmEvals || a.ColdEvals != b.ColdEvals ||
+		a.Report != b.Report {
+		t.Errorf("repair not deterministic:\n a %+v\n b %+v", a, b)
+	}
+	if a.ColdEvals <= 0 {
+		t.Error("Cold option ran no cold re-solve")
+	}
+}
+
+// TestUniformAssignmentRoundTrip covers the warm-start bridge: a
+// uniform pre-fault mapping resolves to its space index and back.
+func TestUniformAssignmentRoundTrip(t *testing.T) {
+	space := parallel.EnumerateConfigs(32, true, 0)
+	pre := parallel.Config{DP: 2, TATP: 16}
+	a, ok := solver.UniformAssignment(space, pre, 13)
+	if !ok {
+		t.Fatalf("config %s not found in its own space", pre)
+	}
+	if len(a) != 13 {
+		t.Fatalf("assignment length %d, want 13", len(a))
+	}
+	for _, c := range a {
+		if c != a[0] {
+			t.Fatal("assignment not uniform")
+		}
+	}
+	if got := space[a[0]].Normalize(); got != pre.Normalize() {
+		t.Errorf("assignment decodes to %s, want %s", got, pre.Normalize())
+	}
+	if _, ok := solver.UniformAssignment(space, parallel.Config{DP: 3}, 13); ok {
+		t.Error("degree-3 config resolved in a 32-die space")
+	}
+}

@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"testing"
+
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+	"temp/internal/solver"
+)
+
+func TestRobustModelEnsemble(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	base := &solver.Analytic{W: w, M: m}
+	rm, err := NewRobustModel(base, m, w, Injection{LinkRate: 0.1}, 3, 99, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Masks() < 1 || rm.Masks() > 3 {
+		t.Fatalf("ensemble size %d, want 1..3", rm.Masks())
+	}
+	g := model.BlockGraph(m)
+	op := g.Ops[0]
+	cfg := parallel.Config{DP: 4, TATP: 8}
+	v := rm.Intra(op, cfg)
+	if v <= 0 {
+		t.Errorf("robust intra %v, want > 0", v)
+	}
+	if rm.MemoryOK(cfg) != base.MemoryOK(cfg) {
+		t.Error("robust feasibility diverges from the fault-free model")
+	}
+
+	// Deterministic: same seed rebuilds the identical ensemble.
+	rm2, err := NewRobustModel(base, m, w, Injection{LinkRate: 0.1}, 3, 99, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm2.Masks() != rm.Masks() || rm2.Intra(op, cfg) != v {
+		t.Error("robust model not deterministic across construction")
+	}
+	if len(g.Ops) > 1 {
+		if rm.Inter(g.Ops[0], g.Ops[1], cfg, cfg) != rm2.Inter(g.Ops[0], g.Ops[1], cfg, cfg) {
+			t.Error("robust inter cost not deterministic")
+		}
+	}
+}
+
+func TestRobustModelRejectsBadArgs(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	base := &solver.Analytic{W: w, M: m}
+	if _, err := NewRobustModel(base, m, w, Injection{}, 3, 99, 0.5); err == nil {
+		t.Error("inactive injection accepted")
+	}
+	if _, err := NewRobustModel(base, m, w, Injection{LinkRate: 0.1}, 3, 99, 1.5); err == nil {
+		t.Error("weight 1.5 accepted")
+	}
+	if _, err := NewRobustModel(base, m, w, Injection{LinkRate: 0.1}, 3, 99, -0.5); err == nil {
+		t.Error("weight -0.5 accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// TestMaskSearchAdversarialBound: the searched mask is deterministic,
+// does real damage (norm < 1), and is at least as damaging as the mean
+// over random masks of the same size — the adversarial-vs-sampling
+// bound the subsystem exists to provide.
+func TestMaskSearchAdversarialBound(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	cfg := parallel.Config{DP: 4, TATP: 8}
+	o := cost.TEMPOptions()
+	s := MaskSearch{K: 2, Seed: 7}
+	wc, err := s.Run(m, w, cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(wc.Links) + len(wc.Dies); got != 2 {
+		t.Fatalf("mask has %d sites, want 2 (%+v)", got, wc)
+	}
+	if wc.Norm <= 0 || wc.Norm >= 1 {
+		t.Errorf("worst 2-link mask norm %v, want in (0,1)", wc.Norm)
+	}
+	if wc.SiteEvals <= 0 || wc.JointEvals <= 0 {
+		t.Errorf("eval accounting empty: %+v", wc)
+	}
+	rnd, err := RandomMaskNorm(m, w, cfg, o, LinkMask, 2, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Norm > rnd+1e-9 {
+		t.Errorf("adversarial mask norm %.4f exceeds random-mask mean %.4f", wc.Norm, rnd)
+	}
+	wc2, err := s.Run(m, w, cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc2.Norm != wc.Norm || !reflect.DeepEqual(wc2.Links, wc.Links) || !reflect.DeepEqual(wc2.Dies, wc.Dies) {
+		t.Errorf("mask search not deterministic:\n a %+v\n b %+v", wc, wc2)
+	}
+}
+
+// TestMaskSearchDieMask: die masks kill whole dies, and a 1-die mask
+// on a 32-die wafer still leaves a functional mapping.
+func TestMaskSearchDieMask(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	wc, err := MaskSearch{K: 1, Kind: DieMask, Seed: 7}.Run(m, w, parallel.Config{DP: 4, TATP: 8}, cost.TEMPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wc.Dies) != 1 || len(wc.Links) != 0 {
+		t.Fatalf("die mask sites: %+v", wc)
+	}
+}
+
+func TestMaskSearchRejectsOversizedMask(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	_, err := MaskSearch{K: 10_000, Seed: 7}.Run(m, w, parallel.Config{DP: 4, TATP: 8}, cost.TEMPOptions())
+	if err == nil {
+		t.Error("10k-site mask on a 4x8 wafer accepted")
+	}
+}
+
+func TestRandomMaskNormRejectsNonPositiveTrials(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	if _, err := RandomMaskNorm(m, w, parallel.Config{DP: 4, TATP: 8}, cost.TEMPOptions(),
+		LinkMask, 2, 0, 7); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}

@@ -565,25 +565,48 @@ func (t *Topology) healthy() bool { return t.deadDies == 0 && t.deadLinks == 0 }
 func (t *Topology) aliveLinks() int { return len(t.links) - t.deadLinks }
 
 // Connected reports whether all alive dies form one connected
-// component over alive links.
+// component over alive links. The BFS runs over dense slices with
+// neighbor coordinates computed inline (no per-die Neighbors slice),
+// keeping fault localization down to two bounded allocations.
 func (t *Topology) Connected() bool {
-	alive := t.AliveDies()
-	if len(alive) == 0 {
-		return false
-	}
-	seen := map[DieID]bool{alive[0]: true}
-	stack := []DieID{alive[0]}
-	for len(stack) > 0 {
-		d := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, n := range t.Neighbors(d) {
-			if !seen[n] {
-				seen[n] = true
-				stack = append(stack, n)
+	n := t.Dies()
+	alive := 0
+	first := -1
+	for i := 0; i < n; i++ {
+		if t.dieAlive[i] {
+			alive++
+			if first < 0 {
+				first = i
 			}
 		}
 	}
-	return len(seen) == len(alive)
+	if alive == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := make([]DieID, 0, n)
+	seen[first] = true
+	stack = append(stack, DieID(first))
+	reached := 1
+	for len(stack) > 0 {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := t.CoordOf(d)
+		cand := [4]Coord{{c.R - 1, c.C}, {c.R + 1, c.C}, {c.R, c.C - 1}, {c.R, c.C + 1}}
+		for _, nc := range cand {
+			if !t.InBounds(nc) {
+				continue
+			}
+			nb := t.ID(nc)
+			if seen[nb] || !t.dieAlive[nb] || !t.LinkAlive(Link{d, nb}) {
+				continue
+			}
+			seen[nb] = true
+			reached++
+			stack = append(stack, nb)
+		}
+	}
+	return reached == alive
 }
 
 // Rect is an axis-aligned block of dies [R0,R1]×[C0,C1], inclusive.

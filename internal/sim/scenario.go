@@ -79,6 +79,9 @@ type SolverOutcome struct {
 	Share    float64
 	// Assignment is the per-operator strategy-space assignment.
 	Assignment solver.Assignment
+	// RobustMasks is the fault-mask ensemble size when the stage ran
+	// with the robust objective (0 otherwise).
+	RobustMasks int
 }
 
 // ScenarioResult pairs one scenario with its outcome. Err is set when
@@ -92,7 +95,12 @@ type ScenarioResult struct {
 	Faulted       bool
 	// Solver is the optional search-stage outcome.
 	Solver *SolverOutcome
-	Err    error
+	// Recovery is the optional repair-stage record (FaultSpec.Repair).
+	Recovery *fault.Recovery
+	// Campaign is the optional survivability grid
+	// (FaultSpec.Campaign).
+	Campaign *fault.CampaignResult
+	Err      error
 }
 
 // runSolverStage runs a scenario's search stage: the registered
@@ -124,6 +132,16 @@ func runSolverStage(sc spec.Scenario) (*SolverOutcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: scenario %q solver stage: %w", sc.Name, err)
 	}
+	robustMasks := 0
+	if rs := sc.Solver.Robust; rs != nil {
+		rm, err := fault.NewRobustModel(cm, sc.Model, sc.Wafer,
+			rs.Injection(), rs.Masks, rs.RandSeed(), rs.FaultWeight)
+		if err != nil {
+			return nil, fmt.Errorf("sim: scenario %q solver stage: %w", sc.Name, err)
+		}
+		cm = rm
+		robustMasks = rm.Masks()
+	}
 	p := solver.Problem{Graph: g, Space: space, Model: cm, Screen: screen}
 	b := sc.Solver.Budget
 	if b.Workers == 0 {
@@ -143,6 +161,7 @@ func runSolverStage(sc spec.Scenario) (*SolverOutcome, error) {
 		Evaluations: stats.Evaluations, ScreenEvaluations: stats.ScreenEvaluations,
 		Elapsed: stats.Elapsed,
 		Share:   share, Assignment: a,
+		RobustMasks: robustMasks,
 	}
 	if len(space) > 0 {
 		out.Dominant = space[idx]
@@ -167,9 +186,6 @@ func runOne(sc spec.Scenario) ScenarioResult {
 		CoreRate:    sc.Fault.CoreRate,
 		CoresPerDie: sc.Fault.CoresPerDie,
 	}
-	if !in.Active() {
-		return out
-	}
 	opts := sc.System.Opts
 	if sc.Wafers > 1 {
 		opts.Wafers = sc.Wafers
@@ -178,9 +194,48 @@ func runOne(sc spec.Scenario) ScenarioResult {
 	if sc.Cost != nil {
 		backendKey = sc.Cost.Key
 	}
-	out.FaultNormTput = fault.NormalizedThroughputWith(backendKey, sc.Model, sc.Wafer, r.Config, opts,
-		in, sc.Fault.TrialCount(), sc.Fault.RandSeed())
-	out.Faulted = true
+	if in.Active() {
+		out.FaultNormTput, out.Err = fault.NormalizedThroughputWith(backendKey, sc.Model, sc.Wafer, r.Config, opts,
+			in, sc.Fault.TrialCount(), sc.Fault.RandSeed())
+		if out.Err != nil {
+			return out
+		}
+		out.Faulted = true
+		if sc.Fault.Repair != nil {
+			ro, err := sc.Fault.Repair.Options()
+			if err == nil {
+				ro.Backend = backendKey
+				if ro.Budget.Workers == 0 {
+					ro.Budget.Workers = engine.Workers()
+				}
+				var rec fault.Recovery
+				rec, err = fault.RepairInjected(sc.Model, sc.Wafer, r.Config, opts,
+					in, sc.Fault.RandSeed(), ro)
+				if err == nil {
+					out.Recovery = &rec
+				}
+			}
+			if err != nil {
+				out.Err = err
+				return out
+			}
+		}
+	}
+	if cs := sc.Fault.Campaign; cs != nil {
+		c := fault.Campaign{
+			Model: sc.Model, Wafer: sc.Wafer, Config: r.Config, Opts: opts,
+			Backend:   backendKey,
+			LinkRates: cs.LinkRates, CoreRates: cs.CoreRates,
+			CoresPerDie: cs.CoresPerDie, Trials: cs.Trials, Seed: cs.Seed,
+			Workers: engine.Workers(),
+		}
+		cr, err := c.Run()
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		out.Campaign = &cr
+	}
 	return out
 }
 

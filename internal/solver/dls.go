@@ -153,6 +153,25 @@ func Uniform(a Assignment) (int, float64) {
 	return best, float64(bestN) / float64(len(a))
 }
 
+// UniformAssignment builds the assignment that pins every operator to
+// one configuration, locating cfg in the strategy space by normalized
+// equality. ok is false when cfg is not in the space. This is how a
+// whole-model mapping (a scenario's winning configuration) becomes a
+// Budget.Resume warm start for repair solving on a degraded fabric.
+func UniformAssignment(space []parallel.Config, cfg parallel.Config, ops int) (Assignment, bool) {
+	cfg = cfg.Normalize()
+	for i, c := range space {
+		if c.Normalize() == cfg {
+			a := make(Assignment, ops)
+			for j := range a {
+				a[j] = i
+			}
+			return a, true
+		}
+	}
+	return nil, false
+}
+
 // String renders an assignment compactly.
 func (a Assignment) String() string {
 	return fmt.Sprintf("%v", []int(a))

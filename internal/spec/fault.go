@@ -1,0 +1,148 @@
+package spec
+
+import (
+	"fmt"
+
+	"temp/internal/fault"
+	"temp/internal/solver"
+)
+
+// RepairSpec adds the degradation-aware repair stage to a scenario's
+// fault injection: after the fault stage re-prices the winning
+// configuration, one seeded mask is localized and re-solved on the
+// degraded fabric (warm-started from the pre-fault mapping) and the
+// Recovery record is reported alongside the survivability numbers.
+type RepairSpec struct {
+	// Strategy is the registered repair search strategy (default
+	// "hillclimb").
+	Strategy string `json:"strategy,omitempty"`
+	// Seed drives the strategy's randomness; shorthand for
+	// params["seed"] (the explicit param wins).
+	Seed int64 `json:"seed,omitempty"`
+	// Params are strategy tuning knobs by name.
+	Params map[string]float64 `json:"params,omitempty"`
+	// Budget bounds the repair search (default: a
+	// fault.DefaultRepairEvals evaluation cap).
+	Budget *BudgetSpec `json:"budget,omitempty"`
+	// VerifyTop caps the exactly re-priced candidate configurations
+	// (default 4).
+	VerifyTop int `json:"verify_top,omitempty"`
+	// Cold additionally runs the cold re-solve comparison.
+	Cold bool `json:"cold,omitempty"`
+}
+
+// Options resolves the spec into repair options, validating the
+// strategy name and params against the solver registry.
+func (s RepairSpec) Options() (fault.RepairOptions, error) {
+	if s.VerifyTop < 0 {
+		return fault.RepairOptions{}, fmt.Errorf("spec: repair verify_top %d is negative", s.VerifyTop)
+	}
+	params := solver.Params{}
+	for k, v := range s.Params {
+		params[k] = v
+	}
+	if s.Seed != 0 {
+		if _, ok := params["seed"]; !ok {
+			params["seed"] = float64(s.Seed)
+		}
+	}
+	name := s.Strategy
+	if name == "" {
+		name = "hillclimb"
+	}
+	if _, err := solver.NewStrategy(name, params); err != nil {
+		return fault.RepairOptions{}, fmt.Errorf("spec: repair: %w", err)
+	}
+	ro := fault.RepairOptions{
+		Strategy:  name,
+		Params:    params,
+		VerifyTop: s.VerifyTop,
+		Cold:      s.Cold,
+	}
+	if s.Budget != nil {
+		b, err := s.Budget.Budget()
+		if err != nil {
+			return fault.RepairOptions{}, err
+		}
+		ro.Budget = b
+	}
+	return ro, nil
+}
+
+// CampaignSpec adds a deterministic Monte Carlo fault campaign to a
+// scenario's fault stage: the winning configuration is swept over a
+// LinkRate × CoreRate grid and the survivability curves (functional
+// rate, mean/P5 normalized throughput) are reported as JSON.
+type CampaignSpec struct {
+	// LinkRates × CoreRates is the injection grid; empty axes use the
+	// fault package defaults.
+	LinkRates []float64 `json:"link_rates,omitempty"`
+	CoreRates []float64 `json:"core_rates,omitempty"`
+	// CoresPerDie sizes the per-die core array (default 64).
+	CoresPerDie int `json:"cores_per_die,omitempty"`
+	// Trials is the Monte Carlo sample count per cell (default 8).
+	Trials int `json:"trials,omitempty"`
+	// Seed drives every trial's mask (default 42).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Validate reports structural problems with the spec.
+func (s CampaignSpec) Validate() error {
+	for _, r := range append(append([]float64(nil), s.LinkRates...), s.CoreRates...) {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("spec: campaign rate %v outside [0,1]", r)
+		}
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("spec: campaign trials %d is negative", s.Trials)
+	}
+	return nil
+}
+
+// RobustSpec selects the robust solver objective: expected cost over
+// a small ensemble of seeded fault masks, so the search trades a
+// small fault-free premium for graceful degradation.
+type RobustSpec struct {
+	// Masks is the ensemble size (default 4).
+	Masks int `json:"masks,omitempty"`
+	// LinkRate/CoreRate/CoresPerDie describe the mask distribution; at
+	// least one rate must be positive.
+	LinkRate    float64 `json:"link_rate,omitempty"`
+	CoreRate    float64 `json:"core_rate,omitempty"`
+	CoresPerDie int     `json:"cores_per_die,omitempty"`
+	// Seed draws the ensemble deterministically (default 42).
+	Seed int64 `json:"seed,omitempty"`
+	// FaultWeight is the probability mass on the faulted side of the
+	// objective, in [0,1] (default 0.5).
+	FaultWeight float64 `json:"fault_weight,omitempty"`
+}
+
+// Validate reports structural problems with the spec.
+func (s RobustSpec) Validate() error {
+	if s.Masks < 0 {
+		return fmt.Errorf("spec: robust masks %d is negative", s.Masks)
+	}
+	if s.LinkRate < 0 || s.LinkRate > 1 || s.CoreRate < 0 || s.CoreRate > 1 {
+		return fmt.Errorf("spec: robust fault rates must lie in [0,1]")
+	}
+	if s.LinkRate == 0 && s.CoreRate == 0 {
+		return fmt.Errorf("spec: robust objective needs link_rate or core_rate > 0")
+	}
+	if s.FaultWeight < 0 || s.FaultWeight > 1 {
+		return fmt.Errorf("spec: robust fault_weight %v outside [0,1]", s.FaultWeight)
+	}
+	return nil
+}
+
+// Injection returns the mask distribution.
+func (s RobustSpec) Injection() fault.Injection {
+	return fault.Injection{LinkRate: s.LinkRate, CoreRate: s.CoreRate, CoresPerDie: s.CoresPerDie}
+}
+
+// RandSeed returns the defaulted ensemble seed.
+func (s RobustSpec) RandSeed() int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return 42
+}

@@ -220,9 +220,21 @@ func (s ScenarioSpec) Resolve() (Scenario, error) {
 		return Scenario{}, fmt.Errorf("scenario %q: wafer %s has %d dies (%dx%d), not a power of two; config sweeps need power-of-two grids (or pin an explicit config)",
 			s.Name, w.Name, dies, w.Rows, w.Cols)
 	}
-	if sc.Fault != nil && (sc.Fault.LinkRate < 0 || sc.Fault.LinkRate > 1 ||
-		sc.Fault.CoreRate < 0 || sc.Fault.CoreRate > 1) {
-		return Scenario{}, fmt.Errorf("scenario %q: fault rates must lie in [0,1]", s.Name)
+	if sc.Fault != nil {
+		if sc.Fault.LinkRate < 0 || sc.Fault.LinkRate > 1 ||
+			sc.Fault.CoreRate < 0 || sc.Fault.CoreRate > 1 {
+			return Scenario{}, fmt.Errorf("scenario %q: fault rates must lie in [0,1]", s.Name)
+		}
+		if sc.Fault.Repair != nil {
+			if _, err := sc.Fault.Repair.Options(); err != nil {
+				return Scenario{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+			}
+		}
+		if sc.Fault.Campaign != nil {
+			if err := sc.Fault.Campaign.Validate(); err != nil {
+				return Scenario{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+			}
+		}
 	}
 	if s.Cost != nil {
 		stage, err := s.Cost.Build()

@@ -61,6 +61,10 @@ type SolverSpec struct {
 	Params map[string]float64 `json:"params,omitempty"`
 	// Budget optionally bounds the search.
 	Budget *BudgetSpec `json:"budget,omitempty"`
+	// Robust selects the robust objective: the search minimizes
+	// expected cost over a seeded fault-mask ensemble instead of the
+	// fault-free cost alone.
+	Robust *RobustSpec `json:"robust,omitempty"`
 }
 
 // StrategyName returns the defaulted strategy name.
@@ -86,6 +90,10 @@ type SolverStage struct {
 	Strategy solver.Strategy
 	Budget   solver.Budget
 	Seed     int64
+	// Robust carries the validated robust-objective block; the
+	// scenario runner builds the ensemble model from it (it needs the
+	// resolved model/wafer pair).
+	Robust *RobustSpec
 }
 
 // Build resolves the spec against the solver's strategy registry.
@@ -108,6 +116,12 @@ func (s SolverSpec) Build() (*SolverStage, error) {
 		if stage.Budget, err = s.Budget.Budget(); err != nil {
 			return nil, err
 		}
+	}
+	if s.Robust != nil {
+		if err := s.Robust.Validate(); err != nil {
+			return nil, err
+		}
+		stage.Robust = s.Robust
 	}
 	return stage, nil
 }

@@ -437,6 +437,13 @@ type FaultSpec struct {
 	Trials int `json:"trials,omitempty"`
 	// Seed fixes the injection randomness (default 42).
 	Seed int64 `json:"seed,omitempty"`
+	// Repair adds the degradation-aware repair stage: one seeded mask
+	// is re-solved on the degraded fabric, warm-started from the
+	// winning configuration.
+	Repair *RepairSpec `json:"repair,omitempty"`
+	// Campaign sweeps the winning configuration over a LinkRate ×
+	// CoreRate survivability grid.
+	Campaign *CampaignSpec `json:"campaign,omitempty"`
 }
 
 // TrialCount returns the defaulted trial count.

@@ -214,16 +214,48 @@ var (
 	SearchStrategyNames = solver.StrategyNames
 )
 
-// Fault tolerance surface (§VIII-F).
+// Fault tolerance surface (§VIII-F): injection/outcome plus the
+// resilience layer — degradation-aware repair, deterministic fault
+// campaigns, worst-case mask search, and the robust solver objective.
 type (
 	FaultInjection = fault.Injection
 	FaultOutcome   = fault.Outcome
+	// FaultRecovery reports a repair run: re-price-only vs repaired
+	// (vs optional cold re-solve) normalized throughput.
+	FaultRecovery = fault.Recovery
+	// FaultRepairOptions tunes the repair search.
+	FaultRepairOptions = fault.RepairOptions
+	// FaultCampaign is a deterministic Monte Carlo survivability grid.
+	FaultCampaign = fault.Campaign
+	// FaultCampaignResult is a campaign's JSON-serializable outcome.
+	FaultCampaignResult = fault.CampaignResult
+	// FaultMaskSearch finds the most damaging K-link/K-die mask.
+	FaultMaskSearch = fault.MaskSearch
+	// FaultWorstCase is a mask search's outcome.
+	FaultWorstCase = fault.WorstCase
+	// RobustCostModel averages a cost model over a fault-mask
+	// ensemble — the robust solver objective.
+	RobustCostModel = fault.RobustModel
+	// RepairSpec/CampaignSpec/RobustSpec serialize the resilience
+	// stages like every other spec.
+	RepairSpec   = spec.RepairSpec
+	CampaignSpec = spec.CampaignSpec
+	RobustSpec   = spec.RobustSpec
 )
 
 // Fault entry points.
 var (
 	EvaluateWithFaults        = fault.Evaluate
 	FaultNormalizedThroughput = fault.NormalizedThroughput
+	// RepairFaults warm-starts a repair search on a degraded topology.
+	RepairFaults = fault.Repair
+	// RepairInjectedFaults draws a seeded mask, then repairs it.
+	RepairInjectedFaults = fault.RepairInjected
+	// NewRobustCostModel builds the robust solver objective.
+	NewRobustCostModel = fault.NewRobustModel
+	// FaultRandomMaskNorm is the random-sampling baseline a worst-case
+	// mask search is compared against.
+	FaultRandomMaskNorm = fault.RandomMaskNorm
 )
 
 // Declarative scenario layer (internal/spec): serializable JSON specs

@@ -59,9 +59,12 @@ func TestPublicExperimentRunner(t *testing.T) {
 }
 
 func TestPublicFaultSurface(t *testing.T) {
-	v := FaultNormalizedThroughput(GPT3_6_7B(), EvaluationWafer(),
+	v, err := FaultNormalizedThroughput(GPT3_6_7B(), EvaluationWafer(),
 		ParallelConfig{DP: 4, TATP: 8}, TEMPOptions(),
 		FaultInjection{CoreRate: 0.1, CoresPerDie: 64}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if v <= 0.5 || v > 1.0 {
 		t.Errorf("normalized throughput at 10%% core faults = %v", v)
 	}
