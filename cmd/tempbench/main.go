@@ -68,8 +68,22 @@ type output struct {
 	Workers      int     `json:"workers"`
 	Backend      string  `json:"backend,omitempty"`
 	TotalSeconds float64 `json:"total_seconds"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
+	// Memory-tier memo counters: hits served from the in-process
+	// cache, misses priced exactly this run. EvalsPerSec is the
+	// candidate-throughput headline — exact cost-model computations
+	// per wall-clock second.
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	// Disk-tier counter: results served from the -memo-dir persistent
+	// memo instead of being re-priced (warm starts drive this to the
+	// cold run's miss count while misses drop to ~0).
+	CacheDiskHits int64 `json:"cache_disk_hits"`
+	// Batched-pricing telemetry: PriceBatch kernel invocations and the
+	// total candidates they priced (BatchedJobs/BatchCalls is the mean
+	// batch size).
+	BatchCalls  int64 `json:"batch_calls"`
+	BatchedJobs int64 `json:"batched_jobs"`
 	// Lowering-cache counters (the memoized collective lowerings the
 	// hot path shares across candidates) ride along so BENCH_*.json
 	// tracks hot-path cache effectiveness across revisions.
@@ -77,6 +91,19 @@ type output struct {
 	LoweringHits      int64    `json:"lowering_hits,omitempty"`
 	LoweringMisses    int64    `json:"lowering_misses,omitempty"`
 	Experiments       []record `json:"experiments"`
+}
+
+// withEngineStats stamps the evaluation-cache counters — memory hits,
+// persistent-memo (disk) hits, exact-pricing misses, batched-kernel
+// telemetry — and derives evals_per_sec from the already-set
+// TotalSeconds.
+func (o output) withEngineStats(s engine.Stats) output {
+	o.CacheHits, o.CacheMisses, o.CacheDiskHits = s.Hits, s.Misses, s.DiskHits
+	o.BatchCalls, o.BatchedJobs = s.BatchCalls, s.BatchedJobs
+	if o.TotalSeconds > 0 {
+		o.EvalsPerSec = float64(s.Misses) / o.TotalSeconds
+	}
+	return o
 }
 
 // withLoweringStats stamps the collective lowering-cache counters.
@@ -342,10 +369,9 @@ func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, overr
 			Workers:      workers,
 			Backend:      rec.Backend,
 			TotalSeconds: time.Since(start).Seconds(),
-			CacheHits:    stats.Hits, CacheMisses: stats.Misses,
-			Experiments: []record{rec},
+			Experiments:  []record{rec},
 		}
-		if err := writeJSON(jsonPath, out.withLoweringStats()); err != nil {
+		if err := writeJSON(jsonPath, out.withEngineStats(stats).withLoweringStats()); err != nil {
 			return err
 		}
 	}
@@ -379,6 +405,8 @@ func main() {
 	listB := flag.Bool("list-backends", false, "list registered cost backends")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	memoDir := flag.String("memo-dir", os.Getenv("TEMPMEMO"),
+		"persist priced results in this directory and warm-start from them (default $TEMPMEMO)")
 	flag.Parse()
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -387,6 +415,14 @@ func main() {
 	}
 	defer stopProfiles()
 	engine.SetWorkers(*workers)
+	if *memoDir != "" {
+		dm, err := engine.AttachDiskMemo(*memoDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", err)
+			os.Exit(1)
+		}
+		defer dm.Close()
+	}
 
 	switch {
 	case *listB:
@@ -498,10 +534,9 @@ func main() {
 			out := output{
 				Quick: *quick, Workers: engine.Workers(), Backend: backendLabel(),
 				TotalSeconds: time.Since(start).Seconds(),
-				CacheHits:    stats.Hits, CacheMisses: stats.Misses,
-				Experiments: []record{toRecord(tab, time.Since(start))},
+				Experiments:  []record{toRecord(tab, time.Since(start))},
 			}
-			if err := writeJSON(*jsonPath, out.withLoweringStats()); err != nil {
+			if err := writeJSON(*jsonPath, out.withEngineStats(stats).withLoweringStats()); err != nil {
 				fmt.Fprintln(os.Stderr, "tempbench:", err)
 				os.Exit(1)
 			}
@@ -519,12 +554,11 @@ func main() {
 		out := output{
 			Quick: *quick, Workers: engine.Workers(), Backend: backendLabel(),
 			TotalSeconds: total.Seconds(),
-			CacheHits:    stats.Hits, CacheMisses: stats.Misses,
 		}
 		for i, t := range tabs {
 			out.Experiments = append(out.Experiments, toRecord(t, durs[i]))
 		}
-		if werr := writeJSON(*jsonPath, out.withLoweringStats()); werr != nil {
+		if werr := writeJSON(*jsonPath, out.withEngineStats(stats).withLoweringStats()); werr != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", werr)
 			os.Exit(1)
 		}

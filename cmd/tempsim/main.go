@@ -236,9 +236,19 @@ func main() {
 		listS     = flag.Bool("list-systems", false, "list registered system names")
 		listSt    = flag.Bool("list-strategies", false, "list registered search strategies")
 		listB     = flag.Bool("list-backends", false, "list registered cost backends")
+		memoDir   = flag.String("memo-dir", os.Getenv("TEMPMEMO"),
+			"persist priced results in this directory and warm-start from them (default $TEMPMEMO)")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
+	if *memoDir != "" {
+		dm, err := engine.AttachDiskMemo(*memoDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempsim:", err)
+			os.Exit(1)
+		}
+		defer dm.Close()
+	}
 
 	switch {
 	case *listB:

@@ -211,6 +211,8 @@ func main() {
 		listW     = flag.Bool("list-wafers", false, "list registered wafer names")
 		listS     = flag.Bool("list-strategies", false, "list registered search strategies")
 		listB     = flag.Bool("list-backends", false, "list registered cost backends")
+		memoDir   = flag.String("memo-dir", os.Getenv("TEMPMEMO"),
+			"persist priced results in this directory and warm-start from them (default $TEMPMEMO)")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
@@ -218,6 +220,13 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "tempsolve:", err)
 		os.Exit(1)
+	}
+	if *memoDir != "" {
+		dm, err := engine.AttachDiskMemo(*memoDir)
+		if err != nil {
+			fail(err)
+		}
+		defer dm.Close()
 	}
 
 	switch {

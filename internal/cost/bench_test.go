@@ -51,3 +51,27 @@ func BenchmarkEvaluateSMap(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPriceBatch measures the batched kernel at the chunk size
+// engine.Sweep feeds it (K=64 candidates per dense link-index walk);
+// cand/s is the per-candidate throughput the sweep path sees.
+func BenchmarkPriceBatch(b *testing.B) {
+	m, w, _, o := benchCase()
+	o.Engine = cost.GMap
+	ab, err := cost.NewBackend("analytic")
+	if err != nil {
+		b.Fatal(err)
+	}
+	be := ab.(cost.BatchBackend)
+	const k = 64
+	cfgs := batchCandidates(w.Dies(), k)
+	out := make([]cost.Breakdown, k)
+	errs := make([]error, k)
+	be.PriceBatch(m, w, cfgs, o, out, errs) // warm caches + pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be.PriceBatch(m, w, cfgs, o, out, errs)
+	}
+	b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
+}

@@ -284,6 +284,13 @@ type evaluator struct {
 
 	linkBytes float64 // Σ flow bytes × hops, for energy/utilization
 	tcmeAgg   tcme.Result
+
+	// seqBuf and collSeq are reusable lowered-sequence scratch for the
+	// stream and collective terms. A nil seqBuf grows on demand (the
+	// scalar path); the batch pricer threads a pooled buffer through so
+	// steady-state candidates allocate nothing.
+	seqBuf  []mesh.LoweredSeq
+	collSeq [1]mesh.LoweredSeq
 }
 
 // needTCME reports whether phases must pass through the TCME
@@ -362,10 +369,17 @@ func evaluate(m model.Config, w hw.Wafer, cfg parallel.Config, o Options, replay
 			}
 		}
 		if !have {
-			return Breakdown{}, fmt.Errorf("cost: no viable placement for %s", cfg)
+			return Breakdown{}, noViablePlacement(cfg)
 		}
 		return best, nil
 	}
+}
+
+// noViablePlacement is the default engine's both-families-failed
+// error, shared by the scalar and batched pricers so their messages
+// cannot drift.
+func noViablePlacement(cfg parallel.Config) error {
+	return fmt.Errorf("cost: no viable placement for %s", cfg)
 }
 
 // EvaluateOn runs the cost model against an existing topology and
@@ -661,7 +675,7 @@ func (ev *evaluator) layerStreamComm(mb int, scale float64, withFSDP bool) float
 		// template entry per op, no materialization on the analytic
 		// path.
 		tmpl := ev.st.streamTemplate()
-		seq := make([]mesh.LoweredSeq, 0, len(ev.graph.Ops))
+		seq := ev.seqBuf[:0]
 		var rounds int
 		for _, op := range ev.graph.Ops {
 			if !op.HasWeight() {
@@ -671,6 +685,7 @@ func (ev *evaluator) layerStreamComm(mb int, scale float64, withFSDP bool) float
 			seq = append(seq, mesh.LoweredSeq{Tmpl: tmpl, Bytes: sub * scale})
 			rounds += cfg.TATP
 		}
+		ev.seqBuf = seq[:0]
 		return ev.evalLowered(seq) + float64(rounds)*streamRoundSync
 	}
 	// FSDP×TATP hybrid: the per-layer weight all-gather rides merged
@@ -786,11 +801,11 @@ func (ev *evaluator) groupCollective(s parallel.Strategy, kind byte, bytes float
 		if kind == collAllReduce || kind == collReduceScatter {
 			perFlow = bytes / float64(ct.n)
 		}
-		seq := []mesh.LoweredSeq{{Tmpl: ct.tmpl, Bytes: perFlow}}
+		ev.collSeq[0] = mesh.LoweredSeq{Tmpl: ct.tmpl, Bytes: perFlow}
 		// Each ring step is a synchronized phase across the group:
 		// charge the same per-phase setup/barrier overhead as stream
 		// rounds.
-		return ev.evalLowered(seq) + float64(ct.tmpl.Phases())*streamRoundSync
+		return ev.evalLowered(ev.collSeq[:]) + float64(ct.tmpl.Phases())*streamRoundSync
 	}
 	var seqs [][]mesh.Phase
 	for _, order := range orders {

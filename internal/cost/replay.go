@@ -50,12 +50,29 @@ func (*replayBackend) PriceOn(m model.Config, w hw.Wafer, cfg parallel.Config, o
 
 // replayPlacement carries the per-configuration lowering state the
 // replay operator model reuses across calls: the placement, the TATP
-// stream orchestrations and the TP group communication orders.
+// stream orchestrations and the TP group communication orders — plus
+// the delta caches of the replayed terms themselves. A configuration's
+// TP collective time depends on nothing but the configuration (the
+// all-reduce payload is per-op-invariant), and its stream time depends
+// only on the streamed sub-tensor size, so a solver mutating one
+// assignment gene re-prices at most one fresh (cfg, sub) pair instead
+// of replaying every phase sequence again.
 type replayPlacement struct {
 	place *parallel.Placement
 	orchs []*stream.Orchestration
 	tp    [][]mesh.DieID
 	err   error
+
+	// mu guards the replayed-term caches below. Holding it across the
+	// replay itself also collapses concurrent duplicate work on one
+	// configuration into a single computation.
+	mu sync.Mutex
+	// coll is the cached TP collective term (collOK marks it set).
+	coll   float64
+	collOK bool
+	// streamT caches the exposed TATP stream term per streamed
+	// sub-tensor byte size.
+	streamT map[float64]float64
 }
 
 // OperatorReplay is the replay backend's per-operator model: the
@@ -163,27 +180,59 @@ func (r *OperatorReplay) Intra(op model.Op, cfg parallel.Config) float64 {
 	var streamT float64
 	if cfg.TATP > 1 && op.HasWeight() && len(pl.orchs) > 0 {
 		_, sub := a.streamedBytes(op, cfg)
-		var seqs [][]mesh.Phase
-		for _, orch := range pl.orchs {
-			seqs = append(seqs, orch.Phases(sub))
-		}
-		streamT = r.replayPhases(collective.Merge(seqs...)) +
-			float64(cfg.TATP)*streamRoundSync
+		streamT = pl.streamTerm(r, cfg, sub)
 	}
 
 	var coll float64
 	if cfg.TP > 1 && op.HasWeight() && len(pl.tp) > 0 {
-		arBytes := a.arBytes(cfg)
-		var seqs [][]mesh.Phase
-		for _, order := range pl.tp {
-			seqs = append(seqs, collective.RingAllReduce(r.topo, order, arBytes))
-		}
-		merged := collective.Merge(seqs...)
-		// Same 0.5 amortization (one AR per two weighted ops) and the
-		// same per-phase sync charge as the full evaluator.
-		coll = 0.5 * (r.replayPhases(merged) + float64(len(merged))*streamRoundSync)
+		coll = pl.collTerm(r, cfg)
 	}
 	return unit.MaxF(comp, streamT) + coll
+}
+
+// streamTerm returns the replayed exposed-stream term of the
+// placement's configuration for one streamed sub-tensor size, caching
+// it: the phase sequence depends only on (placement, sub), so every
+// operator with the same streamed slice shares one replay.
+func (pl *replayPlacement) streamTerm(r *OperatorReplay, cfg parallel.Config, sub float64) float64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if t, ok := pl.streamT[sub]; ok {
+		return t
+	}
+	var seqs [][]mesh.Phase
+	for _, orch := range pl.orchs {
+		seqs = append(seqs, orch.Phases(sub))
+	}
+	t := r.replayPhases(collective.Merge(seqs...)) +
+		float64(cfg.TATP)*streamRoundSync
+	if pl.streamT == nil {
+		pl.streamT = map[float64]float64{}
+	}
+	pl.streamT[sub] = t
+	return t
+}
+
+// collTerm returns the replayed TP collective term, computed once per
+// placement: the all-reduce payload is a function of the configuration
+// alone, so every weighted operator shares one replay.
+func (pl *replayPlacement) collTerm(r *OperatorReplay, cfg parallel.Config) float64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.collOK {
+		return pl.coll
+	}
+	arBytes := r.analytic.arBytes(cfg)
+	var seqs [][]mesh.Phase
+	for _, order := range pl.tp {
+		seqs = append(seqs, collective.RingAllReduce(r.topo, order, arBytes))
+	}
+	merged := collective.Merge(seqs...)
+	// Same 0.5 amortization (one AR per two weighted ops) and the
+	// same per-phase sync charge as the full evaluator.
+	pl.coll = 0.5 * (r.replayPhases(merged) + float64(len(merged))*streamRoundSync)
+	pl.collOK = true
+	return pl.coll
 }
 
 // Inter implements OperatorModel: the structural resharding bytes are

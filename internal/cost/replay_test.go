@@ -1,0 +1,60 @@
+package cost_test
+
+import (
+	"testing"
+
+	"temp/internal/cost"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// TestOperatorReplayDeltaCaches pins the replay operator model's
+// per-placement term caches: re-asking any (op, cfg) pair must return
+// the first answer bit-for-bit, and the answers must not depend on the
+// order the caches were warmed in — a fresh model asked in reverse
+// order produces identical values. This is what makes the replay tier
+// safe under delta evaluation, where a solver re-prices terms in an
+// unpredictable order.
+func TestOperatorReplayDeltaCaches(t *testing.T) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	g := model.BlockGraph(m)
+	cfgs := []parallel.Config{
+		{DP: 2, TP: 2, SP: 2, TATP: 4},
+		{DP: 1, TP: 4, SP: 2, TATP: 4},
+		{DP: 4, TP: 8, SP: 1, TATP: 1},
+		{DP: 1, TP: 2, SP: 1, TATP: 16},
+	}
+
+	r1 := cost.NewOperatorReplay(m, w)
+	type key struct{ op, cfg int }
+	first := map[key]float64{}
+	for ci, cfg := range cfgs {
+		for oi, op := range g.Ops {
+			first[key{oi, ci}] = r1.Intra(op, cfg)
+		}
+	}
+
+	// Second pass on the same model: every term is now cached and must
+	// reproduce the first pass exactly.
+	for ci, cfg := range cfgs {
+		for oi, op := range g.Ops {
+			if got := r1.Intra(op, cfg); got != first[key{oi, ci}] {
+				t.Fatalf("cfg %s op %d: cached Intra %v != first %v", cfg, oi, got, first[key{oi, ci}])
+			}
+		}
+	}
+
+	// Fresh model, reversed warm order: cache population order must not
+	// leak into the values.
+	r2 := cost.NewOperatorReplay(m, w)
+	for ci := len(cfgs) - 1; ci >= 0; ci-- {
+		for oi := len(g.Ops) - 1; oi >= 0; oi-- {
+			if got := r2.Intra(g.Ops[oi], cfgs[ci]); got != first[key{oi, ci}] {
+				t.Fatalf("cfg %s op %d: reverse-order Intra %v != forward %v",
+					cfgs[ci], oi, got, first[key{oi, ci}])
+			}
+		}
+	}
+}

@@ -52,25 +52,80 @@ type Result struct {
 	Err       error
 }
 
-// shardCount shards the cache to keep lock contention off the hot
-// path; must be a power of two.
+// shardCount is the cache's baseline shard count, keeping lock
+// contention off the hot path; must be a power of two. SetWorkers
+// grows the stripe count when the worker bound outstrips it (see
+// shardsFor).
 const shardCount = 64
 
 // Cache is a goroutine-safe sharded memoization cache over
 // cost.Evaluate, built on the shared Memo helper. The cost model is
 // deterministic, so concurrent misses on the same key may compute
 // twice but always store the same value; hit/miss counters track
-// effectiveness.
+// effectiveness. An optional persistent DiskMemo sits under the
+// in-memory memo: in-memory misses probe it before pricing and
+// freshly priced results are appended to it, so repeated runs
+// warm-start with ~zero exact evaluations.
 type Cache struct {
-	memo   *Memo[Job, Result]
-	hits   atomic.Int64
-	misses atomic.Int64
+	memo        *Memo[Job, Result]
+	disk        atomic.Pointer[DiskMemo]
+	hits        atomic.Int64
+	misses      atomic.Int64
+	diskHits    atomic.Int64
+	batchCalls  atomic.Int64
+	batchedJobs atomic.Int64
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{memo: NewMemo[Job, Result](shardCount, jobHash)}
+	return NewCacheSharded(shardCount)
 }
+
+// NewCacheSharded returns an empty cache striped over at least the
+// given shard count.
+func NewCacheSharded(shards int) *Cache {
+	if shards < shardCount {
+		shards = shardCount
+	}
+	return &Cache{memo: NewMemo[Job, Result](shards, jobHash)}
+}
+
+// shardsFor picks the stripe count for a worker bound: the baseline,
+// grown to keep at least four stripes per worker (power of two).
+func shardsFor(workers int) int {
+	n := shardCount
+	for n < 4*workers {
+		n <<= 1
+	}
+	return n
+}
+
+// resharded returns a new cache striped over at least shards stripes
+// with every entry, counter and the disk memo carried over. Callers
+// swap it in atomically (see SetWorkers); evaluations racing with the
+// swap may price against the old cache, which stays correct — the
+// cost model is deterministic — and merely re-prices on first touch
+// of the new cache.
+func (c *Cache) resharded(shards int) *Cache {
+	nc := NewCacheSharded(shards)
+	c.memo.Range(func(k Job, v Result) {
+		nc.memo.Get(k, func() Result { return v })
+	})
+	nc.disk.Store(c.disk.Load())
+	nc.hits.Store(c.hits.Load())
+	nc.misses.Store(c.misses.Load())
+	nc.diskHits.Store(c.diskHits.Load())
+	nc.batchCalls.Store(c.batchCalls.Load())
+	nc.batchedJobs.Store(c.batchedJobs.Load())
+	return nc
+}
+
+// SetDiskMemo attaches (or, with nil, detaches) a persistent memo
+// under the cache.
+func (c *Cache) SetDiskMemo(d *DiskMemo) { c.disk.Store(d) }
+
+// DiskMemo returns the attached persistent memo, or nil.
+func (c *Cache) DiskMemo() *DiskMemo { return c.disk.Load() }
 
 // jobHash mixes the discriminating key fields with FNV-1a. Only
 // shard selection depends on it, so it hashes a representative
@@ -138,26 +193,65 @@ func (c *Cache) Evaluate(j Job) (cost.Breakdown, error) {
 	// internally, so the result is identical.
 	j.Config = j.Config.Normalize()
 	j.Backend = cost.CanonicalBackendKey(j.Backend)
-	r, fresh := c.memo.Get(j, func() Result {
-		return priceJob(j)
-	})
-	if fresh {
-		c.misses.Add(1)
-	} else {
-		c.hits.Add(1)
-	}
+	r, _, _ := c.get(j, func() Result { return priceJob(j) })
 	return r.Breakdown, r.Err
+}
+
+// get serves a normalized job through the memo hierarchy: in-memory
+// memo, then the disk memo (when attached), then price. It maintains
+// the hit/miss/disk counters; price runs at most once per distinct
+// key and its result is persisted.
+func (c *Cache) get(j Job, price func() Result) (r Result, fresh, fromDisk bool) {
+	r, fresh = c.memo.Get(j, func() Result {
+		if d := c.disk.Load(); d != nil {
+			if dr, ok := d.Lookup(j); ok {
+				fromDisk = true
+				return dr
+			}
+		}
+		res := price()
+		if d := c.disk.Load(); d != nil {
+			d.Store(j, res)
+		}
+		return res
+	})
+	switch {
+	case !fresh:
+		c.hits.Add(1)
+	case fromDisk:
+		c.diskHits.Add(1)
+	default:
+		c.misses.Add(1)
+	}
+	return r, fresh, fromDisk
 }
 
 // Stats reports cache effectiveness counters.
 type Stats struct {
-	Hits, Misses int64
-	Entries      int
+	// Hits and Misses count in-memory cache hits and exact (priced)
+	// evaluations; DiskHits counts in-memory misses served from the
+	// persistent memo without pricing.
+	Hits, Misses, DiskHits int64
+	// BatchCalls and BatchedJobs count batched-kernel invocations and
+	// the candidates they covered (Sweep's miss path).
+	BatchCalls, BatchedJobs int64
+	Entries                 int
+	// DiskEntries is the persistent memo's record count (0 when none
+	// is attached).
+	DiskEntries int
 }
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.memo.Len()}
+	s := Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(), DiskHits: c.diskHits.Load(),
+		BatchCalls: c.batchCalls.Load(), BatchedJobs: c.batchedJobs.Load(),
+		Entries: c.memo.Len(),
+	}
+	if d := c.disk.Load(); d != nil {
+		s.DiskEntries = d.Len()
+	}
+	return s
 }
 
 // Pool couples a worker count with a cache. The zero worker count
@@ -219,37 +313,195 @@ func (p *Pool) EvaluateJob(j Job) (cost.Breakdown, error) {
 	return p.evaluate(j)
 }
 
-// evaluate serves a job from the cache, acquiring a worker token
-// only for the miss path (the actual cost-model computation).
-func (p *Pool) evaluate(j Job) (cost.Breakdown, error) {
+// normalize canonicalizes a job for cache keying: equivalent
+// configurations and backend spellings share one entry, and the
+// pool's default backend is resolved in.
+func (p *Pool) normalize(j Job) Job {
 	j.Config = j.Config.Normalize()
 	if j.Backend == "" {
 		j.Backend = p.backend
 	}
 	j.Backend = cost.CanonicalBackendKey(j.Backend)
-	r, fresh := p.cache.memo.Get(j, func() Result {
+	return j
+}
+
+// evaluate serves a job from the cache, acquiring a worker token
+// only for the miss path (the actual cost-model computation).
+func (p *Pool) evaluate(j Job) (cost.Breakdown, error) {
+	j = p.normalize(j)
+	r, _, _ := p.cache.get(j, func() Result {
 		var res Result
 		p.Do(func() {
 			res = priceJob(j)
 		})
 		return res
 	})
-	if fresh {
-		p.cache.misses.Add(1)
-	} else {
-		p.cache.hits.Add(1)
-	}
 	return r.Breakdown, r.Err
 }
 
+// jobFamily is what a batch of candidates shares: everything in a Job
+// except the parallel configuration. Sweep groups cache misses by
+// family so each group prices through one batched kernel invocation,
+// amortizing topology, block-graph and lowering-state lookups across
+// the whole group.
+type jobFamily struct {
+	Model   model.Config
+	Wafer   hw.Wafer
+	Opts    cost.Options
+	Backend string
+}
+
+// sweepChunkCap bounds one batched pricing call so a large miss set
+// still spreads across the worker pool.
+const sweepChunkCap = 64
+
 // Sweep fans the jobs out across the pool's workers and returns
 // their results in input order, regardless of completion order.
+//
+// Misses are priced in batches: after probing the in-memory memo and
+// the disk memo, the distinct unpriced jobs are grouped by family and
+// chunked through cost.PriceBatch, so a population-sized sweep pays
+// the per-family setup once per chunk instead of once per candidate.
+// Results and cache-counter semantics are identical to evaluating
+// each job individually (batched kernels are bit-exact against the
+// scalar path).
 func (p *Pool) Sweep(jobs []Job) []Result {
 	out := make([]Result, len(jobs))
-	p.Map(len(jobs), func(i int) {
-		b, err := p.evaluate(jobs[i])
-		out[i] = Result{Breakdown: b, Err: err}
-	})
+	norm := make([]Job, len(jobs))
+	var missIdx []int
+	for i := range jobs {
+		j := p.normalize(jobs[i])
+		norm[i] = j
+		if r, ok := p.cache.memo.Peek(j); ok {
+			out[i] = r
+			p.cache.hits.Add(1)
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out
+	}
+
+	// Collect the distinct missing jobs, serving what the disk memo
+	// already has and grouping the rest by family, in first-seen order.
+	priced := make(map[Job]Result)
+	fromDisk := make(map[Job]bool)
+	disk := p.cache.disk.Load()
+	families := make(map[jobFamily][]parallel.Config)
+	var order []jobFamily
+	distinct := 0
+	for _, i := range missIdx {
+		j := norm[i]
+		if _, ok := priced[j]; ok {
+			continue
+		}
+		if _, ok := fromDisk[j]; ok {
+			continue
+		}
+		if disk != nil {
+			if r, ok := disk.Lookup(j); ok {
+				priced[j] = r
+				fromDisk[j] = true
+				continue
+			}
+		}
+		f := jobFamily{Model: j.Model, Wafer: j.Wafer, Opts: j.Opts, Backend: j.Backend}
+		if _, ok := families[f]; !ok {
+			order = append(order, f)
+		} else {
+			// Dedupe within the family (PriceBatch would dedupe too,
+			// but skipping here keeps the chunk accounting exact).
+			dup := false
+			for _, c := range families[f] {
+				if c == j.Config {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+		}
+		families[f] = append(families[f], j.Config)
+		distinct++
+	}
+
+	if distinct > 0 {
+		// Chunk so the distinct misses spread across the pool while
+		// each batch stays large enough to amortize its setup.
+		size := (distinct + p.workers - 1) / p.workers
+		if size < 1 {
+			size = 1
+		}
+		if size > sweepChunkCap {
+			size = sweepChunkCap
+		}
+		type chunk struct {
+			fam  jobFamily
+			cfgs []parallel.Config
+		}
+		var chunks []chunk
+		for _, f := range order {
+			cfgs := families[f]
+			for s := 0; s < len(cfgs); s += size {
+				e := s + size
+				if e > len(cfgs) {
+					e = len(cfgs)
+				}
+				chunks = append(chunks, chunk{fam: f, cfgs: cfgs[s:e]})
+			}
+		}
+		results := make([][]Result, len(chunks))
+		p.Map(len(chunks), func(ci int) {
+			c := chunks[ci]
+			rs := make([]Result, len(c.cfgs))
+			be, err := cost.NewBackend(c.fam.Backend)
+			if err != nil {
+				for k := range rs {
+					rs[k] = Result{Err: err}
+				}
+				results[ci] = rs
+				return
+			}
+			p.Do(func() {
+				bs, es := cost.PriceBatch(be, c.fam.Model, c.fam.Wafer, c.cfgs, c.fam.Opts)
+				for k := range rs {
+					rs[k] = Result{Breakdown: bs[k], Err: es[k]}
+				}
+			})
+			results[ci] = rs
+		})
+		p.cache.batchCalls.Add(int64(len(chunks)))
+		p.cache.batchedJobs.Add(int64(distinct))
+		for ci, c := range chunks {
+			for k, cfg := range c.cfgs {
+				j := Job{Model: c.fam.Model, Wafer: c.fam.Wafer, Config: cfg,
+					Opts: c.fam.Opts, Backend: c.fam.Backend}
+				priced[j] = results[ci][k]
+			}
+		}
+	}
+
+	// Publish through the memo so counters, entry identity and
+	// concurrent-sweep races behave exactly like the scalar path, and
+	// fresh results reach the disk memo.
+	for _, i := range missIdx {
+		j := norm[i]
+		r, fresh := p.cache.memo.Get(j, func() Result { return priced[j] })
+		out[i] = r
+		switch {
+		case !fresh:
+			p.cache.hits.Add(1)
+		case fromDisk[j]:
+			p.cache.diskHits.Add(1)
+		default:
+			p.cache.misses.Add(1)
+			if disk != nil {
+				disk.Store(j, r)
+			}
+		}
+	}
 	return out
 }
 
@@ -308,14 +560,24 @@ func init() {
 func Default() *Pool { return defaultPool.Load() }
 
 // SetWorkers rebounds the shared pool's worker count, retaining the
-// shared cache (and everything already memoized in it) and the
-// default backend.
+// shared cache contents (and the default backend and any attached
+// disk memo). When the new worker bound outgrows the cache's stripe
+// count, the cache is resharded — entries and counters migrate — so a
+// late SetWorkers call still gets contention-appropriate striping
+// instead of the init-time default. Evaluations racing with the swap
+// land in the old cache and are re-priced on first touch of the new
+// one; call SetWorkers during setup to avoid the (correct but
+// wasteful) overlap.
 func SetWorkers(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	cur := Default()
-	defaultPool.Store(&Pool{workers: n, cache: cur.cache, backend: cur.backend, sem: make(chan struct{}, n)})
+	cache := cur.cache
+	if want := shardsFor(n); want > cache.memo.Shards() {
+		cache = cache.resharded(want)
+	}
+	defaultPool.Store(&Pool{workers: n, cache: cache, backend: cur.backend, sem: make(chan struct{}, n)})
 }
 
 // Workers returns the shared pool's worker bound.
@@ -339,6 +601,23 @@ func SetDefaultBackend(key string) (string, error) {
 // DefaultBackend returns the shared pool's default backend key (""
 // means analytic).
 func DefaultBackend() string { return Default().backend }
+
+// SetDiskMemo attaches a persistent memo under the pool's cache (nil
+// detaches). In-memory misses consult it before pricing; fresh
+// results are appended to it.
+func (p *Pool) SetDiskMemo(d *DiskMemo) { p.cache.SetDiskMemo(d) }
+
+// AttachDiskMemo opens (creating if needed) the persistent memo in
+// dir and attaches it to the shared pool — the CLIs' -memo-dir /
+// TEMPMEMO hook. Returns the memo so callers can Close it on exit.
+func AttachDiskMemo(dir string) (*DiskMemo, error) {
+	d, err := OpenDiskMemo(dir)
+	if err != nil {
+		return nil, err
+	}
+	Default().SetDiskMemo(d)
+	return d, nil
+}
 
 // EvaluateJob runs one memoized evaluation of an explicit job on the
 // shared pool.

@@ -38,6 +38,25 @@ func (s *MemoShard[K, V]) Get(k K, compute func() V) (v V, fresh bool) {
 	return v, true
 }
 
+// Peek returns the memoized value for k without computing anything on
+// a miss — the probe batched pricing and delta evaluation use to
+// split already-priced terms from genuinely new work.
+func (s *MemoShard[K, V]) Peek(k K) (V, bool) {
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// each calls f for every entry of the shard under its read lock.
+func (s *MemoShard[K, V]) each(f func(K, V)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, v := range s.m {
+		f(k, v)
+	}
+}
+
 // len returns the shard's entry count.
 func (s *MemoShard[K, V]) len() int {
 	s.mu.RLock()
@@ -76,6 +95,24 @@ func NewMemo[K comparable, V any](shards int, hash func(K) uint64) *Memo[K, V] {
 func (m *Memo[K, V]) Get(k K, compute func() V) (V, bool) {
 	return m.shards[m.hash(k)&m.mask].Get(k, compute)
 }
+
+// Peek returns the memoized value for k, or the zero value and false,
+// without computing anything.
+func (m *Memo[K, V]) Peek(k K) (V, bool) {
+	return m.shards[m.hash(k)&m.mask].Peek(k)
+}
+
+// Range calls f for every memoized entry, one shard at a time under
+// that shard's read lock. Iteration order is unspecified; f must not
+// call back into the memo (it would self-deadlock on the shard lock).
+func (m *Memo[K, V]) Range(f func(K, V)) {
+	for i := range m.shards {
+		m.shards[i].each(f)
+	}
+}
+
+// Shards returns the shard count (always a power of two).
+func (m *Memo[K, V]) Shards() int { return len(m.shards) }
 
 // Len returns the total entry count across shards.
 func (m *Memo[K, V]) Len() int {

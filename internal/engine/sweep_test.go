@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"testing"
+
+	"temp/internal/cost"
+)
+
+// TestSweepBatchesMisses: the miss path of a sweep routes through the
+// batched pricing kernels, and repeat sweeps batch nothing.
+func TestSweepBatchesMisses(t *testing.T) {
+	jobs := testJobs(t)
+	p := New(4)
+	p.Sweep(jobs)
+	s1 := p.Cache().Stats()
+	if s1.BatchCalls == 0 {
+		t.Fatalf("cold sweep used no batched pricing calls: %+v", s1)
+	}
+	if s1.BatchedJobs != s1.Misses {
+		t.Errorf("batched %d jobs but recorded %d misses", s1.BatchedJobs, s1.Misses)
+	}
+	p.Sweep(jobs)
+	s2 := p.Cache().Stats()
+	if s2.BatchCalls != s1.BatchCalls || s2.BatchedJobs != s1.BatchedJobs {
+		t.Errorf("warm sweep batched more work: %+v → %+v", s1, s2)
+	}
+}
+
+// TestSweepDuplicateJobs: duplicate jobs in one sweep share one
+// pricing and count one miss plus hits, same as sequential Evaluate
+// calls would.
+func TestSweepDuplicateJobs(t *testing.T) {
+	jobs := testJobs(t)[:4]
+	dup := append(append([]Job(nil), jobs...), jobs...)
+	p := New(4)
+	res := p.Sweep(dup)
+	s := p.Cache().Stats()
+	if s.Misses != int64(len(jobs)) {
+		t.Errorf("%d misses for %d distinct jobs", s.Misses, len(jobs))
+	}
+	if s.Hits != int64(len(jobs)) {
+		t.Errorf("%d hits for %d duplicate jobs", s.Hits, len(jobs))
+	}
+	for i := range jobs {
+		a, b := res[i], res[i+len(jobs)]
+		if !sameResult(a, b) {
+			t.Errorf("job %d: duplicate results differ", i)
+		}
+	}
+}
+
+// TestSweepMixedBackends: one sweep over several tiers groups misses
+// per backend family and each job gets its own tier's result.
+func TestSweepMixedBackends(t *testing.T) {
+	base := testJobs(t)[:3]
+	var jobs []Job
+	for _, be := range []string{"", "analytic", "replay"} {
+		for _, j := range base {
+			j.Backend = be
+			jobs = append(jobs, j)
+		}
+	}
+	p := New(4)
+	res := p.Sweep(jobs)
+	for i, j := range jobs {
+		be, err := cost.NewBackend(j.Backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantErr := be.Price(j.Model, j.Wafer, j.Config.Normalize(), j.Opts)
+		if (res[i].Err == nil) != (wantErr == nil) {
+			t.Fatalf("job %d (%q): err %v want %v", i, j.Backend, res[i].Err, wantErr)
+		}
+		if wantErr == nil && res[i].Breakdown.StepTime != want.StepTime {
+			t.Errorf("job %d (%q): sweep diverged from direct backend pricing", i, j.Backend)
+		}
+	}
+	// "" and "analytic" canonicalize to one family; replay is its own.
+	if s := p.Cache().Stats(); s.Misses != int64(2*len(base)) {
+		t.Errorf("%d misses, want %d (two distinct tiers)", s.Misses, 2*len(base))
+	}
+}
+
+// TestSetWorkersReshards: a worker bound that outgrows the cache's
+// stripe count reshards the shared cache, keeping every entry and
+// counter.
+func TestSetWorkersReshards(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+
+	// A job distinct from anything other tests evaluate on the shared
+	// pool, so the delta accounting below is exact.
+	j := testJobs(t)[0]
+	j.Model.Name = "reshard-probe"
+	if _, err := EvaluateJob(j); err != nil {
+		t.Fatal(err)
+	}
+	before := Default().Cache().Stats()
+	shardsBefore := Default().Cache().memo.Shards()
+
+	SetWorkers(8 * shardCount) // forces shardsFor > current stripes
+	after := Default().Cache().Stats()
+	shardsAfter := Default().Cache().memo.Shards()
+	if shardsAfter <= shardsBefore {
+		t.Fatalf("SetWorkers(%d) kept %d shards", 8*shardCount, shardsAfter)
+	}
+	if want := shardsFor(8 * shardCount); shardsAfter != want {
+		t.Errorf("resharded to %d stripes, want %d", shardsAfter, want)
+	}
+	if after.Entries != before.Entries || after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Errorf("reshard dropped state: %+v → %+v", before, after)
+	}
+
+	// The migrated entry still serves hits, not re-pricing.
+	if _, err := EvaluateJob(j); err != nil {
+		t.Fatal(err)
+	}
+	final := Default().Cache().Stats()
+	if final.Misses != after.Misses {
+		t.Errorf("migrated entry re-priced: misses %d → %d", after.Misses, final.Misses)
+	}
+	if final.Hits != after.Hits+1 {
+		t.Errorf("migrated entry did not hit: hits %d → %d", after.Hits, final.Hits)
+	}
+}
+
+// TestShardsFor pins the stripe-count policy.
+func TestShardsFor(t *testing.T) {
+	for _, tc := range []struct{ workers, want int }{
+		{1, shardCount}, {16, shardCount}, {17, 128}, {32, 128}, {64, 256}, {1000, 4096},
+	} {
+		if got := shardsFor(tc.workers); got != tc.want {
+			t.Errorf("shardsFor(%d) = %d, want %d", tc.workers, got, tc.want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"temp/internal/hw"
 )
@@ -74,6 +75,10 @@ type Topology struct {
 	// state). Only frozen topologies populate it: a mutable topology's
 	// cache would go stale on the next Set* call.
 	derived sync.Map
+	// aliveDies caches AliveDies on frozen topologies (immutable fault
+	// state), keeping the per-candidate pricing path allocation-free.
+	// Clone leaves it unset, so mutable copies always recompute.
+	aliveDies atomic.Pointer[[]DieID]
 }
 
 // New builds a healthy rows×cols mesh with the given link parameters.
@@ -332,12 +337,21 @@ func (t *Topology) SetCoreFraction(d DieID, f float64) {
 }
 
 // AliveDies returns the IDs of functional dies in ascending order.
+// The slice is cached on frozen topologies and must not be mutated.
 func (t *Topology) AliveDies() []DieID {
-	var out []DieID
+	if t.frozen {
+		if v := t.aliveDies.Load(); v != nil {
+			return *v
+		}
+	}
+	out := make([]DieID, 0, len(t.dieAlive)-t.deadDies)
 	for i := range t.dieAlive {
 		if t.dieAlive[i] {
 			out = append(out, DieID(i))
 		}
+	}
+	if t.frozen {
+		t.aliveDies.Store(&out)
 	}
 	return out
 }

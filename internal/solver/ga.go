@@ -3,8 +3,6 @@ package solver
 import (
 	"context"
 	"math/rand"
-
-	"temp/internal/engine"
 )
 
 // GA is the paper's dual-level search (Fig. 12(b)) as a pluggable
@@ -94,54 +92,61 @@ func (s *GA) Solve(ctx context.Context, p Problem, b Budget) (Assignment, Stats)
 	// the joint genome, seeded with the DP solution. Only the cost
 	// evaluation fans out; selection and variation stay serial so
 	// the RNG stream matches the single-threaded search exactly.
+	//
+	// The population lives in structure-of-arrays form (soaPop):
+	// crossover and mutation inherit the parents' memoized cost terms
+	// and invalidate only what they change, so a generation re-prices
+	// the few genuinely new (position, config) keys instead of walking
+	// population×genes memo lookups. Selection order, RNG stream,
+	// evaluation counts, costs and the returned assignment are
+	// bit-identical to the per-individual walk (ga_golden.json pins
+	// all of it).
 	if !s.dpOnly {
 		rng := rand.New(rand.NewSource(s.Seed))
-		pop := make([]Assignment, population)
-		costs := make([]float64, population)
-		pop[0] = append(Assignment(nil), assign...)
+		n := len(assign)
+		sp := newSoaPop(ev, population, n)
+		copy(sp.nextGenes[:n], assign)
 		for i := 1; i < population; i++ {
-			ind := append(Assignment(nil), assign...)
+			row := sp.nextGenes[i*n : (i+1)*n]
+			copy(row, assign)
 			// Diversify: re-roll a few genes.
-			for j := range ind {
+			for j := range row {
 				if rng.Float64() < 0.3 {
-					ind[j] = rng.Intn(len(p.Space))
+					row[j] = rng.Intn(len(p.Space))
 				}
 			}
-			pop[i] = ind
 		}
-		evalPop := func() {
-			engine.ForEach(b.Workers, len(pop), func(i int) {
-				costs[i] = ev.assignmentCost(pop[i])
-			})
-		}
-		evalPop()
+		sp.markAllDirty()
+		sp.price(b.Workers)
 		for gen := 0; gen < generations; gen++ {
 			if r.stop(ctx) {
 				break
 			}
 			stats.Generations++
-			next := make([]Assignment, 0, population)
-			// Elitism: carry the best individual forward.
+			// Elitism: carry the best individual forward (a cut-0
+			// "crossover" with itself is a clean term-preserving copy).
 			eliteIdx := 0
-			for i := range costs {
-				if costs[i] < costs[eliteIdx] {
+			for i := range sp.costs {
+				if sp.costs[i] < sp.costs[eliteIdx] {
 					eliteIdx = i
 				}
 			}
-			next = append(next, append(Assignment(nil), pop[eliteIdx]...))
-			for len(next) < population {
-				a := tournament(rng, pop, costs)
-				b := tournament(rng, pop, costs)
-				child := crossover(rng, a, b)
-				mutate(rng, child, len(p.Space), mutation)
-				next = append(next, child)
+			sp.breedInto(0, eliteIdx, eliteIdx, 0)
+			for i := 1; i < population; i++ {
+				pa := tournamentIdx(rng, sp.costs)
+				pb := tournamentIdx(rng, sp.costs)
+				sp.breedInto(i, pa, pb, rng.Intn(n))
+				for j := 0; j < n; j++ {
+					if rng.Float64() < mutation {
+						sp.mutateGene(i, j, rng.Intn(len(p.Space)))
+					}
+				}
 			}
-			pop = next
-			evalPop()
-			for i := range pop {
-				if costs[i] < bestCost {
-					bestCost = costs[i]
-					best = append(Assignment(nil), pop[i]...)
+			sp.price(b.Workers)
+			for i := range sp.costs {
+				if sp.costs[i] < bestCost {
+					bestCost = sp.costs[i]
+					best = append(best[:0], sp.row(i)...)
 				}
 			}
 			r.checkpoint(gen+1, best, bestCost)
@@ -161,26 +166,14 @@ func newDP(p Params) (Strategy, error) {
 	return &GA{Seed: p.seed(), dpOnly: true}, nil
 }
 
-func tournament(rng *rand.Rand, pop []Assignment, costs []float64) Assignment {
-	a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+// tournamentIdx is binary tournament selection over row indices: two
+// uniform draws, lower cost wins, ties to the first draw — the exact
+// RNG consumption and tie-break of the historical Assignment-based
+// tournament.
+func tournamentIdx(rng *rand.Rand, costs []float64) int {
+	a, b := rng.Intn(len(costs)), rng.Intn(len(costs))
 	if costs[a] <= costs[b] {
-		return pop[a]
+		return a
 	}
-	return pop[b]
-}
-
-func crossover(rng *rand.Rand, a, b Assignment) Assignment {
-	child := make(Assignment, len(a))
-	cut := rng.Intn(len(a))
-	copy(child, a[:cut])
-	copy(child[cut:], b[cut:])
-	return child
-}
-
-func mutate(rng *rand.Rand, a Assignment, space int, rate float64) {
-	for i := range a {
-		if rng.Float64() < rate {
-			a[i] = rng.Intn(space)
-		}
-	}
+	return b
 }

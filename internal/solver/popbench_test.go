@@ -1,0 +1,127 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"temp/internal/engine"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// popBenchSetup builds the evaluator and search space the population
+// benchmarks share: GPT-3 6.7B on the evaluation wafer, the same
+// problem the GA solves in tempsolve.
+func popBenchSetup() (*evaluator, int, int) {
+	m := model.GPT3_6_7B()
+	w := hw.EvaluationWafer()
+	g := model.BlockGraph(m)
+	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
+	ev := newEvaluator(&Analytic{W: w, M: m}, g.Ops, space)
+	return ev, len(g.Ops), len(space)
+}
+
+// BenchmarkGAPopulationPricing times one GA generation's population
+// pricing on the SoA delta path — breed clean copies, mutate a few
+// genes, re-price only the invalidated terms. This is the
+// candidate-throughput number the batched/delta pricing work targets.
+// It reports individuals/sec.
+func BenchmarkGAPopulationPricing(b *testing.B) {
+	ev, n, nspace := popBenchSetup()
+	const population = 32
+	rng := rand.New(rand.NewSource(7))
+	sp := newSoaPop(ev, population, n)
+	for k := range sp.nextGenes {
+		sp.nextGenes[k] = rng.Intn(nspace)
+	}
+	sp.markAllDirty()
+	sp.price(1) // warm the term memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Breed a clean copy of each row, re-roll a few genes the way
+		// mutation would, then re-price the population.
+		for r := 0; r < population; r++ {
+			sp.breedInto(r, r, r, 0)
+		}
+		for k := 0; k < population/4; k++ {
+			sp.mutateGene(rng.Intn(population), rng.Intn(n), rng.Intn(nspace))
+		}
+		sp.price(1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(population*b.N)/b.Elapsed().Seconds(), "individuals/s")
+}
+
+// BenchmarkGAPopulationPricingFullWalk is the pre-delta baseline: the
+// same workload priced by walking every individual through
+// assignmentCost's memo lookups each generation.
+func BenchmarkGAPopulationPricingFullWalk(b *testing.B) {
+	ev, n, nspace := popBenchSetup()
+	const population = 32
+	rng := rand.New(rand.NewSource(7))
+	pop := make([]Assignment, population)
+	costs := make([]float64, population)
+	for i := range pop {
+		ind := make(Assignment, n)
+		for j := range ind {
+			ind[j] = rng.Intn(nspace)
+		}
+		pop[i] = ind
+	}
+	evalPop := func() {
+		engine.ForEach(1, len(pop), func(i int) {
+			costs[i] = ev.assignmentCost(pop[i])
+		})
+	}
+	evalPop() // warm the term memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < population/4; k++ {
+			pop[rng.Intn(population)][rng.Intn(n)] = rng.Intn(nspace)
+		}
+		evalPop()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(population*b.N)/b.Elapsed().Seconds(), "individuals/s")
+}
+
+// TestGAGenerationAllocs pins the steady-state generation loop: with
+// the term memo warm, one breed + mutate + price round over the whole
+// population must stay within a tiny fixed allocation budget,
+// independent of population size and genome length (the pre-SoA loop
+// allocated per individual per gene).
+func TestGAGenerationAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ev, n, nspace := popBenchSetup()
+	const population = 32
+	rng := rand.New(rand.NewSource(11))
+	sp := newSoaPop(ev, population, n)
+	for k := range sp.nextGenes {
+		sp.nextGenes[k] = rng.Intn(nspace)
+	}
+	sp.markAllDirty()
+	sp.price(1)
+
+	// A deterministic generation that only revisits already-priced
+	// genes: every key it can dirty is memoized after the first round.
+	generation := func() {
+		for r := 0; r < population; r++ {
+			sp.breedInto(r, r, r, 0)
+		}
+		for k := 0; k < population/4; k++ {
+			i, j := k%population, (k*3)%n
+			sp.mutateGene(i, j, sp.genes[((k+5)%population)*n+j])
+		}
+		sp.price(1)
+	}
+	generation() // price any pair terms the fixed schedule introduces
+	avg := testing.AllocsPerRun(10, generation)
+	if avg > 4 {
+		t.Errorf("steady-state GA generation allocates %.1f objects, want ≤ 4", avg)
+	}
+}
