@@ -33,6 +33,7 @@ import (
 	"temp/internal/baselines"
 	"temp/internal/collective"
 	"temp/internal/cost"
+	"temp/internal/distrib"
 	"temp/internal/engine"
 	"temp/internal/experiments"
 	"temp/internal/fault"
@@ -87,10 +88,77 @@ type output struct {
 	// Lowering-cache counters (the memoized collective lowerings the
 	// hot path shares across candidates) ride along so BENCH_*.json
 	// tracks hot-path cache effectiveness across revisions.
-	LoweringTemplates int      `json:"lowering_templates,omitempty"`
-	LoweringHits      int64    `json:"lowering_hits,omitempty"`
-	LoweringMisses    int64    `json:"lowering_misses,omitempty"`
-	Experiments       []record `json:"experiments"`
+	LoweringTemplates int   `json:"lowering_templates,omitempty"`
+	LoweringHits      int64 `json:"lowering_hits,omitempty"`
+	LoweringMisses    int64 `json:"lowering_misses,omitempty"`
+	// Distributed-run telemetry: the -distribute worker count and the
+	// fabric's per-worker throughput / steal counters. The engine
+	// cache counters above aggregate coordinator + workers.
+	Distribute  int            `json:"distribute,omitempty"`
+	Distrib     *distrib.Stats `json:"distrib,omitempty"`
+	Experiments []record       `json:"experiments"`
+}
+
+// finishDistrib shuts the fabric down and folds its workers' engine
+// cache counters into stats and its fabric telemetry into the output.
+// No-op on a nil fabric.
+func finishDistrib(out output, f *distrib.Fabric, workers int, stats *engine.Stats) output {
+	if f == nil {
+		return out
+	}
+	fs := f.Shutdown()
+	t := fs.EngineTotals()
+	stats.Hits += t.Hits
+	stats.Misses += t.Misses
+	stats.DiskHits += t.DiskHits
+	stats.BatchCalls += t.BatchCalls
+	stats.BatchedJobs += t.BatchedJobs
+	out.Distribute = workers
+	out.Distrib = &fs
+	return out
+}
+
+// workerPassthrough builds the flag tail replicated onto spawned
+// worker processes so they price with the coordinator's exact
+// configuration (engine bound, shared memo dir, overrides).
+func workerPassthrough(workers int, memoDir, modelNames, waferName, backend string) []string {
+	args := []string{"-workers", fmt.Sprint(workers)}
+	if memoDir != "" {
+		args = append(args, "-memo-dir", memoDir)
+	}
+	if modelNames != "" {
+		args = append(args, "-model", modelNames)
+	}
+	if waferName != "" {
+		args = append(args, "-wafer", waferName)
+	}
+	if backend != "" {
+		args = append(args, "-backend", backend)
+	}
+	return args
+}
+
+// newFabric attaches n workers: spawned self-invocations by default,
+// TCP-accepted when listen is set. Attach failures degrade (warn and
+// run with fewer workers, possibly in-process) rather than abort.
+func newFabric(n int, listen string, shardSize, retries int, passthrough []string) *distrib.Fabric {
+	if n <= 0 && listen == "" {
+		return nil
+	}
+	opts := distrib.Options{Workers: n, Listen: listen, ShardSize: shardSize, Retries: retries}
+	if listen == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench: distrib:", err)
+			return nil
+		}
+		opts.Command = append([]string{exe, "-worker-mode"}, passthrough...)
+	}
+	f, err := distrib.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tempbench: distrib:", err)
+	}
+	return f
 }
 
 // withEngineStats stamps the evaluation-cache counters — memory hits,
@@ -152,6 +220,49 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 			fmt.Fprintln(os.Stderr, "tempbench: memprofile:", err)
 		}
 	}, nil
+}
+
+// scenarioFabric builds the fabric for a scenario batch: the CLI
+// -distribute always wins; otherwise the batch's first spec-declared
+// distrib block applies. Returns the fabric (nil = in-process) and
+// the effective worker count.
+func scenarioFabric(specs []spec.ScenarioSpec, distribute int, listen string, passthrough []string) (*distrib.Fabric, int) {
+	shard, retries := 0, 0
+	n := distribute
+	for _, s := range specs {
+		if s.Distrib != nil {
+			if n == 0 {
+				n = s.Distrib.Workers
+			}
+			shard, retries = s.Distrib.ShardSize, s.Distrib.Retries
+			break
+		}
+	}
+	if n <= 0 && listen == "" {
+		return nil, 0
+	}
+	return newFabric(n, listen, shard, retries, passthrough), n
+}
+
+// applyOverrides installs the -model/-wafer/-backend experiment
+// overrides (shared by the coordinator's suite path and worker mode).
+func applyOverrides(modelNames, waferName, backend string) error {
+	if modelNames != "" {
+		if err := experiments.UseModels(modelNames); err != nil {
+			return err
+		}
+	}
+	if waferName != "" {
+		if err := experiments.UseWafer(waferName); err != nil {
+			return err
+		}
+	}
+	if backend != "" {
+		if err := experiments.UseBackend(backend); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // backendLabel names the engine's default backend for perf records.
@@ -254,7 +365,7 @@ func writeCampaignsJSON(path string, crs []fault.CampaignResult) error {
 // path: baselines.Best picks the mapping for the selected model/wafer
 // pair, then the campaign sweeps it over the default (-quick: reduced)
 // grid and writes the survivability artifact.
-func runStandaloneCampaign(path, modelNames, waferName, backend string, quick bool, seed int64, workers int) error {
+func runStandaloneCampaign(path, modelNames, waferName, backend string, quick bool, seed int64, workers int, fab *distrib.Fabric) error {
 	name := "gpt3-6.7b"
 	if modelNames != "" {
 		name = strings.TrimSpace(strings.Split(modelNames, ",")[0])
@@ -291,7 +402,12 @@ func runStandaloneCampaign(path, modelNames, waferName, backend string, quick bo
 		c.CoreRates = []float64{0, 0.1}
 		c.Trials = 4
 	}
-	cr, err := c.Run()
+	var cr fault.CampaignResult
+	if fab != nil {
+		cr, err = c.RunOn(fab)
+	} else {
+		cr, err = c.Run()
+	}
 	if err != nil {
 		return err
 	}
@@ -304,9 +420,14 @@ func runStandaloneCampaign(path, modelNames, waferName, backend string, quick bo
 	return writeCampaignsJSON(path, []fault.CampaignResult{cr})
 }
 
-func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, override *spec.SolverStage, costStage *spec.CostStage, campaignPath string) error {
+func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, override *spec.SolverStage, costStage *spec.CostStage, campaignPath string, fab *distrib.Fabric, ov sim.Overrides, distributed int) error {
 	start := time.Now()
-	results := sim.RunScenarioSpecsWithStages(specs, override, costStage)
+	var results []sim.ScenarioResult
+	if fab != nil {
+		results = sim.RunScenarioSpecsOn(fab, specs, ov)
+	} else {
+		results = sim.RunScenarioSpecsWithStages(specs, override, costStage)
+	}
 	tab := scenarioTable(results)
 	tab.Fprint(os.Stdout)
 	if campaignPath != "" {
@@ -371,6 +492,7 @@ func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, overr
 			TotalSeconds: time.Since(start).Seconds(),
 			Experiments:  []record{rec},
 		}
+		out = finishDistrib(out, fab, distributed, &stats)
 		if err := writeJSON(jsonPath, out.withEngineStats(stats).withLoweringStats()); err != nil {
 			return err
 		}
@@ -407,6 +529,10 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	memoDir := flag.String("memo-dir", os.Getenv("TEMPMEMO"),
 		"persist priced results in this directory and warm-start from them (default $TEMPMEMO)")
+	distribute := flag.Int("distribute", 0, "shard the run across N worker subprocesses (0 = in-process)")
+	listenAddr := flag.String("listen", "", "accept -distribute workers over TCP on this address instead of spawning them")
+	connectAddr := flag.String("connect", "", "worker: dial the coordinator's -listen address and serve shards")
+	workerMode := flag.Bool("worker-mode", false, "internal: serve shards from a coordinator over stdio")
 	flag.Parse()
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -423,6 +549,25 @@ func main() {
 		}
 		defer dm.Close()
 	}
+
+	if *workerMode || *connectAddr != "" {
+		// Worker side of the distributed fabric: apply the replicated
+		// overrides, then serve shards until the coordinator says done.
+		err := applyOverrides(*modelNames, *waferName, *backend)
+		if err == nil {
+			if *connectAddr != "" {
+				err = distrib.ConnectAndServe(*connectAddr)
+			} else {
+				err = distrib.ServeStdio()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench: worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	passthrough := workerPassthrough(*workers, *memoDir, *modelNames, *waferName, *backend)
 
 	switch {
 	case *listB:
@@ -457,7 +602,10 @@ func main() {
 		}
 		if err == nil {
 			attachResilience(&ss, *repair, *faultCampaign != "")
-			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers, override, costStage, *faultCampaign)
+			fab, n := scenarioFabric([]spec.ScenarioSpec{ss}, *distribute, *listenAddr, passthrough)
+			defer fab.Shutdown()
+			ov := sim.Overrides{Strategy: *strategy, Budget: *budget, Seed: *seed, Workers: *workers, Backend: *backend}
+			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers, override, costStage, *faultCampaign, fab, ov, n)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
@@ -478,7 +626,10 @@ func main() {
 			for i := range sss {
 				attachResilience(&sss[i], *repair, *faultCampaign != "")
 			}
-			err = runScenarios(sss, *jsonPath, *workers, override, costStage, *faultCampaign)
+			fab, n := scenarioFabric(sss, *distribute, *listenAddr, passthrough)
+			defer fab.Shutdown()
+			ov := sim.Overrides{Strategy: *strategy, Budget: *budget, Seed: *seed, Workers: *workers, Backend: *backend}
+			err = runScenarios(sss, *jsonPath, *workers, override, costStage, *faultCampaign, fab, ov, n)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
@@ -489,30 +640,18 @@ func main() {
 		// Standalone campaign: the best TEMP mapping of the selected
 		// model/wafer pair, swept over the default (or -quick reduced)
 		// grid — the CI survivability artifact path.
-		if err := runStandaloneCampaign(*faultCampaign, *modelNames, *waferName, *backend, *quick, *seed, *workers); err != nil {
+		fab := newFabric(*distribute, *listenAddr, 0, 0, passthrough)
+		defer fab.Shutdown()
+		if err := runStandaloneCampaign(*faultCampaign, *modelNames, *waferName, *backend, *quick, *seed, *workers, fab); err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if *modelNames != "" {
-		if err := experiments.UseModels(*modelNames); err != nil {
-			fmt.Fprintln(os.Stderr, "tempbench:", err)
-			os.Exit(1)
-		}
-	}
-	if *waferName != "" {
-		if err := experiments.UseWafer(*waferName); err != nil {
-			fmt.Fprintln(os.Stderr, "tempbench:", err)
-			os.Exit(1)
-		}
-	}
-	if *backend != "" {
-		if err := experiments.UseBackend(*backend); err != nil {
-			fmt.Fprintln(os.Stderr, "tempbench:", err)
-			os.Exit(1)
-		}
+	if err := applyOverrides(*modelNames, *waferName, *backend); err != nil {
+		fmt.Fprintln(os.Stderr, "tempbench:", err)
+		os.Exit(1)
 	}
 
 	if *list {
@@ -521,9 +660,11 @@ func main() {
 		}
 		return
 	}
+	fab := newFabric(*distribute, *listenAddr, 0, 0, passthrough)
+	defer fab.Shutdown()
 	if *exp != "" {
 		start := time.Now()
-		tab, err := experiments.ByID(*exp, *quick)
+		tab, err := experiments.ByIDOn(fab, *exp, *quick)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
 			os.Exit(1)
@@ -536,6 +677,7 @@ func main() {
 				TotalSeconds: time.Since(start).Seconds(),
 				Experiments:  []record{toRecord(tab, time.Since(start))},
 			}
+			out = finishDistrib(out, fab, *distribute, &stats)
 			if err := writeJSON(*jsonPath, out.withEngineStats(stats).withLoweringStats()); err != nil {
 				fmt.Fprintln(os.Stderr, "tempbench:", err)
 				os.Exit(1)
@@ -544,7 +686,13 @@ func main() {
 		return
 	}
 	start := time.Now()
-	tabs, durs, err := experiments.AllTimed(*quick)
+	var tabs []*experiments.Table
+	var durs []time.Duration
+	if fab != nil {
+		tabs, durs, err = experiments.AllTimedOn(fab, *quick)
+	} else {
+		tabs, durs, err = experiments.AllTimed(*quick)
+	}
 	total := time.Since(start)
 	for _, t := range tabs {
 		t.Fprint(os.Stdout)
@@ -558,6 +706,7 @@ func main() {
 		for i, t := range tabs {
 			out.Experiments = append(out.Experiments, toRecord(t, durs[i]))
 		}
+		out = finishDistrib(out, fab, *distribute, &stats)
 		if werr := writeJSON(*jsonPath, out.withEngineStats(stats).withLoweringStats()); werr != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", werr)
 			os.Exit(1)

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"temp/internal/cost"
+	"temp/internal/distrib"
 	"temp/internal/engine"
 	"temp/internal/fault"
 	"temp/internal/hw"
@@ -238,6 +239,8 @@ func main() {
 		listB     = flag.Bool("list-backends", false, "list registered cost backends")
 		memoDir   = flag.String("memo-dir", os.Getenv("TEMPMEMO"),
 			"persist priced results in this directory and warm-start from them (default $TEMPMEMO)")
+		distribute = flag.Int("distribute", 0, "shard -scenarios batches across N worker subprocesses")
+		workerMode = flag.Bool("worker-mode", false, "internal: serve shards from a coordinator over stdio")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
@@ -248,6 +251,13 @@ func main() {
 			os.Exit(1)
 		}
 		defer dm.Close()
+	}
+	if *workerMode {
+		if err := distrib.ServeStdio(); err != nil {
+			fmt.Fprintln(os.Stderr, "tempsim: worker:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	switch {
@@ -308,9 +318,43 @@ func main() {
 		for i := range specs {
 			attachResilience(&specs[i], *repair, *campaign != "")
 		}
+		// -distribute (or a spec-declared distrib block) shards the
+		// batch across worker subprocesses; results merge in spec
+		// order and match the in-process run bit-for-bit.
+		n, shard, retries := *distribute, 0, 0
+		for _, ss := range specs {
+			if ss.Distrib != nil {
+				if n == 0 {
+					n = ss.Distrib.Workers
+				}
+				shard, retries = ss.Distrib.ShardSize, ss.Distrib.Retries
+				break
+			}
+		}
+		var fab *distrib.Fabric
+		if n > 0 {
+			if exe, eerr := os.Executable(); eerr == nil {
+				cmdline := []string{exe, "-worker-mode", "-workers", fmt.Sprint(*workers)}
+				if *memoDir != "" {
+					cmdline = append(cmdline, "-memo-dir", *memoDir)
+				}
+				var ferr error
+				if fab, ferr = distrib.New(distrib.Options{Workers: n, Command: cmdline, ShardSize: shard, Retries: retries}); ferr != nil {
+					fmt.Fprintln(os.Stderr, "tempsim: distrib:", ferr)
+				}
+				defer fab.Shutdown()
+			}
+		}
+		var results []sim.ScenarioResult
+		if fab != nil {
+			ov := sim.Overrides{Strategy: *strategy, Budget: *budget, Seed: *seed, Workers: *workers, Backend: *backend}
+			results = sim.RunScenarioSpecsOn(fab, specs, ov)
+		} else {
+			results = sim.RunScenarioSpecsWithStages(specs, override, costStage)
+		}
 		failed := false
 		var lastCampaign *fault.CampaignResult
-		for _, r := range sim.RunScenarioSpecsWithStages(specs, override, costStage) {
+		for _, r := range results {
 			printScenarioResult(r)
 			failed = failed || r.Err != nil
 			if r.Campaign != nil {

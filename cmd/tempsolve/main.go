@@ -26,6 +26,7 @@ import (
 
 	"temp/internal/baselines"
 	"temp/internal/cost"
+	"temp/internal/distrib"
 	"temp/internal/engine"
 	"temp/internal/fault"
 	"temp/internal/hw"
@@ -89,7 +90,7 @@ func (rz resilience) run(m model.Config, w hw.Wafer, cfg parallel.Config, o cost
 // operator model prices the search exactly ("" = analytic); the
 // multifid strategy (and the portfolio, which races it) additionally
 // screens on the surrogate tier seeded with screenSeed.
-func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, backendKey string, screenSeed int64, o cost.Options, rz resilience) error {
+func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, backendKey string, screenSeed int64, o cost.Options, rz resilience, fab *distrib.Fabric, raceSeed int64) error {
 	g := model.BlockGraph(m)
 	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 	if len(space) == 0 {
@@ -101,7 +102,21 @@ func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, back
 	}
 	p := solver.Problem{Graph: g, Space: space, Model: cm, Screen: screen}
 
-	assign, stats := st.Solve(context.Background(), p, b)
+	var assign solver.Assignment
+	var stats solver.Stats
+	if fab != nil && st.Name() == "portfolio" {
+		// Distributed racing: one racer per worker process, winner
+		// selection identical to the in-process portfolio.
+		assign, stats, err = solver.DistributedRace(fab, m, w, backendKey, raceSeed, screenSeed, b)
+		if err != nil {
+			return err
+		}
+	} else {
+		if fab != nil {
+			fmt.Fprintln(os.Stderr, "tempsolve: -distribute races the portfolio; strategy", st.Name(), "runs in-process")
+		}
+		assign, stats = st.Solve(context.Background(), p, b)
+	}
 	fmt.Printf("model        %s on %s\n", m, w.Name)
 	backendName := "analytic"
 	if backendKey != "" {
@@ -156,7 +171,7 @@ func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, back
 // solveScenario resolves a scenario spec and solves its model/wafer.
 // The scenario's own solver stage applies unless the CLI overrides
 // the strategy.
-func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, override bool, costStage *spec.CostStage, screenSeed int64, rz resilience) error {
+func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, override bool, costStage *spec.CostStage, screenSeed int64, rz resilience, fab *distrib.Fabric, raceSeed int64) error {
 	sc, err := ss.Resolve()
 	if err != nil {
 		return err
@@ -185,7 +200,7 @@ func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, ov
 	if s := sc.Cost.SurrogateSeed(); s != 0 {
 		screenSeed = s
 	}
-	return solve(sc.Model, sc.Wafer, st, b, backendKey, screenSeed, sc.System.Opts, rz)
+	return solve(sc.Model, sc.Wafer, st, b, backendKey, screenSeed, sc.System.Opts, rz, fab, raceSeed)
 }
 
 func main() {
@@ -213,6 +228,8 @@ func main() {
 		listB     = flag.Bool("list-backends", false, "list registered cost backends")
 		memoDir   = flag.String("memo-dir", os.Getenv("TEMPMEMO"),
 			"persist priced results in this directory and warm-start from them (default $TEMPMEMO)")
+		distribute = flag.Int("distribute", 0, "race portfolio strategies across N worker subprocesses")
+		workerMode = flag.Bool("worker-mode", false, "internal: serve shards from a coordinator over stdio")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
@@ -227,6 +244,12 @@ func main() {
 			fail(err)
 		}
 		defer dm.Close()
+	}
+	if *workerMode {
+		if err := distrib.ServeStdio(); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	switch {
@@ -286,6 +309,21 @@ func main() {
 	if costStage != nil {
 		backendKey = costStage.Key
 	}
+	var fab *distrib.Fabric
+	if *distribute > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fail(err)
+		}
+		cmdline := []string{exe, "-worker-mode", "-workers", fmt.Sprint(*workers)}
+		if *memoDir != "" {
+			cmdline = append(cmdline, "-memo-dir", *memoDir)
+		}
+		if fab, err = distrib.New(distrib.Options{Workers: *distribute, Command: cmdline}); err != nil {
+			fmt.Fprintln(os.Stderr, "tempsolve: distrib:", err)
+		}
+		defer fab.Shutdown()
+	}
 	rz := resilience{
 		repair:       *repair,
 		campaignPath: *campaign,
@@ -299,7 +337,7 @@ func main() {
 	case *scenario != "":
 		ss, err := spec.LoadScenario(*scenario)
 		if err == nil {
-			err = solveScenario(ss, st, b, overridden, costStage, *seed, rz)
+			err = solveScenario(ss, st, b, overridden, costStage, *seed, rz, fab, *seed)
 		}
 		if err != nil {
 			fail(err)
@@ -314,7 +352,7 @@ func main() {
 			if i > 0 {
 				fmt.Println()
 			}
-			if err := solveScenario(ss, st, b, overridden, costStage, *seed, rz); err != nil {
+			if err := solveScenario(ss, st, b, overridden, costStage, *seed, rz, fab, *seed); err != nil {
 				fail(err)
 			}
 		}
@@ -333,7 +371,7 @@ func main() {
 	} else {
 		w = hw.WaferWithGrid(*rows, *cols)
 	}
-	if err := solve(m, w, st, b, backendKey, *seed, baselines.TEMP().Opts, rz); err != nil {
+	if err := solve(m, w, st, b, backendKey, *seed, baselines.TEMP().Opts, rz, fab, *seed); err != nil {
 		fail(err)
 	}
 }

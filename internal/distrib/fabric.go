@@ -1,0 +1,567 @@
+package distrib
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"temp/internal/engine"
+)
+
+// Options configures a Fabric.
+type Options struct {
+	// Workers is how many worker processes to attach. With Command
+	// set they are spawned; with Listen set they are accepted over
+	// TCP. Zero workers (or every spawn failing) leaves a degraded
+	// fabric that executes everything in-process.
+	Workers int
+	// Command is the worker subprocess argv (the binary re-invoking
+	// itself with -worker-mode plus passthrough flags).
+	Command []string
+	// Env is appended to the subprocess environment.
+	Env []string
+	// Listen, when non-empty, accepts workers on this TCP address
+	// instead of spawning subprocesses.
+	Listen string
+	// ShardSize caps tasks per shard; 0 picks one automatically so
+	// every worker sees several shards (stealing needs slack).
+	ShardSize int
+	// Retries bounds how many times a shard is requeued after a
+	// worker failure before the coordinator runs it in-process.
+	// Zero means the default (2).
+	Retries int
+	// Stderr receives spawned workers' stderr (default os.Stderr).
+	Stderr io.Writer
+}
+
+const defaultRetries = 2
+
+// WorkerStats is one worker's contribution, reported in -json.
+type WorkerStats struct {
+	ID          int     `json:"worker"`
+	PID         int     `json:"pid,omitempty"`
+	Shards      int     `json:"shards"`
+	Tasks       int     `json:"tasks"`
+	Stolen      int     `json:"shards_stolen"`
+	BusyNS      int64   `json:"busy_ns"`
+	StealWaitNS int64   `json:"steal_wait_ns"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	Died        bool    `json:"died,omitempty"`
+	Hits        int64   `json:"cache_hits"`
+	Misses      int64   `json:"cache_misses"`
+	DiskHits    int64   `json:"cache_disk_hits"`
+	BatchCalls  int64   `json:"batch_calls"`
+	BatchedJobs int64   `json:"batched_jobs"`
+}
+
+// Stats aggregates a fabric's lifetime counters.
+type Stats struct {
+	Spawned        int           `json:"workers_spawned"`
+	Shards         int           `json:"shards"`
+	Tasks          int           `json:"tasks"`
+	Stolen         int           `json:"shards_stolen"`
+	Requeued       int           `json:"shards_requeued"`
+	InProcessTasks int           `json:"inprocess_tasks"`
+	Workers        []WorkerStats `json:"per_worker,omitempty"`
+}
+
+// EngineTotals sums the workers' engine cache counters, for merging
+// into the coordinator's own engine.Stats.
+func (s Stats) EngineTotals() engine.Stats {
+	var t engine.Stats
+	for _, w := range s.Workers {
+		t.Hits += w.Hits
+		t.Misses += w.Misses
+		t.DiskHits += w.DiskHits
+		t.BatchCalls += w.BatchCalls
+		t.BatchedJobs += w.BatchedJobs
+	}
+	return t
+}
+
+// worker is the coordinator's view of one attached worker.
+type worker struct {
+	id    int
+	pid   int
+	cmd   *exec.Cmd
+	conn  io.Closer
+	in    *bufio.Writer
+	out   *bufio.Reader
+	close func()
+
+	alive atomic.Bool
+	stats WorkerStats
+}
+
+// shard is one dispatchable unit: tasks [start, start+len(payloads))
+// of the current Run.
+type shard struct {
+	seq      uint64
+	kind     string
+	start    int
+	payloads [][]byte
+	retries  int
+}
+
+// Fabric is the coordinator. A nil *Fabric is valid and executes
+// everything in-process, so call sites thread one pointer through
+// without branching on "distributed or not".
+type Fabric struct {
+	opts    Options
+	workers []*worker
+	ln      net.Listener
+	seq     atomic.Uint64
+
+	mu       sync.Mutex
+	stolen   int
+	requeued int
+	shards   int
+	tasks    int
+	inproc   int
+
+	closed     bool
+	finalStats Stats
+}
+
+// New builds a fabric per opts. Spawn or accept failures are not
+// fatal: the fabric runs with however many workers came up (possibly
+// zero → in-process). The error reports the first attach failure for
+// logging; the fabric is still usable.
+func New(opts Options) (*Fabric, error) {
+	if opts.Retries == 0 {
+		opts.Retries = defaultRetries
+	}
+	if opts.Stderr == nil {
+		opts.Stderr = os.Stderr
+	}
+	f := &Fabric{opts: opts}
+	var firstErr error
+	if opts.Listen != "" {
+		ln, err := net.Listen("tcp", opts.Listen)
+		if err != nil {
+			return f, fmt.Errorf("distrib: listen %s: %w", opts.Listen, err)
+		}
+		f.ln = ln
+		for i := 0; i < opts.Workers; i++ {
+			w, err := f.acceptWorker(i)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			f.workers = append(f.workers, w)
+		}
+		return f, firstErr
+	}
+	if len(opts.Command) == 0 {
+		return f, nil
+	}
+	for i := 0; i < opts.Workers; i++ {
+		w, err := f.spawnWorker(i)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		f.workers = append(f.workers, w)
+	}
+	return f, firstErr
+}
+
+// Addr returns the listener's address ("" when not listening), so a
+// port-0 listen can tell workers where to connect.
+func (f *Fabric) Addr() string {
+	if f == nil || f.ln == nil {
+		return ""
+	}
+	return f.ln.Addr().String()
+}
+
+// Live reports how many workers are currently attached and healthy.
+func (f *Fabric) Live() int {
+	if f == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range f.workers {
+		if w.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *Fabric) spawnWorker(id int) (*worker, error) {
+	cmd := exec.Command(f.opts.Command[0], f.opts.Command[1:]...)
+	cmd.Env = append(os.Environ(), f.opts.Env...)
+	cmd.Stderr = f.opts.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("distrib: worker %d stdin: %w", id, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("distrib: worker %d stdout: %w", id, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("distrib: worker %d start: %w", id, err)
+	}
+	w := &worker{
+		id:  id,
+		cmd: cmd,
+		in:  bufio.NewWriterSize(stdin, 1<<16),
+		out: bufio.NewReaderSize(stdout, 1<<16),
+		close: func() {
+			stdin.Close()
+			cmd.Wait()
+		},
+	}
+	if err := f.attach(w); err != nil {
+		stdin.Close()
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (f *Fabric) acceptWorker(id int) (*worker, error) {
+	conn, err := f.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("distrib: accept worker %d: %w", id, err)
+	}
+	w := &worker{
+		id:    id,
+		conn:  conn,
+		in:    bufio.NewWriterSize(conn, 1<<16),
+		out:   bufio.NewReaderSize(conn, 1<<16),
+		close: func() { conn.Close() },
+	}
+	if err := f.attach(w); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// attach completes the hello exchange and marks the worker live.
+func (f *Fabric) attach(w *worker) error {
+	if err := exchangeHello(w.out, w.in, os.Getpid()); err != nil {
+		return fmt.Errorf("distrib: worker %d hello: %w", w.id, err)
+	}
+	w.alive.Store(true)
+	w.stats = WorkerStats{ID: w.id}
+	if w.cmd != nil {
+		w.stats.PID = w.cmd.Process.Pid
+	}
+	return nil
+}
+
+// Run shards payloads of one kind across the live workers and merges
+// results into input order. Every task result lands in its global
+// index slot, so the output is bit-identical at any worker count —
+// including zero, where everything runs in-process through the same
+// registered handler. errs[i] reports task i's handler failure (or
+// panic, as text); transport failures never surface here, they
+// requeue the shard.
+func (f *Fabric) Run(kind string, payloads [][]byte) ([][]byte, []error) {
+	out := make([][]byte, len(payloads))
+	errs := make([]error, len(payloads))
+	if len(payloads) == 0 {
+		return out, errs
+	}
+	live := f.liveWorkers()
+	if len(live) == 0 {
+		f.runLocal(kind, payloads, 0, out, errs)
+		return out, errs
+	}
+
+	shards := f.buildShards(kind, payloads, len(live))
+	q := newQueues(len(f.workers), shards)
+	var wg sync.WaitGroup
+	for _, w := range live {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			f.drive(w, q, payloads, out, errs)
+		}(w)
+	}
+	wg.Wait()
+	// Anything still queued means every worker died mid-run: finish
+	// in-process so Run always completes with full results.
+	for _, sh := range q.drain() {
+		f.runLocal(sh.kind, sh.payloads, sh.start, out, errs)
+	}
+	f.mu.Lock()
+	f.shards += len(shards)
+	f.tasks += len(payloads)
+	f.mu.Unlock()
+	return out, errs
+}
+
+// runLocal executes tasks in-process through the registered handler,
+// writing into the global slots starting at base.
+func (f *Fabric) runLocal(kind string, payloads [][]byte, base int, out [][]byte, errs []error) {
+	h := lookupKind(kind)
+	engine.Map(len(payloads), func(i int) {
+		b, msg := execTask(h, kind, payloads[i])
+		out[base+i] = b
+		if msg != "" {
+			errs[base+i] = errors.New(msg)
+		}
+	})
+	if f != nil {
+		f.mu.Lock()
+		f.inproc += len(payloads)
+		f.mu.Unlock()
+	}
+}
+
+func (f *Fabric) liveWorkers() []*worker {
+	if f == nil {
+		return nil
+	}
+	var live []*worker
+	for _, w := range f.workers {
+		if w.alive.Load() {
+			live = append(live, w)
+		}
+	}
+	return live
+}
+
+// buildShards slices payloads into contiguous shards. The automatic
+// shard size aims at ~4 shards per worker so stealing has slack,
+// clamped to [1, 64] (matching the engine's sweep chunk cap).
+func (f *Fabric) buildShards(kind string, payloads [][]byte, liveWorkers int) []*shard {
+	size := f.opts.ShardSize
+	if size <= 0 {
+		size = (len(payloads) + liveWorkers*4 - 1) / (liveWorkers * 4)
+		if size < 1 {
+			size = 1
+		}
+		if size > 64 {
+			size = 64
+		}
+	}
+	var shards []*shard
+	for start := 0; start < len(payloads); start += size {
+		end := start + size
+		if end > len(payloads) {
+			end = len(payloads)
+		}
+		shards = append(shards, &shard{
+			seq:      f.seq.Add(1),
+			kind:     kind,
+			start:    start,
+			payloads: payloads[start:end],
+		})
+	}
+	return shards
+}
+
+// queues is the per-worker shard deques plus the shared lock. Shards
+// are dealt round-robin; an idle worker first pops from the front of
+// its own deque, then steals from the back of the longest one.
+type queues struct {
+	mu sync.Mutex
+	q  [][]*shard
+}
+
+func newQueues(workers int, shards []*shard) *queues {
+	qs := &queues{q: make([][]*shard, workers)}
+	for i, sh := range shards {
+		w := i % workers
+		qs.q[w] = append(qs.q[w], sh)
+	}
+	return qs
+}
+
+// next pops the next shard for worker id, stealing when its own deque
+// is empty. The second return reports a steal.
+func (qs *queues) next(id int) (*shard, bool) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if own := qs.q[id]; len(own) > 0 {
+		sh := own[0]
+		qs.q[id] = own[1:]
+		return sh, false
+	}
+	victim, best := -1, 0
+	for i, q := range qs.q {
+		if i != id && len(q) > best {
+			victim, best = i, len(q)
+		}
+	}
+	if victim < 0 {
+		return nil, false
+	}
+	q := qs.q[victim]
+	sh := q[len(q)-1]
+	qs.q[victim] = q[:len(q)-1]
+	return sh, true
+}
+
+// requeue pushes a failed shard onto the front of worker id's deque
+// (or any non-empty-capable deque — fronts keep retry order tight).
+func (qs *queues) requeue(sh *shard, exclude int) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	id := 0
+	if id == exclude && len(qs.q) > 1 {
+		id = 1
+	}
+	qs.q[id] = append([]*shard{sh}, qs.q[id]...)
+}
+
+// drain empties every deque, returning the leftovers.
+func (qs *queues) drain() []*shard {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	var left []*shard
+	for i, q := range qs.q {
+		left = append(left, q...)
+		qs.q[i] = nil
+	}
+	return left
+}
+
+// drive is one worker's dispatcher loop: pop (or steal) a shard, send
+// it, wait for the result, merge. A transport failure marks the
+// worker dead and requeues the in-flight shard with a bounded retry;
+// past the bound the shard runs in-process immediately, so one
+// persistently failing shard cannot live-lock the run.
+func (f *Fabric) drive(w *worker, qs *queues, payloads [][]byte, out [][]byte, errs []error) {
+	for {
+		idleStart := time.Now()
+		sh, stolen := qs.next(w.id)
+		if sh == nil {
+			return
+		}
+		if stolen {
+			w.stats.Stolen++
+			w.stats.StealWaitNS += time.Since(idleStart).Nanoseconds()
+			f.mu.Lock()
+			f.stolen++
+			f.mu.Unlock()
+		}
+		busyStart := time.Now()
+		res, err := f.roundTrip(w, sh)
+		if err != nil {
+			w.alive.Store(false)
+			w.stats.Died = true
+			if sh.retries < f.opts.Retries {
+				sh.retries++
+				f.mu.Lock()
+				f.requeued++
+				f.mu.Unlock()
+				qs.requeue(sh, w.id)
+			} else {
+				f.runLocal(sh.kind, sh.payloads, sh.start, out, errs)
+			}
+			return
+		}
+		for i := range res.Payloads {
+			g := sh.start + i
+			out[g] = res.Payloads[i]
+			if res.Errs[i] != "" {
+				errs[g] = errors.New(res.Errs[i])
+			}
+		}
+		w.stats.Shards++
+		w.stats.Tasks += len(sh.payloads)
+		w.stats.BusyNS += time.Since(busyStart).Nanoseconds()
+	}
+}
+
+// roundTrip sends one shard and reads its result, validating shape.
+func (f *Fabric) roundTrip(w *worker, sh *shard) (*resultMsg, error) {
+	msg := &shardMsg{Seq: sh.seq, Kind: sh.kind, Start: sh.start, Payloads: sh.payloads}
+	if err := writeFrame(w.in, &envelope{Type: msgShard, Shard: msg}); err != nil {
+		return nil, err
+	}
+	env, err := readFrame(w.out)
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != msgResult || env.Result == nil {
+		return nil, fmt.Errorf("distrib: worker %d: expected result, got type %d", w.id, env.Type)
+	}
+	res := env.Result
+	if res.Seq != sh.seq || len(res.Payloads) != len(sh.payloads) || len(res.Errs) != len(sh.payloads) {
+		return nil, fmt.Errorf("distrib: worker %d: result shape mismatch for shard %d", w.id, sh.seq)
+	}
+	return res, nil
+}
+
+// kill forcibly terminates worker i's process — the crash-injection
+// hook for tests.
+func (f *Fabric) kill(i int) error {
+	if i < 0 || i >= len(f.workers) || f.workers[i].cmd == nil {
+		return fmt.Errorf("distrib: no process for worker %d", i)
+	}
+	return f.workers[i].cmd.Process.Kill()
+}
+
+// Shutdown ends every worker (done → collect stats → wait), closes
+// the listener, and returns the aggregated stats. Idempotent; Run
+// must not be called afterwards.
+func (f *Fabric) Shutdown() Stats {
+	if f == nil {
+		return Stats{}
+	}
+	f.mu.Lock()
+	if f.closed {
+		s := f.finalStats
+		f.mu.Unlock()
+		return s
+	}
+	f.closed = true
+	f.mu.Unlock()
+
+	for _, w := range f.workers {
+		if w.alive.Load() {
+			if err := writeFrame(w.in, &envelope{Type: msgDone}); err == nil {
+				if env, err := readFrame(w.out); err == nil && env.Type == msgStats && env.Stats != nil {
+					st := env.Stats
+					w.stats.Hits, w.stats.Misses, w.stats.DiskHits = st.Hits, st.Misses, st.DiskHits
+					w.stats.BatchCalls, w.stats.BatchedJobs = st.BatchCalls, st.BatchedJobs
+				}
+			}
+			w.alive.Store(false)
+		} else if w.cmd != nil && w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		w.close()
+		if w.stats.BusyNS > 0 {
+			w.stats.TasksPerSec = float64(w.stats.Tasks) / (float64(w.stats.BusyNS) / 1e9)
+		}
+	}
+	if f.ln != nil {
+		f.ln.Close()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := Stats{
+		Spawned:        len(f.workers),
+		Shards:         f.shards,
+		Tasks:          f.tasks,
+		Stolen:         f.stolen,
+		Requeued:       f.requeued,
+		InProcessTasks: f.inproc,
+	}
+	for _, w := range f.workers {
+		s.Workers = append(s.Workers, w.stats)
+	}
+	f.finalStats = s
+	return s
+}

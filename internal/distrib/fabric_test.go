@@ -1,0 +1,300 @@
+package distrib
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The test kind: squares its input, with knobs to sleep (so crashes
+// land mid-sweep), fail, or panic. Registered in init so the helper
+// worker process (this same test binary) serves it too.
+const testKind = "distrib.test.square"
+
+type squareIn struct {
+	V       int
+	SleepMS int
+	Fail    bool
+	Panic   bool
+}
+
+type squareOut struct{ V int }
+
+func init() {
+	RegisterKind(testKind, HandlerGob(func(in squareIn) (squareOut, error) {
+		if in.SleepMS > 0 {
+			time.Sleep(time.Duration(in.SleepMS) * time.Millisecond)
+		}
+		if in.Fail {
+			return squareOut{}, fmt.Errorf("task %d failed", in.V)
+		}
+		if in.Panic {
+			panic(fmt.Sprintf("task %d panicked", in.V))
+		}
+		return squareOut{V: in.V * in.V}, nil
+	}))
+}
+
+// TestWorkerProcess is not a test: it is the worker subprocess body,
+// entered when the fabric re-invokes this test binary.
+func TestWorkerProcess(t *testing.T) {
+	if os.Getenv("TEMP_DISTRIB_WORKER") != "1" {
+		t.Skip("worker-process helper, not a test")
+	}
+	if err := ServeStdio(); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+func newTestFabric(t *testing.T, workers, shardSize int) *Fabric {
+	t.Helper()
+	f, err := New(Options{
+		Workers:   workers,
+		ShardSize: shardSize,
+		Command:   []string{os.Args[0], "-test.run=^TestWorkerProcess$"},
+		Env:       []string{"TEMP_DISTRIB_WORKER=1"},
+	})
+	if err != nil {
+		t.Fatalf("fabric: %v", err)
+	}
+	if f.Live() != workers {
+		t.Fatalf("live workers = %d, want %d", f.Live(), workers)
+	}
+	t.Cleanup(func() { f.Shutdown() })
+	return f
+}
+
+func squares(n, sleepMS int) []squareIn {
+	in := make([]squareIn, n)
+	for i := range in {
+		in[i] = squareIn{V: i, SleepMS: sleepMS}
+	}
+	return in
+}
+
+func checkSquares(t *testing.T, outs []squareOut, errs []error) {
+	t.Helper()
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("task %d: %v", i, errs[i])
+		}
+		if outs[i].V != i*i {
+			t.Fatalf("task %d = %d, want %d", i, outs[i].V, i*i)
+		}
+	}
+}
+
+// TestFabricDistributes: subprocess workers execute every shard and
+// the merged output is index-addressed into input order.
+func TestFabricDistributes(t *testing.T) {
+	f := newTestFabric(t, 2, 3)
+	outs, errs := RunTasks[squareIn, squareOut](f, testKind, squares(40, 0))
+	checkSquares(t, outs, errs)
+	fs := f.Shutdown()
+	if fs.Tasks != 40 || fs.Shards != 14 {
+		t.Fatalf("stats = %d tasks / %d shards, want 40/14", fs.Tasks, fs.Shards)
+	}
+	sum := 0
+	for _, w := range fs.Workers {
+		sum += w.Tasks
+	}
+	if sum != 40 || fs.InProcessTasks != 0 {
+		t.Fatalf("worker tasks sum %d (inproc %d), want 40 (0)", sum, fs.InProcessTasks)
+	}
+}
+
+// TestWorkerCrashRecovery kills a worker subprocess mid-sweep and
+// asserts the coordinator requeues its shards and the merged result
+// stays bit-identical to the in-process golden.
+func TestWorkerCrashRecovery(t *testing.T) {
+	inputs := squares(40, 20)
+
+	golden, goldenErrs := RunTasks[squareIn, squareOut](nil, testKind, inputs)
+	checkSquares(t, golden, goldenErrs)
+
+	f := newTestFabric(t, 2, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(60 * time.Millisecond)
+		if err := f.kill(0); err != nil {
+			t.Error(err)
+		}
+	}()
+	outs, errs := RunTasks[squareIn, squareOut](f, testKind, inputs)
+	<-done
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("task %d surfaced a transport error: %v", i, errs[i])
+		}
+	}
+	if !reflect.DeepEqual(outs, golden) {
+		t.Fatal("merged result after crash differs from the in-process golden")
+	}
+	fs := f.Shutdown()
+	if fs.Requeued < 1 {
+		t.Fatalf("requeued = %d, want >= 1 after worker kill", fs.Requeued)
+	}
+	died := 0
+	for _, w := range fs.Workers {
+		if w.Died {
+			died++
+		}
+	}
+	if died != 1 {
+		t.Fatalf("died workers = %d, want 1", died)
+	}
+}
+
+// TestAllWorkersDead: with every worker killed before the run, the
+// coordinator degrades to in-process execution and still completes.
+func TestAllWorkersDead(t *testing.T) {
+	f := newTestFabric(t, 2, 4)
+	for i := 0; i < 2; i++ {
+		if err := f.kill(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outs, errs := RunTasks[squareIn, squareOut](f, testKind, squares(20, 0))
+	checkSquares(t, outs, errs)
+	fs := f.Shutdown()
+	if fs.InProcessTasks != 20 {
+		t.Fatalf("inprocess tasks = %d, want all 20", fs.InProcessTasks)
+	}
+}
+
+// TestSpawnFailureFallsBack: a fabric whose workers never spawn still
+// runs everything in-process (degraded, not broken).
+func TestSpawnFailureFallsBack(t *testing.T) {
+	f, err := New(Options{Workers: 2, Command: []string{"/nonexistent/tempworker"}})
+	if err == nil {
+		t.Fatal("expected a spawn error report")
+	}
+	outs, errs := RunTasks[squareIn, squareOut](f, testKind, squares(10, 0))
+	checkSquares(t, outs, errs)
+	fs := f.Shutdown()
+	if fs.Spawned != 0 || fs.InProcessTasks != 10 {
+		t.Fatalf("spawned %d, inprocess %d; want 0, 10", fs.Spawned, fs.InProcessTasks)
+	}
+}
+
+// TestNilFabricRunsInProcess: a nil *Fabric is the documented
+// degenerate coordinator.
+func TestNilFabricRunsInProcess(t *testing.T) {
+	outs, errs := RunTasks[squareIn, squareOut](nil, testKind, squares(8, 0))
+	checkSquares(t, outs, errs)
+}
+
+// TestTaskErrorsAndPanics: handler errors and panics come back as
+// per-task errors — from worker subprocesses — without poisoning
+// neighbouring tasks.
+func TestTaskErrorsAndPanics(t *testing.T) {
+	f := newTestFabric(t, 2, 2)
+	in := squares(12, 0)
+	in[3].Fail = true
+	in[7].Panic = true
+	outs, errs := RunTasks[squareIn, squareOut](f, testKind, in)
+	for i := range in {
+		switch i {
+		case 3:
+			if errs[i] == nil || errs[i].Error() != "task 3 failed" {
+				t.Fatalf("task 3 error = %v", errs[i])
+			}
+		case 7:
+			if errs[i] == nil || !strings.Contains(errs[i].Error(), "panic") {
+				t.Fatalf("task 7 error = %v, want panic text", errs[i])
+			}
+		default:
+			if errs[i] != nil || outs[i].V != i*i {
+				t.Fatalf("task %d: out %d err %v", i, outs[i].V, errs[i])
+			}
+		}
+	}
+}
+
+// TestUnknownKind: a kind no handler serves surfaces per-task errors.
+func TestUnknownKind(t *testing.T) {
+	f := newTestFabric(t, 1, 0)
+	_, errs := f.Run("no.such.kind", [][]byte{{1}, {2}})
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "unknown task kind") {
+			t.Fatalf("task %d error = %v", i, err)
+		}
+	}
+}
+
+// TestTCPTransport: a worker serving over TCP (the multi-machine
+// path) is indistinguishable from a stdio subprocess.
+func TestTCPTransport(t *testing.T) {
+	// Reserve a port, release it, and have the worker retry-dial while
+	// the fabric binds and accepts.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	workerDone := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 100; i++ {
+			if err = ConnectAndServe(addr); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		workerDone <- err
+	}()
+	f, err := New(Options{Workers: 1, Listen: addr, ShardSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, errs := RunTasks[squareIn, squareOut](f, testKind, squares(16, 0))
+	checkSquares(t, outs, errs)
+	fs := f.Shutdown()
+	if err := <-workerDone; err != nil {
+		t.Fatalf("tcp worker: %v", err)
+	}
+	if fs.InProcessTasks != 0 || fs.Tasks != 16 {
+		t.Fatalf("tcp run: %d fabric tasks, %d inprocess", fs.Tasks, fs.InProcessTasks)
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts: the merged output is
+// bit-identical at 0 (in-process), 1, and 3 workers.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	inputs := squares(30, 1)
+	golden, _ := RunTasks[squareIn, squareOut](nil, testKind, inputs)
+	for _, n := range []int{1, 3} {
+		f := newTestFabric(t, n, 2)
+		outs, errs := RunTasks[squareIn, squareOut](f, testKind, inputs)
+		checkSquares(t, outs, errs)
+		if !reflect.DeepEqual(outs, golden) {
+			t.Fatalf("output at %d workers differs from in-process", n)
+		}
+		f.Shutdown()
+	}
+}
+
+// TestStealing: with one deliberately slow worker, the other steals
+// from its deque and the counters record it.
+func TestStealing(t *testing.T) {
+	f := newTestFabric(t, 2, 1)
+	in := squares(24, 0)
+	// Worker 0's first shard sleeps long; its remaining shards get
+	// stolen by worker 1 while it is stuck.
+	in[0].SleepMS = 300
+	outs, errs := RunTasks[squareIn, squareOut](f, testKind, in)
+	checkSquares(t, outs, errs)
+	fs := f.Shutdown()
+	if fs.Stolen < 1 {
+		t.Fatalf("stolen = %d, want >= 1", fs.Stolen)
+	}
+}

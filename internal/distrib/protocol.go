@@ -1,0 +1,155 @@
+// Package distrib is a coordinator/worker fabric that shards
+// engine-shaped workloads (experiment tables, scenario batches, fault
+// campaigns, solver races) across worker processes and merges their
+// results deterministically.
+//
+// The wire protocol is deliberately small: length-prefixed frames,
+// each carrying one gob-encoded envelope. Every frame is a standalone
+// gob stream (a fresh encoder per frame, mirroring the disk memo's
+// record framing) so a reader never depends on state from earlier
+// frames and a dropped connection never leaves a decoder mid-stream.
+//
+//	frame : len u32le | gob(envelope)
+//
+// The coordinator speaks the same protocol over a worker subprocess's
+// stdin/stdout or over a TCP connection (multi-machine via -listen /
+// -connect). Task payloads are opaque []byte — the kind registry
+// (registry.go) maps a kind string to the handler that decodes,
+// executes, and re-encodes them, so the fabric itself stays ignorant
+// of every workload's shape.
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// protoVersion is validated in both directions during the hello
+// exchange; bump it whenever the envelope shape changes.
+const protoVersion = 1
+
+// maxFrame bounds a frame's length; anything larger is corruption.
+const maxFrame = 1 << 30
+
+type msgType uint8
+
+const (
+	msgHello msgType = iota + 1
+	msgShard
+	msgResult
+	msgDone
+	msgStats
+)
+
+// envelope is the single frame shape; exactly one pointer field is
+// non-nil, selected by Type.
+type envelope struct {
+	Type   msgType
+	Hello  *helloMsg
+	Shard  *shardMsg
+	Result *resultMsg
+	Stats  *statsMsg
+}
+
+// helloMsg is the first frame in each direction.
+type helloMsg struct {
+	Version int
+	PID     int
+}
+
+// shardMsg carries a contiguous run of tasks of one kind. Start is
+// the global index of the first task, so results are index-addressed
+// into the coordinator's pre-sized output slice no matter which
+// worker executes the shard or when.
+type shardMsg struct {
+	Seq      uint64
+	Kind     string
+	Start    int
+	Payloads [][]byte
+}
+
+// resultMsg answers one shard: Payloads[i] / Errs[i] correspond to
+// the shard's task i (global index Start+i). Errs entries are ""
+// on success; handler errors and worker-side panics travel as text.
+type resultMsg struct {
+	Seq      uint64
+	Start    int
+	Payloads [][]byte
+	Errs     []string
+}
+
+// statsMsg is the worker's reply to done: its lifetime counters plus
+// its engine cache statistics, aggregated coordinator-side.
+type statsMsg struct {
+	Shards      int
+	Tasks       int
+	Hits        int64
+	Misses      int64
+	DiskHits    int64
+	BatchCalls  int64
+	BatchedJobs int64
+}
+
+// writeFrame encodes env as one standalone gob stream and writes it
+// with its length prefix in a single buffered write+flush.
+func writeFrame(w *bufio.Writer, env *envelope) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("distrib: encode frame: %w", err)
+	}
+	if buf.Len() > maxFrame {
+		return fmt.Errorf("distrib: frame too large (%d bytes)", buf.Len())
+	}
+	var lens [4]byte
+	binary.LittleEndian.PutUint32(lens[:], uint32(buf.Len()))
+	if _, err := w.Write(lens[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one length-prefixed envelope.
+func readFrame(r *bufio.Reader) (*envelope, error) {
+	var lens [4]byte
+	if _, err := io.ReadFull(r, lens[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lens[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("distrib: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("distrib: decode frame: %w", err)
+	}
+	return &env, nil
+}
+
+// exchangeHello sends our hello and validates the peer's.
+func exchangeHello(r *bufio.Reader, w *bufio.Writer, pid int) error {
+	if err := writeFrame(w, &envelope{Type: msgHello, Hello: &helloMsg{Version: protoVersion, PID: pid}}); err != nil {
+		return err
+	}
+	env, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	if env.Type != msgHello || env.Hello == nil {
+		return fmt.Errorf("distrib: expected hello, got message type %d", env.Type)
+	}
+	if env.Hello.Version != protoVersion {
+		return fmt.Errorf("distrib: protocol version mismatch: have %d, peer %d", protoVersion, env.Hello.Version)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package distrib
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"os"
+
+	"temp/internal/engine"
+)
+
+// ServeStdio runs the worker loop over the process's stdin/stdout —
+// the transport used by `-worker-mode` subprocesses. The real stdout
+// is claimed for the protocol and os.Stdout is repointed at stderr,
+// so a stray print inside a handler degrades to log noise instead of
+// corrupting the frame stream.
+func ServeStdio() error {
+	out := os.Stdout
+	os.Stdout = os.Stderr
+	return Serve(os.Stdin, out)
+}
+
+// ConnectAndServe dials a coordinator's -listen address and serves
+// shards over the TCP connection (the multi-machine transport).
+func ConnectAndServe(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return Serve(conn, conn)
+}
+
+// Serve speaks the worker side of the protocol: hello, then execute
+// shards as they arrive, then answer done with lifetime stats and
+// return. A read error (coordinator gone) returns the error; the
+// caller decides whether that is fatal.
+func Serve(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := exchangeHello(br, bw, os.Getpid()); err != nil {
+		return err
+	}
+	shards, tasks := 0, 0
+	for {
+		env, err := readFrame(br)
+		if err != nil {
+			return err
+		}
+		switch env.Type {
+		case msgShard:
+			res := execShard(env.Shard)
+			if err := writeFrame(bw, &envelope{Type: msgResult, Result: res}); err != nil {
+				return err
+			}
+			shards++
+			tasks += len(env.Shard.Payloads)
+		case msgDone:
+			s := engine.Default().Cache().Stats()
+			stats := &statsMsg{
+				Shards: shards, Tasks: tasks,
+				Hits: s.Hits, Misses: s.Misses, DiskHits: s.DiskHits,
+				BatchCalls: s.BatchCalls, BatchedJobs: s.BatchedJobs,
+			}
+			return writeFrame(bw, &envelope{Type: msgStats, Stats: stats})
+		}
+	}
+}
+
+// execShard runs every task in the shard through the kind's handler,
+// fanning out across the worker's own engine pool. Handler errors and
+// panics (via engine.Guard) become per-task error strings; they never
+// take the worker down.
+func execShard(sh *shardMsg) *resultMsg {
+	res := &resultMsg{
+		Seq:      sh.Seq,
+		Start:    sh.Start,
+		Payloads: make([][]byte, len(sh.Payloads)),
+		Errs:     make([]string, len(sh.Payloads)),
+	}
+	h := lookupKind(sh.Kind)
+	engine.Map(len(sh.Payloads), func(i int) {
+		res.Payloads[i], res.Errs[i] = execTask(h, sh.Kind, sh.Payloads[i])
+	})
+	return res
+}
+
+func execTask(h Handler, kind string, payload []byte) (out []byte, errMsg string) {
+	if h == nil {
+		return nil, "distrib: unknown task kind " + kind
+	}
+	var err error
+	if pe := engine.Guard(func() { out, err = h(payload) }); pe != nil {
+		return nil, pe.Error()
+	}
+	if err != nil {
+		return nil, err.Error()
+	}
+	return out, ""
+}

@@ -40,6 +40,17 @@ const (
 // diskMemoFile is the memo's file name inside its directory.
 const diskMemoFile = "costmemo.bin"
 
+// Auto-compaction policy. Concurrent appenders (distributed workers
+// sharing one memo dir) can legitimately write the same job twice —
+// each process only dedupes against its own index plus whatever was
+// on disk when it opened. Last-write-wins on load keeps the index
+// correct, but the dead bytes accumulate across runs. When an open
+// finds that fewer than half the parsed records are live (and the
+// file is big enough for the rewrite to matter), it rewrites the file
+// from the index so long-lived memo dirs stay bounded by their live
+// content.
+const compactMinRecords = 64
+
 // diskRecord is the stored shape of one Result. Errors are persisted
 // as text — the cost model's errors are deterministic descriptions
 // ("no viable placement", OOM), so a warm run reconstructs the same
@@ -65,8 +76,9 @@ type DiskMemo struct {
 	keyBuf []byte
 	valBuf bytes.Buffer
 
-	loaded  int // records recovered on open
-	dropped int // trailing bytes discarded on open
+	loaded    int // records recovered on open (including duplicates)
+	dropped   int // trailing bytes discarded on open
+	compacted int // duplicate records discarded by auto-compaction on open
 }
 
 // OpenDiskMemo opens (creating if needed) the persistent memo in dir.
@@ -86,10 +98,22 @@ func OpenDiskMemo(dir string) (*DiskMemo, error) {
 	}
 	validLen := m.load(data)
 	if validLen < len(data) {
+		m.dropped = len(data) - validLen
+	}
+	switch {
+	case m.loaded >= compactMinRecords && 2*len(m.index) < m.loaded:
+		// Size-triggered auto-compaction: under half the records are
+		// live (duplicates from concurrent writers), so rewrite the
+		// file from the index. This also sheds any corrupt tail.
+		m.compacted = m.loaded - len(m.index)
+		if err := m.compactFromIndex(); err != nil {
+			return nil, err
+		}
+		m.loaded = len(m.index)
+	case validLen < len(data):
 		// Corrupt or foreign tail (or a whole file from another schema
 		// version): atomically rewrite the valid prefix so appends
 		// never land after garbage.
-		m.dropped = len(data) - validLen
 		if err := m.compact(data[:validLen]); err != nil {
 			return nil, err
 		}
@@ -171,6 +195,41 @@ func (m *DiskMemo) compact(valid []byte) error {
 	return nil
 }
 
+// compactFromIndex atomically rewrites the file with exactly the live
+// records (one frame per index entry, file order unspecified).
+func (m *DiskMemo) compactFromIndex() error {
+	buf := headerBytes()
+	var val bytes.Buffer
+	for key, r := range m.index {
+		rec := diskRecord{Breakdown: r.Breakdown}
+		if r.Err != nil {
+			rec.HasErr = true
+			rec.ErrMsg = r.Err.Error()
+		}
+		val.Reset()
+		if err := gob.NewEncoder(&val).Encode(rec); err != nil {
+			return fmt.Errorf("engine: disk memo compact encode: %w", err)
+		}
+		buf = appendRecordFrame(buf, key, val.Bytes())
+	}
+	return m.compact(buf)
+}
+
+// appendRecordFrame appends one self-delimiting record frame
+// (lengths, checksum, key, value) to buf.
+func appendRecordFrame(buf []byte, key string, val []byte) []byte {
+	var lens [12]byte
+	binary.LittleEndian.PutUint32(lens[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(lens[4:], uint32(len(val)))
+	crc := crc32.ChecksumIEEE([]byte(key))
+	crc = crc32.Update(crc, crc32.IEEETable, val)
+	binary.LittleEndian.PutUint32(lens[8:], crc)
+	buf = append(buf, lens[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	return buf
+}
+
 func headerBytes() []byte {
 	return append([]byte(diskMemoMagic), diskMemoVersion)
 }
@@ -222,16 +281,7 @@ func (m *DiskMemo) Store(j Job, r Result) error {
 	}
 	val := m.valBuf.Bytes()
 
-	frame := make([]byte, 0, 12+len(key)+len(val))
-	var lens [12]byte
-	binary.LittleEndian.PutUint32(lens[0:], uint32(len(key)))
-	binary.LittleEndian.PutUint32(lens[4:], uint32(len(val)))
-	crc := crc32.ChecksumIEEE([]byte(key))
-	crc = crc32.Update(crc, crc32.IEEETable, val)
-	binary.LittleEndian.PutUint32(lens[8:], crc)
-	frame = append(frame, lens[:]...)
-	frame = append(frame, key...)
-	frame = append(frame, val...)
+	frame := appendRecordFrame(make([]byte, 0, 12+len(key)+len(val)), key, val)
 	if _, err := m.f.Write(frame); err != nil {
 		return fmt.Errorf("engine: disk memo append: %w", err)
 	}
@@ -251,6 +301,14 @@ func (m *DiskMemo) Recovered() (records, droppedBytes int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.loaded, m.dropped
+}
+
+// Compacted reports how many duplicate records the open's
+// auto-compaction discarded (0 when no compaction ran).
+func (m *DiskMemo) Compacted() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compacted
 }
 
 // Path returns the backing file's path.

@@ -305,3 +305,149 @@ func TestPoolWarmStartsFromDiskMemo(t *testing.T) {
 		t.Errorf("single evaluate: %+v, want 0 misses / 1 disk hit", s3)
 	}
 }
+
+// TestDiskMemoAutoCompaction: when concurrent writers leave more dead
+// duplicate records than live ones, the next open compacts the file
+// and preserves every live record; below the threshold it leaves the
+// file alone.
+func TestDiskMemoAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	const n = 40 // live records; 3 handles write each => 120 total, 40 live
+
+	// Three concurrent handles on the same dir (all opened before any
+	// write, as racing worker processes would), each appending the
+	// same n records: a handle dedupes only against its own index plus
+	// what was on disk when it opened, so the file accumulates 3n
+	// records of which n are live.
+	handles := make([]*DiskMemo, 3)
+	for h := range handles {
+		m, err := OpenDiskMemo(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[h] = m
+	}
+	for _, m := range handles {
+		for i := 0; i < n; i++ {
+			if err := m.Store(diskJob(i), diskResult(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before, err := os.Stat(fmt.Sprintf("%s/costmemo.bin", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenDiskMemo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// 120 parsed, 40 live: 2*40 < 120 triggers compaction.
+	if got := m.Compacted(); got != 2*n {
+		t.Fatalf("Compacted() = %d, want %d", got, 2*n)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len() = %d after compaction, want %d", m.Len(), n)
+	}
+	rec, dropped := m.Recovered()
+	if rec != n || dropped != 0 {
+		t.Fatalf("Recovered() = (%d, %d), want (%d, 0)", rec, dropped, n)
+	}
+	after, err := os.Stat(m.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the file: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// Every live record survived, bit-identical.
+	for i := 0; i < n; i++ {
+		r, ok := m.Lookup(diskJob(i))
+		if !ok {
+			t.Fatalf("record %d lost by compaction", i)
+		}
+		if !sameResult(r, diskResult(i)) {
+			t.Fatalf("record %d corrupted by compaction", i)
+		}
+	}
+
+	// The compacted file is clean: a further reopen parses exactly the
+	// live records and compacts nothing.
+	m2, err := OpenDiskMemo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if c := m2.Compacted(); c != 0 {
+		t.Fatalf("reopen after compaction compacted %d more records", c)
+	}
+	if rec, _ := m2.Recovered(); rec != n {
+		t.Fatalf("reopen recovered %d records, want %d", rec, n)
+	}
+}
+
+// TestDiskMemoCompactionThreshold: duplicate ratios at or above 1/2
+// live leave the file untouched (strict threshold), and files under
+// the minimum record count never compact.
+func TestDiskMemoCompactionThreshold(t *testing.T) {
+	// Exactly half live (two concurrent handles, same records): 80
+	// total, 40 live — 2*40 < 80 is false, so no compaction.
+	dir := t.TempDir()
+	const n = 40
+	ha, err := OpenDiskMemo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := OpenDiskMemo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*DiskMemo{ha, hb} {
+		for i := 0; i < n; i++ {
+			if err := m.Store(diskJob(i), diskResult(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Close()
+	}
+	m, err := OpenDiskMemo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Compacted(); c != 0 {
+		t.Fatalf("compacted %d records at exactly-half live ratio", c)
+	}
+	if rec, _ := m.Recovered(); rec != 2*n {
+		t.Fatalf("recovered %d, want %d", rec, 2*n)
+	}
+	m.Close()
+
+	// Tiny file, terrible ratio (4 total, 1 live) but under the
+	// 64-record floor: no compaction.
+	dir2 := t.TempDir()
+	tiny := make([]*DiskMemo, 4)
+	for h := range tiny {
+		if tiny[h], err = OpenDiskMemo(dir2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range tiny {
+		if err := m.Store(diskJob(0), diskResult(0)); err != nil {
+			t.Fatal(err)
+		}
+		m.Close()
+	}
+	m2, err := OpenDiskMemo(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if c := m2.Compacted(); c != 0 {
+		t.Fatalf("compacted %d records under the minimum-record floor", c)
+	}
+}

@@ -531,11 +531,21 @@ func ForEach(workers, n int, f func(i int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var firstPanic atomic.Pointer[PanicError]
 	wg.Add(workers)
 	for k := 0; k < workers; k++ {
 		go func() {
 			defer wg.Done()
-			for {
+			// A panic in f unwinds this goroutine; the deferred recover
+			// publishes it (first wins) instead of crashing the process.
+			// Keeping the recover at the goroutine top — not per item —
+			// keeps the loop body allocation-free.
+			defer func() {
+				if r := recover(); r != nil {
+					firstPanic.CompareAndSwap(nil, newPanicError(r))
+				}
+			}()
+			for firstPanic.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -545,6 +555,12 @@ func ForEach(workers, n int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if pe := firstPanic.Load(); pe != nil {
+		// Surface the first worker panic to the caller. The serial path
+		// above propagates panics naturally; here we re-panic with the
+		// captured value plus its original stack.
+		panic(pe)
+	}
 }
 
 // defaultPool serves the package-level helpers; the CLIs retune its

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a panic recovered from a worker goroutine so the
+// failure can cross goroutine (and, via distrib, process) boundaries
+// without losing the original value or stack. ForEach re-panics with
+// a *PanicError from the calling goroutine; distrib converts it into
+// a task error string shipped back to the coordinator.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As keep working through the wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+func newPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// Guard runs f and converts a panic into a *PanicError instead of
+// unwinding the caller. It is the panic-surfacing primitive shared by
+// ForEach's parallel path and distrib's shard execution.
+func Guard(f func()) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = newPanicError(r)
+		}
+	}()
+	f()
+	return nil
+}

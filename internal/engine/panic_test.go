@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestForEachPanicPropagates: a panic in one worker goroutine
+// surfaces to the caller as a *PanicError (previously it crashed the
+// process with no caller context).
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, r)
+				}
+				if !strings.Contains(pe.Error(), "boom-42") {
+					t.Fatalf("workers=%d: panic value lost: %v", workers, pe)
+				}
+				if len(pe.Stack) == 0 {
+					t.Fatalf("workers=%d: original stack lost", workers)
+				}
+			}()
+			ForEach(workers, 64, func(i int) {
+				if i == 42 {
+					panic("boom-42")
+				}
+			})
+		}()
+	}
+}
+
+// TestForEachPanicDoesNotHang: after a panic the remaining workers
+// drain promptly and every non-panicking item before the stop flag is
+// observed exactly once or not at all — no deadlock, no double-run.
+func TestForEachPanicDoesNotHang(t *testing.T) {
+	ran := make([]int32, 1024)
+	func() {
+		defer func() { recover() }()
+		ForEach(4, len(ran), func(i int) {
+			ran[i]++
+			if i == 100 {
+				panic(errors.New("stop"))
+			}
+		})
+	}()
+	for i, c := range ran {
+		if c > 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestPoolMapPanic: the pool's Map path shares ForEach's propagation.
+func TestPoolMapPanic(t *testing.T) {
+	p := New(4)
+	defer func() {
+		if _, ok := recover().(*PanicError); !ok {
+			t.Fatal("Pool.Map did not surface the worker panic")
+		}
+	}()
+	p.Map(32, func(i int) {
+		if i == 7 {
+			panic("pool boom")
+		}
+	})
+}
+
+// TestPanicErrorUnwrap: error panic values stay matchable through
+// errors.Is.
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	pe := Guard(func() { panic(sentinel) })
+	if pe == nil {
+		t.Fatal("Guard missed the panic")
+	}
+	if !errors.Is(pe, sentinel) {
+		t.Fatal("PanicError does not unwrap to the panicked error")
+	}
+	if Guard(func() {}) != nil {
+		t.Fatal("Guard reported a panic for a clean function")
+	}
+}
+
+// TestForEachSerialPanic: the workers<=1 path propagates the raw
+// panic value unchanged (natural unwinding, zero overhead).
+func TestForEachSerialPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "serial" {
+			t.Fatalf("recovered %v, want raw value", r)
+		}
+	}()
+	ForEach(1, 4, func(i int) { panic("serial") })
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestByIDOnMatchesByID: one experiment routed through the fabric task
+// codec (gob both ways, in-process path) matches the direct runner.
+func TestByIDOnMatchesByID(t *testing.T) {
+	direct, err := ByID("fig9", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runTableTask(tableTask{ID: "fig9", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*direct, out.Table) {
+		t.Errorf("fig9 through the task codec differs:\n got %+v\nwant %+v", out.Table, *direct)
+	}
+	tab, err := ByIDOn(nil, "fig9", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, tab) {
+		t.Errorf("ByIDOn(nil) differs from ByID")
+	}
+}

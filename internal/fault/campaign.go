@@ -93,92 +93,128 @@ type CampaignResult struct {
 	Cells []CellStats `json:"cells"`
 }
 
-// Run executes the campaign. Deterministic: per-trial RNGs are seeded
-// by TrialSeed and every trial writes its own result slot, so any
-// worker count produces bit-identical output.
-func (c Campaign) Run() (CampaignResult, error) {
-	trials := c.Trials
-	if trials <= 0 {
-		trials = 8
+// normalized returns a copy with every default filled in and the
+// grid validated, so local and distributed execution start from the
+// same fully-explicit campaign.
+func (c Campaign) normalized() (Campaign, error) {
+	if c.Trials <= 0 {
+		c.Trials = 8
 	}
-	seed := c.Seed
-	if seed == 0 {
-		seed = 42
+	if c.Seed == 0 {
+		c.Seed = 42
 	}
-	links := c.LinkRates
-	if len(links) == 0 {
-		links = DefaultLinkRates
+	if len(c.LinkRates) == 0 {
+		c.LinkRates = DefaultLinkRates
 	}
-	cores := c.CoreRates
-	if len(cores) == 0 {
-		cores = DefaultCoreRates
+	if len(c.CoreRates) == 0 {
+		c.CoreRates = DefaultCoreRates
 	}
-	for _, r := range append(append([]float64(nil), links...), cores...) {
+	for _, r := range append(append([]float64(nil), c.LinkRates...), c.CoreRates...) {
 		if r < 0 || r > 1 {
-			return CampaignResult{}, fmt.Errorf("fault: campaign rate %v outside [0,1]", r)
+			return Campaign{}, fmt.Errorf("fault: campaign rate %v outside [0,1]", r)
 		}
 	}
+	return c, nil
+}
+
+// cellCoord is one grid cell's injection rates.
+type cellCoord struct{ link, core float64 }
+
+// cells enumerates the grid in link-major order — the canonical cell
+// indexing shared by local and distributed runs.
+func (c Campaign) cells() []cellCoord {
+	var cells []cellCoord
+	for _, lr := range c.LinkRates {
+		for _, cr := range c.CoreRates {
+			cells = append(cells, cellCoord{lr, cr})
+		}
+	}
+	return cells
+}
+
+// baseline prices the fault-free configuration every norm is relative
+// to.
+func (c Campaign) baseline() (float64, error) {
 	base, err := cost.EvaluateWith(c.Backend, c.Model, c.Wafer, c.Config, c.Opts)
 	if err != nil {
-		return CampaignResult{}, fmt.Errorf("fault: campaign baseline: %w", err)
+		return 0, fmt.Errorf("fault: campaign baseline: %w", err)
 	}
 	if base.ThroughputTokens <= 0 {
-		return CampaignResult{}, fmt.Errorf("fault: campaign baseline throughput is not positive")
+		return 0, fmt.Errorf("fault: campaign baseline throughput is not positive")
 	}
+	return base.ThroughputTokens, nil
+}
 
-	type cell struct{ link, core float64 }
-	var cells []cell
-	for _, lr := range links {
-		for _, cr := range cores {
-			cells = append(cells, cell{lr, cr})
-		}
+// trial runs one Monte Carlo trial of one cell on a normalized
+// campaign.
+func (c Campaign) trial(cl cellCoord, ci, ti int, baseTokens float64) (norm float64, functional bool) {
+	in := Injection{
+		LinkRate:    cl.link,
+		CoreRate:    cl.core,
+		CoresPerDie: c.CoresPerDie,
 	}
-	n := len(cells) * trials
-	norms := make([]float64, n)
-	functional := make([]bool, n)
-	engine.ForEach(c.Workers, n, func(i int) {
-		ci, ti := i/trials, i%trials
-		in := Injection{
-			LinkRate:    cells[ci].link,
-			CoreRate:    cells[ci].core,
-			CoresPerDie: c.CoresPerDie,
-		}
-		rng := rand.New(rand.NewSource(TrialSeed(seed, ci, ti)))
-		out := EvaluateWith(c.Backend, c.Model, c.Wafer, c.Config, c.Opts, in, rng)
-		if out.Functional {
-			norms[i] = out.Breakdown.ThroughputTokens / base.ThroughputTokens
-			functional[i] = true
-		}
-	})
+	rng := rand.New(rand.NewSource(TrialSeed(c.Seed, ci, ti)))
+	out := EvaluateWith(c.Backend, c.Model, c.Wafer, c.Config, c.Opts, in, rng)
+	if !out.Functional {
+		return 0, false
+	}
+	return out.Breakdown.ThroughputTokens / baseTokens, true
+}
 
+// summarize folds the flat per-trial results (cell-major, trials
+// within a cell contiguous) into the survivability curves.
+func (c Campaign) summarize(cells []cellCoord, norms []float64, functional []bool, baseTokens float64) CampaignResult {
 	backend := cost.CanonicalBackendKey(c.Backend)
 	if backend == "" {
 		backend = "analytic"
 	}
 	res := CampaignResult{
 		Model: c.Model.Name, Wafer: c.Wafer.Name, Config: c.Config.Normalize().String(),
-		Backend: backend, Trials: trials, Seed: seed,
-		BaselineTokens: base.ThroughputTokens,
+		Backend: backend, Trials: c.Trials, Seed: c.Seed,
+		BaselineTokens: baseTokens,
 	}
-	sorted := make([]float64, trials)
+	sorted := make([]float64, c.Trials)
 	for ci, cl := range cells {
 		st := CellStats{LinkRate: cl.link, CoreRate: cl.core}
 		var sum float64
 		fn := 0
-		for ti := 0; ti < trials; ti++ {
-			v := norms[ci*trials+ti]
+		for ti := 0; ti < c.Trials; ti++ {
+			v := norms[ci*c.Trials+ti]
 			sum += v
 			sorted[ti] = v
-			if functional[ci*trials+ti] {
+			if functional[ci*c.Trials+ti] {
 				fn++
 			}
 		}
 		sort.Float64s(sorted)
-		st.FunctionalRate = float64(fn) / float64(trials)
-		st.MeanNorm = sum / float64(trials)
-		st.P5Norm = sorted[(trials-1)*5/100]
+		st.FunctionalRate = float64(fn) / float64(c.Trials)
+		st.MeanNorm = sum / float64(c.Trials)
+		st.P5Norm = sorted[(c.Trials-1)*5/100]
 		st.MinNorm = sorted[0]
 		res.Cells = append(res.Cells, st)
 	}
-	return res, nil
+	return res
+}
+
+// Run executes the campaign. Deterministic: per-trial RNGs are seeded
+// by TrialSeed and every trial writes its own result slot, so any
+// worker count produces bit-identical output.
+func (c Campaign) Run() (CampaignResult, error) {
+	cc, err := c.normalized()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	baseTokens, err := cc.baseline()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	cells := cc.cells()
+	n := len(cells) * cc.Trials
+	norms := make([]float64, n)
+	functional := make([]bool, n)
+	engine.ForEach(cc.Workers, n, func(i int) {
+		ci, ti := i/cc.Trials, i%cc.Trials
+		norms[i], functional[i] = cc.trial(cells[ci], ci, ti, baseTokens)
+	})
+	return cc.summarize(cells, norms, functional, baseTokens), nil
 }

@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"temp/internal/distrib"
+	"temp/internal/engine"
+)
+
+// Distributed fault campaigns: one task per grid cell. The task ships
+// the fully-normalized campaign plus the coordinator-priced baseline,
+// so every worker derives the identical cell list and trial seeds.
+
+type campaignCellTask struct {
+	C              Campaign
+	Cell           int
+	BaselineTokens float64
+}
+
+type campaignCellOut struct {
+	Norms      []float64
+	Functional []bool
+}
+
+func init() {
+	distrib.RegisterKind("fault.campaign.cell", distrib.HandlerGob(runCampaignCell))
+}
+
+func runCampaignCell(t campaignCellTask) (campaignCellOut, error) {
+	cl := t.C.cells()[t.Cell]
+	out := campaignCellOut{
+		Norms:      make([]float64, t.C.Trials),
+		Functional: make([]bool, t.C.Trials),
+	}
+	engine.ForEach(t.C.Workers, t.C.Trials, func(ti int) {
+		out.Norms[ti], out.Functional[ti] = t.C.trial(cl, t.Cell, ti, t.BaselineTokens)
+	})
+	return out, nil
+}
+
+// RunOn executes the campaign with its grid cells sharded across the
+// fabric (in-process when f is nil or degraded). Per-trial seeding
+// makes the merged result bit-identical to Run at any worker count.
+func (c Campaign) RunOn(f *distrib.Fabric) (CampaignResult, error) {
+	cc, err := c.normalized()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	baseTokens, err := cc.baseline()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	cells := cc.cells()
+	tasks := make([]campaignCellTask, len(cells))
+	for ci := range cells {
+		tasks[ci] = campaignCellTask{C: cc, Cell: ci, BaselineTokens: baseTokens}
+	}
+	outs, errs := distrib.RunTasks[campaignCellTask, campaignCellOut](f, "fault.campaign.cell", tasks)
+	norms := make([]float64, len(cells)*cc.Trials)
+	functional := make([]bool, len(cells)*cc.Trials)
+	for ci := range cells {
+		if errs[ci] != nil {
+			return CampaignResult{}, errs[ci]
+		}
+		copy(norms[ci*cc.Trials:], outs[ci].Norms)
+		copy(functional[ci*cc.Trials:], outs[ci].Functional)
+	}
+	return cc.summarize(cells, norms, functional, baseTokens), nil
+}

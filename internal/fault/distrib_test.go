@@ -1,0 +1,25 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCampaignRunOnMatchesRun: the distributed per-cell decomposition
+// (here on a nil fabric, i.e. the degraded in-process path that also
+// backs worker-loss fallback) is bit-identical to Campaign.Run. This
+// exercises the full gob round-trip of the task and result shapes.
+func TestCampaignRunOnMatchesRun(t *testing.T) {
+	c := testCampaign()
+	direct, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := c.RunOn(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, dist) {
+		t.Errorf("RunOn diverges from Run:\n got %+v\nwant %+v", dist, direct)
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunScenarioSpecsOnMatchesDirect: a scenario batch routed through
+// the fabric task codec (JSON spec in, gob wire out) on the in-process
+// path reproduces RunScenarioSpecsWithStages bit-for-bit.
+func TestRunScenarioSpecsOnMatchesDirect(t *testing.T) {
+	specs := batchSpecs(t)
+	direct := RunScenarioSpecsWithStages(specs, nil, nil)
+	dist := RunScenarioSpecsOn(nil, specs, Overrides{})
+	if len(dist) != len(direct) {
+		t.Fatalf("result count %d, want %d", len(dist), len(direct))
+	}
+	for i := range direct {
+		if direct[i].Err != nil || dist[i].Err != nil {
+			t.Fatalf("scenario %s errored: direct %v, distributed %v",
+				specs[i].Name, direct[i].Err, dist[i].Err)
+		}
+		if !reflect.DeepEqual(direct[i], dist[i]) {
+			t.Errorf("scenario %s differs through the task codec:\n got %+v\nwant %+v",
+				specs[i].Name, dist[i], direct[i])
+		}
+	}
+}
+
+// TestOverridesStages: empty overrides build no stages; a backend
+// override builds only the cost stage.
+func TestOverridesStages(t *testing.T) {
+	sol, cst, err := Overrides{}.Stages()
+	if err != nil || sol != nil || cst != nil {
+		t.Fatalf("empty overrides: %v %v %v", sol, cst, err)
+	}
+	sol, cst, err = Overrides{Backend: "analytic"}.Stages()
+	if err != nil || sol != nil || cst == nil {
+		t.Fatalf("backend override: %v %v %v", sol, cst, err)
+	}
+	if _, _, err := (Overrides{Strategy: "no-such-strategy"}).Stages(); err == nil {
+		t.Fatal("bogus strategy should not build")
+	}
+}

@@ -1,0 +1,103 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"temp/internal/distrib"
+	"temp/internal/hw"
+	"temp/internal/model"
+	"temp/internal/parallel"
+)
+
+// Distributed portfolio racing: each racer (ga, anneal, hillclimb,
+// and multifid when screening applies) is one task, so the race
+// spreads across worker processes instead of goroutines. Each worker
+// rebuilds its cost models from the same (model, wafer, backend,
+// seed) tuple, so a racer's result is bit-identical to the in-process
+// portfolio's corresponding sub-strategy.
+
+type raceTask struct {
+	Strategy   string
+	Seed       int64
+	ScreenSeed int64
+	Model      model.Config
+	Wafer      hw.Wafer
+	Backend    string
+	Budget     Budget
+}
+
+type raceOut struct {
+	Assignment Assignment
+	Stats      Stats
+}
+
+func init() {
+	distrib.RegisterKind("solver.race", distrib.HandlerGob(runRaceTask))
+}
+
+func runRaceTask(t raceTask) (raceOut, error) {
+	g := model.BlockGraph(t.Model)
+	space := parallel.EnumerateConfigs(t.Wafer.Dies(), true, 0)
+	cm, screen, err := SearchModels(t.Strategy, t.Backend, t.Model, t.Wafer, t.ScreenSeed)
+	if err != nil {
+		return raceOut{}, err
+	}
+	st, err := NewStrategy(t.Strategy, Params{"seed": float64(t.Seed)})
+	if err != nil {
+		return raceOut{}, err
+	}
+	p := Problem{Graph: g, Space: space, Model: cm, Screen: screen}
+	a, s := st.Solve(context.Background(), p, t.Budget)
+	return raceOut{Assignment: a, Stats: s}, nil
+}
+
+// DistributedRace runs the portfolio's race with one racer per fabric
+// task. Winner selection replicates Portfolio.Solve: strictly lower
+// FinalCost wins, ties break toward the earlier racer, and the
+// aggregate stats carry every racer under Sub. The only semantic
+// difference from the in-process portfolio is the deadline: it
+// applies per racer rather than as one shared context, since workers
+// are separate processes.
+func DistributedRace(f *distrib.Fabric, m model.Config, w hw.Wafer, backendKey string, seed, screenSeed int64, b Budget) (Assignment, Stats, error) {
+	inner := b
+	inner.Deadline = b.Deadline
+	names := []string{"ga", "anneal", "hillclimb", "multifid"}
+	tasks := make([]raceTask, len(names))
+	for i, name := range names {
+		tasks[i] = raceTask{
+			Strategy: name, Seed: seed + int64(i), ScreenSeed: screenSeed,
+			Model: m, Wafer: w, Backend: backendKey, Budget: inner,
+		}
+	}
+	outs, errs := distrib.RunTasks[raceTask, raceOut](f, "solver.race", tasks)
+	for i, err := range errs {
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("solver: distributed racer %s: %w", names[i], err)
+		}
+	}
+	winner := 0
+	for i := 1; i < len(outs); i++ {
+		if outs[i].Stats.FinalCost < outs[winner].Stats.FinalCost {
+			winner = i
+		}
+	}
+	stats := Stats{Strategy: "portfolio"}
+	win := outs[winner].Stats
+	stats.Winner = win.Strategy
+	stats.DPCost = win.DPCost
+	stats.FinalCost = win.FinalCost
+	stats.Generations = win.Generations
+	stats.Iterations = win.Iterations
+	stats.Restarts = win.Restarts
+	stats.Checkpoints = win.Checkpoints
+	for _, o := range outs {
+		stats.Sub = append(stats.Sub, o.Stats)
+		stats.Evaluations += o.Stats.Evaluations
+		stats.ScreenEvaluations += o.Stats.ScreenEvaluations
+		if o.Stats.Elapsed > stats.Elapsed {
+			stats.Elapsed = o.Stats.Elapsed
+		}
+	}
+	return outs[winner].Assignment, stats, nil
+}

@@ -1,0 +1,34 @@
+package spec
+
+import "fmt"
+
+// DistribSpec is the optional "distrib" block of a scenario spec: it
+// declares how a batch containing the scenario should be spread
+// across worker processes. The CLIs honor it when -distribute is not
+// given (an explicit flag always wins), so a checked-in scenario dir
+// can carry its own fan-out policy.
+type DistribSpec struct {
+	// Workers is the worker-process count (0 = run in-process).
+	Workers int `json:"workers"`
+	// ShardSize caps tasks per shard (0 = automatic).
+	ShardSize int `json:"shard_size,omitempty"`
+	// Retries bounds per-shard requeues after a worker failure
+	// (0 = the fabric default).
+	Retries int `json:"retries,omitempty"`
+}
+
+func (d *DistribSpec) validate(name string) error {
+	if d == nil {
+		return nil
+	}
+	if d.Workers < 0 {
+		return fmt.Errorf("scenario %q: distrib workers %d is negative", name, d.Workers)
+	}
+	if d.ShardSize < 0 {
+		return fmt.Errorf("scenario %q: distrib shard_size %d is negative", name, d.ShardSize)
+	}
+	if d.Retries < 0 {
+		return fmt.Errorf("scenario %q: distrib retries %d is negative", name, d.Retries)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package spec
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestDistribSpecRoundTrip: the distrib block survives a JSON
+// round-trip and resolves cleanly.
+func TestDistribSpecRoundTrip(t *testing.T) {
+	in := `{"name":"x","model":"gpt3-175b","wafer":"wsc-4x8","distrib":{"workers":4,"shard_size":2,"retries":3}}`
+	s, err := ParseScenario([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &DistribSpec{Workers: 4, ShardSize: 2, Retries: 3}
+	if !reflect.DeepEqual(s.Distrib, want) {
+		t.Fatalf("distrib = %+v, want %+v", s.Distrib, want)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseScenario(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v (json %s)", err, data)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Error("scenario spec changed across JSON round-trip")
+	}
+	if _, err := s.Resolve(); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+}
+
+// TestDistribSpecValidation: negative counts are rejected at Resolve,
+// and a missing block stays nil (in-process default).
+func TestDistribSpecValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name, json, want string
+	}{
+		{
+			"negative workers",
+			`{"model":"gpt3-6.7b","wafer":"wsc-4x8","distrib":{"workers":-1}}`,
+			"workers -1 is negative",
+		},
+		{
+			"negative shard size",
+			`{"model":"gpt3-6.7b","wafer":"wsc-4x8","distrib":{"workers":2,"shard_size":-4}}`,
+			"shard_size -4 is negative",
+		},
+		{
+			"negative retries",
+			`{"model":"gpt3-6.7b","wafer":"wsc-4x8","distrib":{"workers":2,"retries":-2}}`,
+			"retries -2 is negative",
+		},
+	} {
+		s, err := ParseScenario([]byte(tc.json))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if _, err := s.Resolve(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+
+	s, err := ParseScenario([]byte(`{"model":"gpt3-6.7b","wafer":"wsc-4x8"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Distrib != nil {
+		t.Fatalf("distrib should default to nil, got %+v", s.Distrib)
+	}
+	if err := s.Distrib.validate("x"); err != nil {
+		t.Fatalf("nil distrib should validate: %v", err)
+	}
+}

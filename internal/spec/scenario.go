@@ -154,6 +154,9 @@ type ScenarioSpec struct {
 	// Cost selects the cost backend (fidelity tier) pricing the
 	// scenario; nil means the analytic tier.
 	Cost *CostSpec `json:"cost,omitempty"`
+	// Distrib optionally declares the batch's worker-process fan-out
+	// (CLI -distribute overrides it).
+	Distrib *DistribSpec `json:"distrib,omitempty"`
 }
 
 // Scenario is a resolved, validated ScenarioSpec: concrete domain
@@ -197,6 +200,9 @@ func (s ScenarioSpec) Resolve() (Scenario, error) {
 	sys, err := s.System.resolve()
 	if err != nil {
 		return Scenario{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if err := s.Distrib.validate(s.Name); err != nil {
+		return Scenario{}, err
 	}
 	sc := Scenario{
 		Name: s.Name, Model: m, Wafer: w, System: sys,

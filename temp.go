@@ -29,6 +29,7 @@ package temp
 import (
 	"temp/internal/baselines"
 	"temp/internal/cost"
+	"temp/internal/distrib"
 	"temp/internal/experiments"
 	"temp/internal/fault"
 	"temp/internal/hw"
@@ -318,4 +319,42 @@ var (
 	RunExperiment = experiments.ByID
 	// RunAllExperiments regenerates the full evaluation.
 	RunAllExperiments = experiments.All
+)
+
+// Distributed sweep fabric: a coordinator that shards engine-shaped
+// workloads (scenario batches, experiment suites, fault campaigns,
+// solver races) across worker processes with work stealing, bounded
+// requeue on worker loss, and deterministic index-addressed merges. A
+// nil *Fabric is valid and runs everything in-process.
+type (
+	// Fabric is the coordinator handle.
+	Fabric = distrib.Fabric
+	// FabricOptions configures worker spawning and sharding.
+	FabricOptions = distrib.Options
+	// FabricStats summarizes a fabric's lifetime (per-worker
+	// throughput, steals, requeues, cache counters).
+	FabricStats = distrib.Stats
+	// DistribSpec is the optional "distrib" block of a scenario spec.
+	DistribSpec = spec.DistribSpec
+)
+
+// Fabric entry points.
+var (
+	// NewFabric spawns (or accepts, with Options.Listen) the workers.
+	NewFabric = distrib.New
+	// ServeFabricWorker turns the current process into a stdio worker.
+	ServeFabricWorker = distrib.ServeStdio
+	// ConnectFabricWorker dials a coordinator and serves over TCP.
+	ConnectFabricWorker = distrib.ConnectAndServe
+	// RegisterFabricKind adds a task kind to the worker registry.
+	RegisterFabricKind = distrib.RegisterKind
+	// RunScenarioSpecsOn distributes a scenario batch over a fabric.
+	RunScenarioSpecsOn = sim.RunScenarioSpecsOn
+	// RunCampaignOn distributes a fault campaign's grid cells.
+	RunCampaignOn = fault.Campaign.RunOn
+	// RunExperimentOn regenerates one experiment through a fabric.
+	RunExperimentOn = experiments.ByIDOn
+	// DistributedRace races the portfolio's strategies across worker
+	// processes instead of goroutines.
+	DistributedRace = solver.DistributedRace
 )
