@@ -80,6 +80,11 @@ type output struct {
 	// memo instead of being re-priced (warm starts drive this to the
 	// cold run's miss count while misses drop to ~0).
 	CacheDiskHits int64 `json:"cache_disk_hits"`
+	// Persistent-memo hygiene: records rewritten away by open-time
+	// auto-compaction and corrupt tail bytes dropped during recovery
+	// (both 0 for a clean or absent memo).
+	CacheDiskCompacted    int `json:"cache_disk_compacted,omitempty"`
+	CacheDiskDroppedBytes int `json:"cache_disk_dropped_bytes,omitempty"`
 	// Batched-pricing telemetry: PriceBatch kernel invocations and the
 	// total candidates they priced (BatchedJobs/BatchCalls is the mean
 	// batch size).
@@ -167,6 +172,7 @@ func newFabric(n int, listen string, shardSize, retries int, passthrough []strin
 // TotalSeconds.
 func (o output) withEngineStats(s engine.Stats) output {
 	o.CacheHits, o.CacheMisses, o.CacheDiskHits = s.Hits, s.Misses, s.DiskHits
+	o.CacheDiskCompacted, o.CacheDiskDroppedBytes = s.DiskCompacted, s.DiskDropped
 	o.BatchCalls, o.BatchedJobs = s.BatchCalls, s.BatchedJobs
 	if o.TotalSeconds > 0 {
 		o.EvalsPerSec = float64(s.Misses) / o.TotalSeconds
@@ -442,7 +448,7 @@ func runScenarios(specs []spec.ScenarioSpec, jsonPath string, workers int, overr
 		}
 	}
 	if jsonPath != "" {
-		stats := engine.Default().Cache().Stats()
+		stats := engine.CountersSnapshot()
 		rec := toRecord(tab, time.Since(start))
 		switch {
 		case costStage != nil && costStage.Key != "":
@@ -671,7 +677,7 @@ func main() {
 		}
 		tab.Fprint(os.Stdout)
 		if *jsonPath != "" {
-			stats := engine.Default().Cache().Stats()
+			stats := engine.CountersSnapshot()
 			out := output{
 				Quick: *quick, Workers: engine.Workers(), Backend: backendLabel(),
 				TotalSeconds: time.Since(start).Seconds(),
@@ -698,7 +704,7 @@ func main() {
 		t.Fprint(os.Stdout)
 	}
 	if *jsonPath != "" {
-		stats := engine.Default().Cache().Stats()
+		stats := engine.CountersSnapshot()
 		out := output{
 			Quick: *quick, Workers: engine.Workers(), Backend: backendLabel(),
 			TotalSeconds: total.Seconds(),

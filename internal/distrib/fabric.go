@@ -512,6 +512,34 @@ func (f *Fabric) kill(i int) error {
 	return f.workers[i].cmd.Process.Kill()
 }
 
+// Snapshot returns the coordinator-side counters without disturbing
+// the fabric — the live-telemetry accessor for the serving daemon's
+// /metrics endpoint. Per-worker stats (shards, tasks, engine
+// counters) are only consistent at Shutdown, when workers report
+// their final tallies over the done exchange, so Snapshot reports
+// the coordinator's own counters plus the live-worker count and
+// leaves Workers empty.
+func (f *Fabric) Snapshot() Stats {
+	if f == nil {
+		return Stats{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		s := f.finalStats
+		s.Workers = nil
+		return s
+	}
+	return Stats{
+		Spawned:        len(f.workers),
+		Shards:         f.shards,
+		Tasks:          f.tasks,
+		Stolen:         f.stolen,
+		Requeued:       f.requeued,
+		InProcessTasks: f.inproc,
+	}
+}
+
 // Shutdown ends every worker (done → collect stats → wait), closes
 // the listener, and returns the aggregated stats. Idempotent; Run
 // must not be called afterwards.

@@ -56,7 +56,7 @@ func Serve(r io.Reader, w io.Writer) error {
 			shards++
 			tasks += len(env.Shard.Payloads)
 		case msgDone:
-			s := engine.Default().Cache().Stats()
+			s := engine.CountersSnapshot()
 			stats := &statsMsg{
 				Shards: shards, Tasks: tasks,
 				Hits: s.Hits, Misses: s.Misses, DiskHits: s.DiskHits,

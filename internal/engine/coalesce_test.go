@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalescerBitIdentical merges four concurrent overlapping sweeps
+// through one coalescer flush and checks every caller gets exactly
+// what an uncoalesced pool returns, with the shared-job telemetry
+// counting the overlap.
+func TestCoalescerBitIdentical(t *testing.T) {
+	jobs := testJobs(t)
+
+	// Golden results from a plain pool.
+	want := New(4).Sweep(jobs)
+
+	p := New(4)
+	// A wide hold window plus an unreachable early-flush bound force
+	// every concurrent submission into one timer-driven flush.
+	p.coal = NewCoalescer(p, 200*time.Millisecond, 1<<20)
+
+	// Four sweeps over overlapping halves: every pair shares the
+	// middle third of the job list.
+	n := len(jobs)
+	slices := [][2]int{{0, 2 * n / 3}, {n / 3, n}, {0, 2 * n / 3}, {n / 3, n}}
+	got := make([][]Result, len(slices))
+	var wg sync.WaitGroup
+	for i, s := range slices {
+		wg.Add(1)
+		go func(i int, lo, hi int) {
+			defer wg.Done()
+			got[i] = p.Sweep(jobs[lo:hi])
+		}(i, s[0], s[1])
+	}
+	wg.Wait()
+
+	for i, s := range slices {
+		for k, r := range got[i] {
+			w := want[s[0]+k]
+			if r.Breakdown.StepTime != w.Breakdown.StepTime ||
+				r.Breakdown.ThroughputTokens != w.Breakdown.ThroughputTokens ||
+				(r.Err == nil) != (w.Err == nil) {
+				t.Fatalf("sweep %d job %d: coalesced result diverged from plain pool", i, k)
+			}
+		}
+	}
+
+	st := p.Cache().Stats()
+	if st.CoalesceFlushes == 0 || st.CoalescedJobs == 0 {
+		t.Fatalf("coalescer priced nothing: %+v", st)
+	}
+	if st.CoalesceShared == 0 {
+		t.Errorf("overlapping sweeps reported no shared jobs: %+v", st)
+	}
+	// Each distinct job was priced exactly once despite four
+	// overlapping callers.
+	if st.Misses != int64(n) {
+		t.Errorf("misses = %d, want %d (each job priced once)", st.Misses, n)
+	}
+}
+
+// TestCoalescerImmediateFlush checks window <= 0 degenerates to the
+// plain batched path (flush per submission, identical results).
+func TestCoalescerImmediateFlush(t *testing.T) {
+	jobs := testJobs(t)
+	want := New(4).Sweep(jobs)
+
+	p := New(4)
+	p.coal = NewCoalescer(p, 0, 0)
+	got := p.Sweep(jobs)
+	for i := range jobs {
+		if got[i].Breakdown.StepTime != want[i].Breakdown.StepTime {
+			t.Fatalf("job %d diverged under immediate flush", i)
+		}
+	}
+	st := p.Cache().Stats()
+	if st.CoalesceFlushes != 1 || st.CoalescedJobs != int64(len(jobs)) {
+		t.Errorf("immediate flush counters = %+v, want 1 flush covering %d jobs", st, len(jobs))
+	}
+	if st.CoalesceShared != 0 {
+		t.Errorf("single caller reported %d shared jobs", st.CoalesceShared)
+	}
+}
+
+// TestSetCoalescer checks attach/detach swaps the shared pool without
+// losing cache or backend state.
+func TestSetCoalescer(t *testing.T) {
+	if Coalescing() {
+		t.Fatal("shared pool unexpectedly starts with a coalescer")
+	}
+	before := Default().cache
+	co := NewCoalescer(nil, time.Millisecond, 0)
+	SetCoalescer(co)
+	defer SetCoalescer(nil)
+	if !Coalescing() {
+		t.Fatal("SetCoalescer did not attach")
+	}
+	if Default().cache != before {
+		t.Error("SetCoalescer rebuilt the cache; warm entries lost")
+	}
+	SetCoalescer(nil)
+	if Coalescing() {
+		t.Fatal("SetCoalescer(nil) did not detach")
+	}
+}

@@ -74,6 +74,12 @@ type Cache struct {
 	diskHits    atomic.Int64
 	batchCalls  atomic.Int64
 	batchedJobs atomic.Int64
+	// Coalescer telemetry: flushes, the jobs they priced, and the
+	// subset of those jobs that shared a flush with at least one
+	// other submitter (the cross-request batching win).
+	coalFlushes atomic.Int64
+	coalJobs    atomic.Int64
+	coalShared  atomic.Int64
 }
 
 // NewCache returns an empty cache.
@@ -117,6 +123,9 @@ func (c *Cache) resharded(shards int) *Cache {
 	nc.diskHits.Store(c.diskHits.Load())
 	nc.batchCalls.Store(c.batchCalls.Load())
 	nc.batchedJobs.Store(c.batchedJobs.Load())
+	nc.coalFlushes.Store(c.coalFlushes.Load())
+	nc.coalJobs.Store(c.coalJobs.Load())
+	nc.coalShared.Store(c.coalShared.Load())
 	return nc
 }
 
@@ -226,19 +235,37 @@ func (c *Cache) get(j Job, price func() Result) (r Result, fresh, fromDisk bool)
 	return r, fresh, fromDisk
 }
 
-// Stats reports cache effectiveness counters.
+// Stats reports cache effectiveness counters. The JSON tags make a
+// snapshot directly embeddable in machine-readable outputs (tempbench
+// -json, the tempserve /metrics endpoint).
 type Stats struct {
 	// Hits and Misses count in-memory cache hits and exact (priced)
 	// evaluations; DiskHits counts in-memory misses served from the
 	// persistent memo without pricing.
-	Hits, Misses, DiskHits int64
+	Hits     int64 `json:"cache_hits"`
+	Misses   int64 `json:"cache_misses"`
+	DiskHits int64 `json:"cache_disk_hits"`
 	// BatchCalls and BatchedJobs count batched-kernel invocations and
 	// the candidates they covered (Sweep's miss path).
-	BatchCalls, BatchedJobs int64
-	Entries                 int
+	BatchCalls  int64 `json:"batch_calls"`
+	BatchedJobs int64 `json:"batched_jobs"`
+	Entries     int   `json:"entries"`
 	// DiskEntries is the persistent memo's record count (0 when none
 	// is attached).
-	DiskEntries int
+	DiskEntries int `json:"disk_entries"`
+	// DiskCompacted and DiskDropped report what the persistent memo's
+	// open-time recovery discarded: duplicate records rewritten away
+	// by auto-compaction, and corrupt tail bytes dropped. Both are 0
+	// when no memo is attached or the file was clean.
+	DiskCompacted int `json:"disk_compacted_records"`
+	DiskDropped   int `json:"disk_dropped_bytes"`
+	// CoalesceFlushes/CoalescedJobs/CoalesceShared report the
+	// cross-request miss coalescer: batched flushes, the distinct jobs
+	// they priced, and the jobs that flushed together with another
+	// submitter's (0 unless a Coalescer is attached).
+	CoalesceFlushes int64 `json:"coalesce_flushes"`
+	CoalescedJobs   int64 `json:"coalesced_jobs"`
+	CoalesceShared  int64 `json:"coalesce_shared_jobs"`
 }
 
 // Stats snapshots the cache counters.
@@ -246,10 +273,14 @@ func (c *Cache) Stats() Stats {
 	s := Stats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(), DiskHits: c.diskHits.Load(),
 		BatchCalls: c.batchCalls.Load(), BatchedJobs: c.batchedJobs.Load(),
-		Entries: c.memo.Len(),
+		CoalesceFlushes: c.coalFlushes.Load(), CoalescedJobs: c.coalJobs.Load(),
+		CoalesceShared: c.coalShared.Load(),
+		Entries:        c.memo.Len(),
 	}
 	if d := c.disk.Load(); d != nil {
 		s.DiskEntries = d.Len()
+		s.DiskCompacted = d.Compacted()
+		_, s.DiskDropped = d.Recovered()
 	}
 	return s
 }
@@ -273,6 +304,10 @@ type Pool struct {
 	// engine) hold a token, so nested Map orchestration cannot
 	// deadlock against it.
 	sem chan struct{}
+	// coal, when non-nil, merges concurrent Sweeps' cache misses
+	// across callers before batched pricing (the serving daemon's
+	// cross-request batching hook; see Coalescer).
+	coal *Coalescer
 }
 
 // New returns a pool with its own cache. workers <= 0 selects
@@ -428,58 +463,14 @@ func (p *Pool) Sweep(jobs []Job) []Result {
 	}
 
 	if distinct > 0 {
-		// Chunk so the distinct misses spread across the pool while
-		// each batch stays large enough to amortize its setup.
-		size := (distinct + p.workers - 1) / p.workers
-		if size < 1 {
-			size = 1
-		}
-		if size > sweepChunkCap {
-			size = sweepChunkCap
-		}
-		type chunk struct {
-			fam  jobFamily
-			cfgs []parallel.Config
-		}
-		var chunks []chunk
-		for _, f := range order {
-			cfgs := families[f]
-			for s := 0; s < len(cfgs); s += size {
-				e := s + size
-				if e > len(cfgs) {
-					e = len(cfgs)
-				}
-				chunks = append(chunks, chunk{fam: f, cfgs: cfgs[s:e]})
-			}
-		}
-		results := make([][]Result, len(chunks))
-		p.Map(len(chunks), func(ci int) {
-			c := chunks[ci]
-			rs := make([]Result, len(c.cfgs))
-			be, err := cost.NewBackend(c.fam.Backend)
-			if err != nil {
-				for k := range rs {
-					rs[k] = Result{Err: err}
-				}
-				results[ci] = rs
-				return
-			}
-			p.Do(func() {
-				bs, es := cost.PriceBatch(be, c.fam.Model, c.fam.Wafer, c.cfgs, c.fam.Opts)
-				for k := range rs {
-					rs[k] = Result{Breakdown: bs[k], Err: es[k]}
-				}
-			})
-			results[ci] = rs
-		})
-		p.cache.batchCalls.Add(int64(len(chunks)))
-		p.cache.batchedJobs.Add(int64(distinct))
-		for ci, c := range chunks {
-			for k, cfg := range c.cfgs {
-				j := Job{Model: c.fam.Model, Wafer: c.fam.Wafer, Config: cfg,
-					Opts: c.fam.Opts, Backend: c.fam.Backend}
-				priced[j] = results[ci][k]
-			}
+		if co := p.coal; co != nil {
+			// Cross-request miss coalescing: hand the family groups to
+			// the coalescer, which merges them with other in-flight
+			// sweeps' misses before pricing (results are bit-identical —
+			// batched kernels are grouping-invariant).
+			co.price(order, families, priced)
+		} else {
+			p.priceFamilies(order, families, distinct, priced)
 		}
 	}
 
@@ -503,6 +494,66 @@ func (p *Pool) Sweep(jobs []Job) []Result {
 		}
 	}
 	return out
+}
+
+// priceFamilies prices family-grouped configuration lists through
+// chunked cost.PriceBatch calls spread across the pool, writing each
+// job's result into priced. distinct is the total config count across
+// families (for chunk sizing and the batched-jobs counter).
+func (p *Pool) priceFamilies(order []jobFamily, families map[jobFamily][]parallel.Config, distinct int, priced map[Job]Result) {
+	// Chunk so the distinct misses spread across the pool while
+	// each batch stays large enough to amortize its setup.
+	size := (distinct + p.workers - 1) / p.workers
+	if size < 1 {
+		size = 1
+	}
+	if size > sweepChunkCap {
+		size = sweepChunkCap
+	}
+	type chunk struct {
+		fam  jobFamily
+		cfgs []parallel.Config
+	}
+	var chunks []chunk
+	for _, f := range order {
+		cfgs := families[f]
+		for s := 0; s < len(cfgs); s += size {
+			e := s + size
+			if e > len(cfgs) {
+				e = len(cfgs)
+			}
+			chunks = append(chunks, chunk{fam: f, cfgs: cfgs[s:e]})
+		}
+	}
+	results := make([][]Result, len(chunks))
+	p.Map(len(chunks), func(ci int) {
+		c := chunks[ci]
+		rs := make([]Result, len(c.cfgs))
+		be, err := cost.NewBackend(c.fam.Backend)
+		if err != nil {
+			for k := range rs {
+				rs[k] = Result{Err: err}
+			}
+			results[ci] = rs
+			return
+		}
+		p.Do(func() {
+			bs, es := cost.PriceBatch(be, c.fam.Model, c.fam.Wafer, c.cfgs, c.fam.Opts)
+			for k := range rs {
+				rs[k] = Result{Breakdown: bs[k], Err: es[k]}
+			}
+		})
+		results[ci] = rs
+	})
+	p.cache.batchCalls.Add(int64(len(chunks)))
+	p.cache.batchedJobs.Add(int64(distinct))
+	for ci, c := range chunks {
+		for k, cfg := range c.cfgs {
+			j := Job{Model: c.fam.Model, Wafer: c.fam.Wafer, Config: cfg,
+				Opts: c.fam.Opts, Backend: c.fam.Backend}
+			priced[j] = results[ci][k]
+		}
+	}
 }
 
 // Map runs f(0..n-1) across the pool's workers. Each index runs
@@ -593,7 +644,7 @@ func SetWorkers(n int) {
 	if want := shardsFor(n); want > cache.memo.Shards() {
 		cache = cache.resharded(want)
 	}
-	defaultPool.Store(&Pool{workers: n, cache: cache, backend: cur.backend, sem: make(chan struct{}, n)})
+	defaultPool.Store(&Pool{workers: n, cache: cache, backend: cur.backend, sem: make(chan struct{}, n), coal: cur.coal})
 }
 
 // Workers returns the shared pool's worker bound.
@@ -610,7 +661,7 @@ func SetDefaultBackend(key string) (string, error) {
 		return "", err
 	}
 	cur := Default()
-	defaultPool.Store(&Pool{workers: cur.workers, cache: cur.cache, backend: canon, sem: make(chan struct{}, cur.workers)})
+	defaultPool.Store(&Pool{workers: cur.workers, cache: cur.cache, backend: canon, sem: make(chan struct{}, cur.workers), coal: cur.coal})
 	return canon, nil
 }
 
@@ -634,6 +685,11 @@ func AttachDiskMemo(dir string) (*DiskMemo, error) {
 	Default().SetDiskMemo(d)
 	return d, nil
 }
+
+// CountersSnapshot returns the shared engine's cache counters — the
+// single accessor CLIs and the serving daemon read instead of
+// reaching into pool internals.
+func CountersSnapshot() Stats { return Default().cache.Stats() }
 
 // EvaluateJob runs one memoized evaluation of an explicit job on the
 // shared pool.

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"temp/internal/spec"
+)
+
+// LoadOptions configures the load generator.
+type LoadOptions struct {
+	// URL is the daemon's base address ("http://127.0.0.1:8080").
+	URL string
+	// Clients is the number of concurrent request loops (default 8).
+	Clients int
+	// Repeat replays each mix entry this many times per pass
+	// (default 1).
+	Repeat int
+	// Passes is how many full sweeps over the mix to run (default 2:
+	// one cold, one warm — the warm/cold throughput ratio is the
+	// cache-effectiveness headline).
+	Passes int
+	// Mix is the request workload. Stream is forced off for load
+	// requests; the verify pass uses the mix as-is.
+	Mix []spec.RequestSpec
+	// Verify re-solves each distinct mix entry locally after the load
+	// passes and byte-compares the served results against the direct
+	// path.
+	Verify bool
+	// Timeout bounds each HTTP request (default 5 minutes).
+	Timeout time.Duration
+}
+
+// PassReport summarizes one sweep over the mix.
+type PassReport struct {
+	Pass      int     `json:"pass"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	SolvesSec float64 `json:"solves_per_sec"`
+	// Latency percentiles over successful requests (whole-request
+	// wall clock, queue wait included).
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
+	// MeanQueueNS is the server-reported admission-queue wait.
+	MeanQueueNS int64 `json:"mean_queue_wait_ns"`
+	// Hits/Misses/DiskHits are the engine-counter deltas across the
+	// pass (from /metrics); HitRatio = (hits+disk)/(hits+disk+misses).
+	Hits     int64   `json:"cache_hits"`
+	Misses   int64   `json:"cache_misses"`
+	DiskHits int64   `json:"cache_disk_hits"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// VerifyReport is the served-vs-direct bit-identity check.
+type VerifyReport struct {
+	Checked  int    `json:"checked"`
+	Match    bool   `json:"match"`
+	Mismatch string `json:"mismatch,omitempty"`
+}
+
+// LoadReport is the full load-test document (-loadtest -json).
+type LoadReport struct {
+	URL     string        `json:"url"`
+	Clients int           `json:"clients"`
+	Passes  []PassReport  `json:"passes"`
+	Metrics *Metrics      `json:"server_metrics,omitempty"`
+	Verify  *VerifyReport `json:"verify,omitempty"`
+	// WarmSpeedup is last-pass throughput over first-pass throughput:
+	// the shared-cache effectiveness headline.
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+// RunLoad drives the daemon at URL with Clients concurrent request
+// loops replaying the mix for Passes sweeps, then optionally verifies
+// served results against the direct in-process path.
+func RunLoad(o LoadOptions) (LoadReport, error) {
+	if o.Clients < 1 {
+		o.Clients = 8
+	}
+	if o.Repeat < 1 {
+		o.Repeat = 1
+	}
+	if o.Passes < 1 {
+		o.Passes = 2
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Minute
+	}
+	if len(o.Mix) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: load mix is empty")
+	}
+	client := &http.Client{Timeout: o.Timeout}
+	rep := LoadReport{URL: o.URL, Clients: o.Clients}
+
+	// Pre-marshal the load bodies once (stream forced off).
+	bodies := make([][]byte, len(o.Mix))
+	for i, req := range o.Mix {
+		req.Stream = false
+		buf, err := json.Marshal(req)
+		if err != nil {
+			return rep, err
+		}
+		bodies[i] = buf
+	}
+
+	for pass := 0; pass < o.Passes; pass++ {
+		before, err := fetchMetrics(client, o.URL)
+		if err != nil {
+			return rep, err
+		}
+		pr := runPass(client, o, bodies, pass)
+		after, err := fetchMetrics(client, o.URL)
+		if err != nil {
+			return rep, err
+		}
+		pr.Hits = after.Engine.Hits - before.Engine.Hits
+		pr.Misses = after.Engine.Misses - before.Engine.Misses
+		pr.DiskHits = after.Engine.DiskHits - before.Engine.DiskHits
+		if total := pr.Hits + pr.DiskHits + pr.Misses; total > 0 {
+			pr.HitRatio = float64(pr.Hits+pr.DiskHits) / float64(total)
+		}
+		rep.Passes = append(rep.Passes, pr)
+		if pass == o.Passes-1 {
+			rep.Metrics = &after
+		}
+	}
+	first, last := rep.Passes[0], rep.Passes[len(rep.Passes)-1]
+	if first.SolvesSec > 0 {
+		rep.WarmSpeedup = last.SolvesSec / first.SolvesSec
+	}
+
+	if o.Verify {
+		v := verifyMix(client, o)
+		rep.Verify = &v
+	}
+	return rep, nil
+}
+
+// runPass sweeps the mix once with the configured concurrency.
+func runPass(client *http.Client, o LoadOptions, bodies [][]byte, pass int) PassReport {
+	jobs := o.Repeat * len(bodies)
+	var next atomic.Int64
+	latencies := make([]int64, jobs)
+	queueWaits := make([]int64, jobs)
+	errs := make([]bool, jobs)
+	started := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				t0 := time.Now()
+				resp, err := postSolve(client, o.URL, bodies[i%len(bodies)])
+				latencies[i] = time.Since(t0).Nanoseconds()
+				if err != nil {
+					errs[i] = true
+					continue
+				}
+				queueWaits[i] = resp.QueueWaitNS
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	pr := PassReport{Pass: pass, Requests: jobs, ElapsedNS: elapsed.Nanoseconds()}
+	var ok []int64
+	var queueTotal int64
+	for i, l := range latencies {
+		if errs[i] {
+			pr.Errors++
+			continue
+		}
+		ok = append(ok, l)
+		queueTotal += queueWaits[i]
+	}
+	if n := len(ok); n > 0 {
+		sort.Slice(ok, func(a, b int) bool { return ok[a] < ok[b] })
+		pr.P50NS = percentile(ok, 0.50)
+		pr.P95NS = percentile(ok, 0.95)
+		pr.P99NS = percentile(ok, 0.99)
+		pr.MeanQueueNS = queueTotal / int64(n)
+		pr.SolvesSec = float64(n) / elapsed.Seconds()
+	}
+	return pr
+}
+
+// percentile reads the q-quantile from ascending-sorted ns.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// verifyMix byte-compares each distinct mix entry's served results
+// against the direct in-process solve — the determinism contract the
+// whole cache/coalesce/fabric stack must preserve.
+func verifyMix(client *http.Client, o LoadOptions) VerifyReport {
+	v := VerifyReport{Match: true}
+	for i, req := range o.Mix {
+		req.Stream = false
+		body, err := json.Marshal(req)
+		if err != nil {
+			return VerifyReport{Mismatch: err.Error()}
+		}
+		served, err := postSolve(client, o.URL, body)
+		if err != nil {
+			return VerifyReport{Checked: v.Checked, Mismatch: fmt.Sprintf("mix[%d]: served: %v", i, err)}
+		}
+		direct, err := RunRequest(req)
+		if err != nil {
+			return VerifyReport{Checked: v.Checked, Mismatch: fmt.Sprintf("mix[%d]: direct: %v", i, err)}
+		}
+		a, _ := json.Marshal(CanonicalResults(served.Results))
+		b, _ := json.Marshal(CanonicalResults(direct))
+		if !bytes.Equal(a, b) {
+			return VerifyReport{Checked: v.Checked, Mismatch: fmt.Sprintf("mix[%d]: served results differ from direct solve", i)}
+		}
+		v.Checked++
+	}
+	return v
+}
+
+// postSolve POSTs one request body and decodes the response.
+func postSolve(client *http.Client, base string, body []byte) (Response, error) {
+	httpResp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Response{}, err
+	}
+	defer httpResp.Body.Close()
+	buf, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return Response{}, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(buf, &eb) == nil && eb.Error != "" {
+			return Response{}, fmt.Errorf("%s (HTTP %d)", eb.Error, httpResp.StatusCode)
+		}
+		return Response{}, fmt.Errorf("HTTP %d", httpResp.StatusCode)
+	}
+	var resp Response
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// fetchMetrics GETs and decodes /metrics.
+func fetchMetrics(client *http.Client, base string) (Metrics, error) {
+	httpResp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer httpResp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(httpResp.Body).Decode(&m); err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
+}
+
+// LoadMix reads every *.json file in dir as the load mix. Each file
+// is a request envelope, or a bare scenario spec (wrapped into a
+// single-scenario request), so existing scenario files work as a mix
+// directly.
+func LoadMix(dir string) ([]spec.RequestSpec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mix dir: %w", err)
+	}
+	var mix []spec.RequestSpec
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		req, rerr := spec.ParseRequest(data)
+		if rerr == nil && req.Validate() == nil {
+			if req.ID == "" {
+				req.ID = strings.TrimSuffix(e.Name(), ".json")
+			}
+			mix = append(mix, req)
+			continue
+		}
+		ss, serr := spec.ParseScenario(data)
+		if serr != nil || ss.Validate() != nil {
+			return nil, fmt.Errorf("serve: %s is neither a request envelope (%v) nor a scenario (%v)", path, rerr, serr)
+		}
+		if ss.Name == "" {
+			ss.Name = strings.TrimSuffix(e.Name(), ".json")
+		}
+		mix = append(mix, spec.RequestSpec{ID: ss.Name, Scenario: &ss})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("serve: no *.json mix files in %s", dir)
+	}
+	return mix, nil
+}

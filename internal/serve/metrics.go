@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"temp/internal/distrib"
+	"temp/internal/engine"
+)
+
+// Metrics is the GET /metrics document: one JSON snapshot of every
+// counter layer the daemon composes — HTTP traffic, admission
+// control, the shared engine's cache/batch/coalesce counters, and
+// (when attached) the distributed fabric's coordinator counters.
+type Metrics struct {
+	UptimeNS int64 `json:"uptime_ns"`
+	// Requests/Errors/Streamed count HTTP-level outcomes.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Streamed int64 `json:"streamed"`
+	// Scheduler is the admission-control snapshot.
+	Scheduler SchedulerStats `json:"scheduler"`
+	// Engine is the shared evaluation engine's counter snapshot
+	// (process lifetime); ServedHits/ServedMisses/ServedDiskHits are
+	// the deltas since this server was constructed — the server's own
+	// traffic.
+	Engine         engine.Stats `json:"engine"`
+	ServedHits     int64        `json:"served_cache_hits"`
+	ServedMisses   int64        `json:"served_cache_misses"`
+	ServedDiskHits int64        `json:"served_cache_disk_hits"`
+	// HitRatio is served hits (memory + disk) over all served
+	// lookups; 0 when nothing was looked up yet.
+	HitRatio float64 `json:"hit_ratio"`
+	// Coalescing reports whether a cross-request miss coalescer is
+	// attached to the engine.
+	Coalescing bool `json:"coalescing"`
+	// Workers is the engine worker-pool size.
+	Workers int `json:"workers"`
+	// Distrib is the worker fabric's live coordinator snapshot, when
+	// one is attached.
+	Distrib *distrib.Stats `json:"distrib,omitempty"`
+}
+
+// Metrics builds the current snapshot.
+func (s *Server) Metrics() Metrics {
+	es := engineSnapshot()
+	m := Metrics{
+		UptimeNS:       sinceNS(s.start),
+		Requests:       s.reqTotal.Load(),
+		Errors:         s.reqErrors.Load(),
+		Streamed:       s.streamed.Load(),
+		Scheduler:      s.sched.Stats(),
+		Engine:         es,
+		ServedHits:     es.Hits - s.startEngine.hits,
+		ServedMisses:   es.Misses - s.startEngine.misses,
+		ServedDiskHits: es.DiskHits - s.startEngine.diskHits,
+		Coalescing:     engine.Coalescing(),
+		Workers:        engine.Workers(),
+	}
+	if total := m.ServedHits + m.ServedDiskHits + m.ServedMisses; total > 0 {
+		m.HitRatio = float64(m.ServedHits+m.ServedDiskHits) / float64(total)
+	}
+	if s.opts.Fabric != nil {
+		st := s.opts.Fabric.Snapshot()
+		m.Distrib = &st
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Metrics())
+}

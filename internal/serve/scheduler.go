@@ -1,0 +1,192 @@
+// Package serve is the mapping-as-a-service layer: an HTTP/JSON
+// daemon that drives one shared evaluation engine for many concurrent
+// tenants, so every request after the first runs against warm
+// interned topologies and memoized prices. The scheduler admits
+// requests under fair-share admission control, the handler clamps
+// per-request budgets and streams checkpointed best-so-far results,
+// and the engine-level miss coalescer merges concurrent requests'
+// cache misses into shared batched pricing calls.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Overloaded is the admission-control rejection: the server is at
+// capacity (or the tenant is over its fair share) and the client
+// should retry after the hinted delay. The HTTP layer maps it to
+// 503 + Retry-After.
+type Overloaded struct {
+	// Tenant is set when the rejection is a fair-share bound rather
+	// than total capacity.
+	Tenant string
+	// RetryAfter estimates when a slot frees up: current queue depth
+	// times the mean observed service time over the concurrency.
+	RetryAfter time.Duration
+}
+
+func (o *Overloaded) Error() string {
+	if o.Tenant != "" {
+		return fmt.Sprintf("serve: tenant %q over fair share, retry after %s", o.Tenant, o.RetryAfter)
+	}
+	return fmt.Sprintf("serve: at capacity, retry after %s", o.RetryAfter)
+}
+
+// SchedulerStats snapshots the admission-control counters for
+// /metrics.
+type SchedulerStats struct {
+	Running       int   `json:"running"`
+	Queued        int   `json:"queued"`
+	Tenants       int   `json:"active_tenants"`
+	Admitted      int64 `json:"admitted"`
+	Completed     int64 `json:"completed"`
+	RejectedFull  int64 `json:"rejected_capacity"`
+	RejectedShare int64 `json:"rejected_fair_share"`
+	Canceled      int64 `json:"canceled_in_queue"`
+	// QueueWaitNS and ServiceNS are cumulative, for mean-latency
+	// derivation without a histogram dependency.
+	QueueWaitNS int64 `json:"queue_wait_ns_total"`
+	ServiceNS   int64 `json:"service_ns_total"`
+}
+
+// Scheduler is the request admission controller: a bounded run queue
+// with per-tenant fair-share caps. Capacity is maxConcurrent running
+// solves plus maxQueue waiting ones; each tenant may hold at most
+// ceil(capacity / active tenants) slots, so one chatty tenant cannot
+// starve the rest, while a lone tenant still gets the whole server.
+type Scheduler struct {
+	maxConcurrent int
+	maxQueue      int
+	slots         chan struct{}
+
+	mu      sync.Mutex
+	tenant  map[string]int
+	queued  int
+	running int
+	stats   SchedulerStats
+	// meanServiceNS is an EWMA of observed solve times, seeding the
+	// Retry-After hint; starts at a second so the first rejection
+	// still carries a sane hint.
+	meanServiceNS float64
+}
+
+// NewScheduler builds a scheduler admitting maxConcurrent running
+// solves and maxQueue queued ones. Non-positive values select 1
+// running / 0 queued (strictly serial, reject when busy).
+func NewScheduler(maxConcurrent, maxQueue int) *Scheduler {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Scheduler{
+		maxConcurrent: maxConcurrent,
+		maxQueue:      maxQueue,
+		slots:         make(chan struct{}, maxConcurrent),
+		tenant:        map[string]int{},
+		meanServiceNS: float64(time.Second),
+	}
+}
+
+// retryAfter estimates the wait for a freed slot (caller holds mu).
+func (s *Scheduler) retryAfter() time.Duration {
+	depth := s.queued + 1
+	d := time.Duration(float64(depth) * s.meanServiceNS / float64(s.maxConcurrent))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d.Round(time.Second)
+}
+
+// Admit reserves a solve slot for tenant, blocking in the bounded
+// queue until one frees. It returns a release callback the caller
+// must invoke when the solve finishes, plus the time spent queued.
+// Rejections (capacity or fair share) return *Overloaded; a context
+// cancellation while queued returns ctx.Err().
+func (s *Scheduler) Admit(ctx context.Context, tenant string) (release func(), wait time.Duration, err error) {
+	s.mu.Lock()
+	capacity := s.maxConcurrent + s.maxQueue
+	if s.running+s.queued >= capacity {
+		s.stats.RejectedFull++
+		o := &Overloaded{RetryAfter: s.retryAfter()}
+		s.mu.Unlock()
+		return nil, 0, o
+	}
+	active := len(s.tenant)
+	if s.tenant[tenant] == 0 {
+		active++
+	}
+	share := (capacity + active - 1) / active
+	if s.tenant[tenant] >= share {
+		s.stats.RejectedShare++
+		o := &Overloaded{Tenant: tenant, RetryAfter: s.retryAfter()}
+		s.mu.Unlock()
+		return nil, 0, o
+	}
+	s.tenant[tenant]++
+	s.queued++
+	s.mu.Unlock()
+
+	enqueued := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.queued--
+		s.stats.Canceled++
+		s.dropTenant(tenant)
+		s.mu.Unlock()
+		return nil, time.Since(enqueued), ctx.Err()
+	}
+	wait = time.Since(enqueued)
+
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	s.stats.Admitted++
+	s.stats.QueueWaitNS += wait.Nanoseconds()
+	s.mu.Unlock()
+
+	started := time.Now()
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			service := time.Since(started)
+			<-s.slots
+			s.mu.Lock()
+			s.running--
+			s.stats.Completed++
+			s.stats.ServiceNS += service.Nanoseconds()
+			// EWMA with a 1/8 gain: stable under bursts, converges in
+			// a few requests.
+			s.meanServiceNS += (float64(service.Nanoseconds()) - s.meanServiceNS) / 8
+			s.dropTenant(tenant)
+			s.mu.Unlock()
+		})
+	}
+	return release, wait, nil
+}
+
+// dropTenant decrements a tenant's slot count, removing the map
+// entry at zero so fair shares are computed over active tenants only
+// (caller holds mu).
+func (s *Scheduler) dropTenant(tenant string) {
+	if s.tenant[tenant]--; s.tenant[tenant] <= 0 {
+		delete(s.tenant, tenant)
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Running = s.running
+	st.Queued = s.queued
+	st.Tenants = len(s.tenant)
+	return st
+}

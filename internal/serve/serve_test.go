@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"temp/internal/spec"
+)
+
+// testRequests is a small deterministic workload: a plain sweep, a
+// seeded GA solve, and a batch with a clamp budget.
+func testRequests() []spec.RequestSpec {
+	sweep := spec.ScenarioSpec{
+		Name:  "sweep",
+		Model: spec.ModelRef{Name: "gpt3-6.7b"},
+		Wafer: spec.WaferRef{Name: "wsc-4x8"},
+	}
+	solve := spec.ScenarioSpec{
+		Name:  "solve-ga",
+		Model: spec.ModelRef{Name: "llama2-7b"},
+		Wafer: spec.WaferRef{Name: "wsc-4x8"},
+		Solver: &spec.SolverSpec{
+			Strategy: "ga", Seed: 7,
+			Budget: &spec.BudgetSpec{Evals: 1500},
+		},
+	}
+	return []spec.RequestSpec{
+		{ID: "sweep", Scenario: &sweep},
+		{ID: "solve", Tenant: "a", Scenario: &solve},
+		{ID: "batch", Tenant: "b", Scenarios: []spec.ScenarioSpec{sweep, solve},
+			Budget: &spec.BudgetSpec{Evals: 1200}},
+	}
+}
+
+// TestServeBitIdenticalUnderConcurrency hammers one shared-engine
+// server with many concurrent solve requests and checks every
+// response is byte-identical to the serial in-process path — the
+// cache, the coalescer and the scheduler must never change results.
+func TestServeBitIdenticalUnderConcurrency(t *testing.T) {
+	reqs := testRequests()
+
+	// Serial goldens first (also warms the shared cache — warmth must
+	// not change results either).
+	golden := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		direct, err := RunRequest(req)
+		if err != nil {
+			t.Fatalf("direct solve %s: %v", req.ID, err)
+		}
+		golden[i], _ = json.Marshal(CanonicalResults(direct))
+	}
+
+	srv := New(Options{MaxConcurrent: 4, MaxQueue: 64})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rounds := 4
+	if testing.Short() {
+		rounds = 2
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(reqs))
+	for r := 0; r < rounds; r++ {
+		for i, req := range reqs {
+			wg.Add(1)
+			go func(r, i int, req spec.RequestSpec) {
+				defer wg.Done()
+				body, _ := json.Marshal(req)
+				resp, err := postSolve(ts.Client(), ts.URL, body)
+				if err != nil {
+					errs <- fmt.Errorf("round %d req %s: %v", r, req.ID, err)
+					return
+				}
+				got, _ := json.Marshal(CanonicalResults(resp.Results))
+				if !bytes.Equal(got, golden[i]) {
+					errs <- fmt.Errorf("round %d req %s: served results diverged from serial solve", r, req.ID)
+				}
+			}(r, i, req)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := srv.Metrics()
+	if m.Requests == 0 || m.Scheduler.Admitted == 0 {
+		t.Errorf("metrics recorded no traffic: %+v", m)
+	}
+	if m.ServedMisses != 0 {
+		t.Errorf("warm hammer re-priced %d jobs; every result should come from cache", m.ServedMisses)
+	}
+}
+
+// TestServeStreamCheckpoints checks a streamed solve emits checkpoint
+// events and a final done event whose results match the non-streamed
+// path.
+func TestServeStreamCheckpoints(t *testing.T) {
+	// Anneal checkpoints per move. Bound the search by iterations,
+	// not evals: the chain-DP seed alone prices the full term table
+	// (tens of thousands of terms), so a small eval cap ends the
+	// search before any move — and any snapshot — happens.
+	solve := spec.ScenarioSpec{
+		Name:  "stream-anneal",
+		Model: spec.ModelRef{Name: "llama2-7b"},
+		Wafer: spec.WaferRef{Name: "wsc-4x8"},
+		Solver: &spec.SolverSpec{
+			Strategy: "anneal", Seed: 3,
+			Params: map[string]float64{"iterations": 100},
+			Budget: &spec.BudgetSpec{Checkpoint: 10},
+		},
+	}
+	req := spec.RequestSpec{ID: "stream", Scenario: &solve, Stream: true}
+	direct, err := RunRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResults, _ := json.Marshal(CanonicalResults(direct))
+
+	ts := httptest.NewServer(New(Options{MaxConcurrent: 2, MaxQueue: 8}))
+	defer ts.Close()
+
+	body, _ := json.Marshal(req)
+	httpResp, err := ts.Client().Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if ct := httpResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(httpResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.String()
+	checkpoints := bytes.Count(buf.Bytes(), []byte("event: checkpoint\n"))
+	if checkpoints == 0 {
+		t.Errorf("streamed solve emitted no checkpoint events:\n%s", stream)
+	}
+	idx := bytes.LastIndex(buf.Bytes(), []byte("event: done\ndata: "))
+	if idx < 0 {
+		t.Fatalf("no done event in stream:\n%s", stream)
+	}
+	line := buf.Bytes()[idx+len("event: done\ndata: "):]
+	if nl := bytes.IndexByte(line, '\n'); nl >= 0 {
+		line = line[:nl]
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatalf("done event: %v", err)
+	}
+	got, _ := json.Marshal(CanonicalResults(resp.Results))
+	if !bytes.Equal(got, wantResults) {
+		t.Error("streamed final results diverged from direct solve")
+	}
+}
+
+// TestSchedulerAdmission covers capacity rejection, fair-share
+// rejection, and queue-cancel bookkeeping.
+func TestSchedulerAdmission(t *testing.T) {
+	s := NewScheduler(1, 1)
+	ctx := context.Background()
+
+	rel1, _, err := s.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second request queues; run it in a goroutine.
+	started := make(chan struct{})
+	finished := make(chan error, 1)
+	go func() {
+		close(started)
+		rel2, _, err := s.Admit(ctx, "b")
+		if err == nil {
+			rel2()
+		}
+		finished <- err
+	}()
+	<-started
+	// Wait until it is actually queued.
+	for i := 0; i < 100; i++ {
+		if s.Stats().Queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Stats().Queued; got != 1 {
+		t.Fatalf("queued = %d, want 1", got)
+	}
+
+	// Capacity (1 running + 1 queued) is full: next admit rejects.
+	if _, _, err := s.Admit(ctx, "c"); err == nil {
+		t.Fatal("over-capacity admit accepted")
+	} else {
+		var o *Overloaded
+		if !asOverloaded(err, &o) {
+			t.Fatalf("rejection is %T, want *Overloaded", err)
+		}
+		if o.RetryAfter <= 0 {
+			t.Errorf("Retry-After hint %s not positive", o.RetryAfter)
+		}
+	}
+
+	rel1()
+	if err := <-finished; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+
+	st := s.Stats()
+	if st.Admitted != 2 || st.Completed != 2 || st.RejectedFull != 1 {
+		t.Errorf("stats = %+v, want 2 admitted, 2 completed, 1 rejected", st)
+	}
+}
+
+// TestSchedulerFairShare checks one tenant cannot hold the whole
+// capacity once a second tenant is active.
+func TestSchedulerFairShare(t *testing.T) {
+	s := NewScheduler(4, 0)
+	ctx := context.Background()
+
+	// Tenant a takes 2 slots, tenant b takes 1: a's share is now
+	// ceil(4/2) = 2, so a's third admit must reject while b still
+	// fits.
+	relA1, _, err := s.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relA1()
+	relA2, _, err := s.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relA2()
+	relB, _, err := s.Admit(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relB()
+
+	if _, _, err := s.Admit(ctx, "a"); err == nil {
+		t.Fatal("tenant a admitted past its fair share")
+	} else {
+		var o *Overloaded
+		if !asOverloaded(err, &o) || o.Tenant != "a" {
+			t.Fatalf("rejection = %v, want fair-share rejection for tenant a", err)
+		}
+	}
+	if st := s.Stats(); st.RejectedShare != 1 {
+		t.Errorf("rejected_fair_share = %d, want 1", st.RejectedShare)
+	}
+	// Tenant b is under its share and still gets in.
+	relB2, _, err := s.Admit(ctx, "b")
+	if err != nil {
+		t.Fatalf("tenant b rejected under its share: %v", err)
+	}
+	relB2()
+}
+
+// asOverloaded is errors.As without importing errors twice in tests.
+func asOverloaded(err error, o **Overloaded) bool {
+	v, ok := err.(*Overloaded)
+	if ok {
+		*o = v
+	}
+	return ok
+}
+
+// TestServeRejectsBadRequests covers the 4xx paths.
+func TestServeRejectsBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Options{MaxConcurrent: 1}))
+	defer ts.Close()
+
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{`, 400},
+		{`{}`, 400},
+		{`{"scenario":{"model":"no-such-model","wafer":"wsc-4x8"}}`, 400},
+		{`{"scenario":{"model":"gpt3-6.7b","wafer":"wsc-4x8"},"typo_field":1}`, 400},
+		{`{"scenario":{"model":"gpt3-6.7b","wafer":"wsc-4x8"},"budget":{"time":"-5s"}}`, 400},
+	}
+	for i, tc := range cases {
+		resp, err := ts.Client().Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("case %d: status %d, want %d", i, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+// TestLoadGenSmoke runs the load generator end to end against a test
+// server: two passes over a tiny mix, warm pass served fully from
+// cache, served results verified against the direct path.
+func TestLoadGenSmoke(t *testing.T) {
+	srv := New(Options{MaxConcurrent: 4, MaxQueue: 16})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	mix := testRequests()[:2]
+	rep, err := RunLoad(LoadOptions{
+		URL: ts.URL, Clients: 4, Passes: 2, Mix: mix, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Passes) != 2 {
+		t.Fatalf("passes = %d, want 2", len(rep.Passes))
+	}
+	for _, p := range rep.Passes {
+		if p.Errors != 0 {
+			t.Errorf("pass %d had %d errors", p.Pass, p.Errors)
+		}
+		if p.Requests != len(mix) {
+			t.Errorf("pass %d ran %d requests, want %d", p.Pass, p.Requests, len(mix))
+		}
+	}
+	warm := rep.Passes[len(rep.Passes)-1]
+	if warm.Misses != 0 {
+		t.Errorf("warm pass re-priced %d jobs", warm.Misses)
+	}
+	if rep.Verify == nil || !rep.Verify.Match {
+		t.Fatalf("verify failed: %+v", rep.Verify)
+	}
+}

@@ -1,0 +1,94 @@
+package solver
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestOnCheckpointCallback checks the streaming hook fires once per
+// recorded snapshot with exactly the checkpoint appended to Stats,
+// and that the callback's Assignment is a private copy.
+func TestOnCheckpointCallback(t *testing.T) {
+	p := strategyProblem(t)
+	var got []Checkpoint
+	b := Budget{Checkpoint: 100, OnCheckpoint: func(cp Checkpoint) {
+		got = append(got, cp)
+	}}
+	_, s := (&Anneal{Seed: 7}).Solve(context.Background(), p, b)
+	if len(s.Checkpoints) == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+	if len(got) != len(s.Checkpoints) {
+		t.Fatalf("callback fired %d times for %d recorded checkpoints", len(got), len(s.Checkpoints))
+	}
+	for i := range got {
+		if got[i].Iteration != s.Checkpoints[i].Iteration ||
+			got[i].Cost != s.Checkpoints[i].Cost ||
+			got[i].Evaluations != s.Checkpoints[i].Evaluations {
+			t.Errorf("callback checkpoint %d diverged from recorded: %+v vs %+v",
+				i, got[i], s.Checkpoints[i])
+		}
+		if len(got[i].Assignment) != len(s.Checkpoints[i].Assignment) {
+			t.Errorf("checkpoint %d assignment length %d, want %d",
+				i, len(got[i].Assignment), len(s.Checkpoints[i].Assignment))
+		}
+	}
+	// Mutating a delivered snapshot must not corrupt recorded stats.
+	got[0].Assignment[0] = -1
+	if s.Checkpoints[0].Assignment[0] == -1 {
+		t.Error("callback received the recorded assignment slice, not a copy")
+	}
+}
+
+// TestOnCheckpointConcurrentPortfolio checks racer checkpoints from a
+// concurrent portfolio all arrive (callers must be able to rely on
+// one synchronous call per snapshot even with racing strategies).
+func TestOnCheckpointConcurrentPortfolio(t *testing.T) {
+	p := strategyProblem(t)
+	var mu sync.Mutex
+	calls := 0
+	b := Budget{Checkpoint: 200, Workers: 4, OnCheckpoint: func(cp Checkpoint) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	}}
+	st, err := NewStrategy("portfolio", Params{"seed": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s := st.Solve(context.Background(), p, b)
+	mu.Lock()
+	defer mu.Unlock()
+	// The portfolio's top-level Checkpoints alias the winner's, so
+	// the per-racer sum is the exact number of snapshots taken.
+	total := 0
+	for _, sub := range s.Sub {
+		total += len(sub.Checkpoints)
+	}
+	if calls == 0 {
+		t.Fatal("portfolio solve fired no checkpoint callbacks")
+	}
+	if calls != total {
+		t.Errorf("callback fired %d times for %d snapshots recorded across racers", calls, total)
+	}
+}
+
+// TestBudgetOnCheckpointNotSerialized pins the wire contract: the
+// callback is dropped by JSON encoding, so budgets travel to distrib
+// workers unchanged.
+func TestBudgetOnCheckpointNotSerialized(t *testing.T) {
+	b := Budget{MaxEvals: 10, OnCheckpoint: func(Checkpoint) {}}
+	buf, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("budget with callback failed to marshal: %v", err)
+	}
+	var rt Budget
+	if err := json.Unmarshal(buf, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.MaxEvals != 10 || rt.OnCheckpoint != nil {
+		t.Errorf("round-trip = %+v", rt)
+	}
+}

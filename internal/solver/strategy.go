@@ -75,6 +75,14 @@ type Budget struct {
 	// assignment (e.g. a Stats.Checkpoints entry) instead of the
 	// chain-DP seed. Nil preserves the default seeding.
 	Resume Assignment
+	// OnCheckpoint, when non-nil, is invoked synchronously from the
+	// search loop with each snapshot as it is recorded — the serving
+	// daemon's live best-so-far streaming hook. The callback receives
+	// the same Checkpoint appended to Stats.Checkpoints (its
+	// Assignment is a fresh copy, safe to retain) and must return
+	// promptly: the search blocks on it. Ignored by JSON and gob
+	// encodings, so budgets travel over the distrib wire unchanged.
+	OnCheckpoint func(Checkpoint) `json:"-"`
 }
 
 // Checkpoint is one periodic best-so-far snapshot: enough to resume
@@ -258,13 +266,22 @@ func (r *run) checkpoint(iter int, best Assignment, cost float64) {
 	if r.b.Checkpoint <= 0 || iter == 0 || iter%r.b.Checkpoint != 0 {
 		return
 	}
-	r.stats.Checkpoints = append(r.stats.Checkpoints, Checkpoint{
+	cp := Checkpoint{
 		Iteration:   iter,
 		Evaluations: int(r.ev.n.Load()),
 		Cost:        cost,
 		Elapsed:     time.Since(r.start),
 		Assignment:  append(Assignment(nil), best...),
-	})
+	}
+	r.stats.Checkpoints = append(r.stats.Checkpoints, cp)
+	if r.b.OnCheckpoint != nil {
+		// The callback gets its own assignment copy: a consumer
+		// mutating a delivered snapshot (e.g. to warm-start another
+		// search) must not corrupt the recorded stats.
+		cb := cp
+		cb.Assignment = append(Assignment(nil), cp.Assignment...)
+		r.b.OnCheckpoint(cb)
+	}
 }
 
 // finish stamps the closing stats fields shared by all strategies.

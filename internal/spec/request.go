@@ -1,0 +1,95 @@
+package spec
+
+import (
+	"fmt"
+)
+
+// RequestSpec is the serving daemon's request envelope: one or more
+// scenario specs plus per-request serving options (tenant identity
+// for fair-share admission, a budget clamp, streaming). It is the
+// wire schema of tempserve's POST /v1/solve — strictly parsed like
+// every other spec, so typos surface as 400s instead of silently
+// solving the wrong scenario.
+type RequestSpec struct {
+	// ID optionally names the request; echoed back in the response
+	// and in log lines. Empty means the server assigns one.
+	ID string `json:"id,omitempty"`
+	// Tenant groups requests for fair-share admission control; empty
+	// means the anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Scenario is the single-scenario form; Scenarios the batch form.
+	// Exactly one of the two must be set.
+	Scenario  *ScenarioSpec  `json:"scenario,omitempty"`
+	Scenarios []ScenarioSpec `json:"scenarios,omitempty"`
+	// Budget, when set, clamps every solver stage in the request:
+	// each stage's eval cap and deadline are lowered to these bounds
+	// (stages with tighter bounds keep them). Scenarios without a
+	// solver stage are unaffected.
+	Budget *BudgetSpec `json:"budget,omitempty"`
+	// Stream requests checkpointed best-so-far streaming (SSE) instead
+	// of one final JSON document.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// ParseRequest decodes a request envelope from JSON, rejecting
+// unknown fields.
+func ParseRequest(data []byte) (RequestSpec, error) {
+	var r RequestSpec
+	if err := strictUnmarshal(data, &r); err != nil {
+		return RequestSpec{}, fmt.Errorf("spec: parsing request: %w", err)
+	}
+	return r, nil
+}
+
+// Specs returns the request's scenario list: the batch form, or the
+// single scenario wrapped in a one-element slice.
+func (r RequestSpec) Specs() []ScenarioSpec {
+	if r.Scenario != nil {
+		return []ScenarioSpec{*r.Scenario}
+	}
+	return r.Scenarios
+}
+
+// Validate reports structural problems: no scenarios, both envelope
+// forms at once, an invalid clamp budget, or any invalid scenario.
+func (r RequestSpec) Validate() error {
+	if r.Scenario != nil && len(r.Scenarios) > 0 {
+		return fmt.Errorf("spec: request sets both scenario and scenarios")
+	}
+	specs := r.Specs()
+	if len(specs) == 0 {
+		return fmt.Errorf("spec: request has no scenarios")
+	}
+	if r.Budget != nil {
+		if _, err := r.Budget.Budget(); err != nil {
+			return err
+		}
+	}
+	for i, ss := range specs {
+		if err := ss.Validate(); err != nil {
+			return fmt.Errorf("spec: request scenario %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ClampBudget lowers b to the clamp's bounds: a set eval cap or
+// deadline in clamp replaces a looser (or unset) one in b. Checkpoint
+// in clamp applies only when b has none, so a scenario's own
+// checkpoint cadence wins.
+func ClampBudget(b BudgetSpec, clamp BudgetSpec) BudgetSpec {
+	if clamp.Evals > 0 && (b.Evals == 0 || b.Evals > clamp.Evals) {
+		b.Evals = clamp.Evals
+	}
+	if clamp.Time != "" {
+		bd, berr := b.Budget()
+		cd, cerr := clamp.Budget()
+		if cerr == nil && (berr != nil || bd.Deadline == 0 || bd.Deadline > cd.Deadline) {
+			b.Time = clamp.Time
+		}
+	}
+	if clamp.Checkpoint > 0 && b.Checkpoint == 0 {
+		b.Checkpoint = clamp.Checkpoint
+	}
+	return b
+}

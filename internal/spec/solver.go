@@ -149,10 +149,15 @@ func SolverOverride(strategy, budget string, seed int64, workers int) (*SolverSt
 }
 
 // ParseBudget parses a CLI -budget flag: an integer evaluation cap
-// ("20000"), a Go duration ("30s"), or both comma-separated
-// ("20000,30s"). Empty means unlimited.
+// ("20000"), a Go duration deadline ("30s"), or both comma-separated
+// ("20000,30s"). Empty means unlimited. Zero or negative caps and
+// deadlines are rejected, as is naming either key twice ("10,20" or
+// "5s,30s") — a duplicate almost always means a typo'd mixed budget,
+// and silently keeping the last value would bound the search
+// differently than the user asked.
 func ParseBudget(s string) (solver.Budget, error) {
 	var b solver.Budget
+	haveEvals, haveDeadline := false, false
 	for _, tok := range strings.Split(s, ",") {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
@@ -162,6 +167,10 @@ func ParseBudget(s string) (solver.Budget, error) {
 			if n <= 0 {
 				return solver.Budget{}, fmt.Errorf("spec: budget evals %d is not positive", n)
 			}
+			if haveEvals {
+				return solver.Budget{}, fmt.Errorf("spec: budget %q sets the eval cap twice (%d and %d)", s, b.MaxEvals, n)
+			}
+			haveEvals = true
 			b.MaxEvals = n
 			continue
 		}
@@ -170,8 +179,12 @@ func ParseBudget(s string) (solver.Budget, error) {
 			return solver.Budget{}, fmt.Errorf("spec: budget %q is neither an eval count nor a duration", tok)
 		}
 		if d <= 0 {
-			return solver.Budget{}, fmt.Errorf("spec: budget duration %q is not positive", tok)
+			return solver.Budget{}, fmt.Errorf("spec: budget deadline %q is not positive", tok)
 		}
+		if haveDeadline {
+			return solver.Budget{}, fmt.Errorf("spec: budget %q sets the deadline twice (%s and %s)", s, b.Deadline, d)
+		}
+		haveDeadline = true
 		b.Deadline = d
 	}
 	return b, nil

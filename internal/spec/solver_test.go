@@ -2,6 +2,7 @@ package spec
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 )
@@ -100,21 +101,48 @@ func TestScenarioSpecSolverStage(t *testing.T) {
 	}
 }
 
-// TestParseBudget covers the CLI budget grammar.
+// TestParseBudget covers the CLI budget grammar, including the
+// rejection of zero/negative deadlines and duplicate keys.
 func TestParseBudget(t *testing.T) {
-	b, err := ParseBudget("20000,30s")
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		in       string
+		evals    int
+		deadline time.Duration
+		wantErr  string // substring; "" means success
+	}{
+		{in: "", evals: 0, deadline: 0},
+		{in: ",", evals: 0, deadline: 0},
+		{in: "20000", evals: 20000},
+		{in: "30s", deadline: 30 * time.Second},
+		{in: "20000,30s", evals: 20000, deadline: 30 * time.Second},
+		{in: "30s,20000", evals: 20000, deadline: 30 * time.Second},
+		{in: " 500ms , 7 ", evals: 7, deadline: 500 * time.Millisecond},
+		{in: "abc", wantErr: "neither an eval count nor a duration"},
+		{in: "-5", wantErr: "not positive"},
+		{in: "0", wantErr: "not positive"},
+		{in: "0s", wantErr: "deadline \"0s\" is not positive"},
+		{in: "-2s", wantErr: "deadline \"-2s\" is not positive"},
+		{in: "20000,-1s", wantErr: "not positive"},
+		{in: "10,20", wantErr: "sets the eval cap twice"},
+		{in: "5s,30s", wantErr: "sets the deadline twice"},
+		{in: "100,1s,200", wantErr: "sets the eval cap twice"},
 	}
-	if b.MaxEvals != 20000 || b.Deadline != 30*time.Second {
-		t.Errorf("ParseBudget(\"20000,30s\") = %+v", b)
-	}
-	if b, err = ParseBudget(""); err != nil || b.MaxEvals != 0 || b.Deadline != 0 {
-		t.Errorf("empty budget = %+v, %v", b, err)
-	}
-	for _, bad := range []string{"abc", "-5", "0", "-2s", ","} {
-		if _, err := ParseBudget(bad); err == nil && bad != "," {
-			t.Errorf("ParseBudget(%q) accepted", bad)
+	for _, tc := range cases {
+		b, err := ParseBudget(tc.in)
+		if tc.wantErr != "" {
+			if err == nil {
+				t.Errorf("ParseBudget(%q) accepted, want error containing %q", tc.in, tc.wantErr)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseBudget(%q) error %q, want substring %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBudget(%q): %v", tc.in, err)
+			continue
+		}
+		if b.MaxEvals != tc.evals || b.Deadline != tc.deadline {
+			t.Errorf("ParseBudget(%q) = %+v, want evals %d deadline %s", tc.in, b, tc.evals, tc.deadline)
 		}
 	}
 }
