@@ -143,14 +143,28 @@ func workerPassthrough(workers int, memoDir, modelNames, waferName, backend stri
 	return args
 }
 
+// fabTuning carries the resilience knobs every fabric construction
+// shares: the -chaos injection campaign, -sync-memo shipping, and the
+// -heartbeat liveness cadence.
+type fabTuning struct {
+	chaos       *distrib.ChaosConfig
+	syncMemo    bool
+	heartbeat   time.Duration
+	missedBeats int
+}
+
 // newFabric attaches n workers: spawned self-invocations by default,
 // TCP-accepted when listen is set. Attach failures degrade (warn and
 // run with fewer workers, possibly in-process) rather than abort.
-func newFabric(n int, listen string, shardSize, retries int, passthrough []string) *distrib.Fabric {
+func newFabric(n int, listen string, shardSize, retries int, passthrough []string, tune fabTuning) *distrib.Fabric {
 	if n <= 0 && listen == "" {
 		return nil
 	}
-	opts := distrib.Options{Workers: n, Listen: listen, ShardSize: shardSize, Retries: retries}
+	opts := distrib.Options{
+		Workers: n, Listen: listen, ShardSize: shardSize, Retries: retries,
+		Chaos: tune.chaos, SyncMemo: tune.syncMemo,
+		Heartbeat: tune.heartbeat, MissedBeats: tune.missedBeats,
+	}
 	if listen == "" {
 		exe, err := os.Executable()
 		if err != nil {
@@ -232,7 +246,7 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 // -distribute always wins; otherwise the batch's first spec-declared
 // distrib block applies. Returns the fabric (nil = in-process) and
 // the effective worker count.
-func scenarioFabric(specs []spec.ScenarioSpec, distribute int, listen string, passthrough []string) (*distrib.Fabric, int) {
+func scenarioFabric(specs []spec.ScenarioSpec, distribute int, listen string, passthrough []string, tune fabTuning) (*distrib.Fabric, int) {
 	shard, retries := 0, 0
 	n := distribute
 	for _, s := range specs {
@@ -241,13 +255,24 @@ func scenarioFabric(specs []spec.ScenarioSpec, distribute int, listen string, pa
 				n = s.Distrib.Workers
 			}
 			shard, retries = s.Distrib.ShardSize, s.Distrib.Retries
+			// Spec-declared resilience knobs apply unless the CLI set
+			// its own (flags always win).
+			if tune.heartbeat == 0 && s.Distrib.HeartbeatMS > 0 {
+				tune.heartbeat = time.Duration(s.Distrib.HeartbeatMS) * time.Millisecond
+			}
+			if tune.missedBeats == 0 {
+				tune.missedBeats = s.Distrib.MissedBeats
+			}
+			if s.Distrib.SyncMemo {
+				tune.syncMemo = true
+			}
 			break
 		}
 	}
 	if n <= 0 && listen == "" {
 		return nil, 0
 	}
-	return newFabric(n, listen, shard, retries, passthrough), n
+	return newFabric(n, listen, shard, retries, passthrough, tune), n
 }
 
 // applyOverrides installs the -model/-wafer/-backend experiment
@@ -538,7 +563,11 @@ func main() {
 	distribute := flag.Int("distribute", 0, "shard the run across N worker subprocesses (0 = in-process)")
 	listenAddr := flag.String("listen", "", "accept -distribute workers over TCP on this address instead of spawning them")
 	connectAddr := flag.String("connect", "", "worker: dial the coordinator's -listen address and serve shards")
+	redial := flag.Int("redial", 10, "-connect: re-dial attempts after connection loss with exponential backoff (0 = single attempt)")
 	workerMode := flag.Bool("worker-mode", false, "internal: serve shards from a coordinator over stdio")
+	chaosSpec := flag.String("chaos", "", "deterministic chaos injection on fabric links: \"seed,rate\" spreads rate across delay/drop/corrupt/truncate/stall/kill (results stay bit-identical)")
+	syncMemo := flag.Bool("sync-memo", false, "ship the warm disk-memo to attaching workers over the wire (shared-nothing workers)")
+	heartbeat := flag.Duration("heartbeat", 0, "fabric liveness ping cadence (0 = default 500ms); 3 missed beats declare a worker dead")
 	flag.Parse()
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -561,9 +590,12 @@ func main() {
 		// overrides, then serve shards until the coordinator says done.
 		err := applyOverrides(*modelNames, *waferName, *backend)
 		if err == nil {
-			if *connectAddr != "" {
+			switch {
+			case *connectAddr != "" && *redial > 0:
+				err = distrib.DialAndServe(*connectAddr, distrib.RedialOptions{Attempts: *redial})
+			case *connectAddr != "":
 				err = distrib.ConnectAndServe(*connectAddr)
-			} else {
+			default:
 				err = distrib.ServeStdio()
 			}
 		}
@@ -574,6 +606,15 @@ func main() {
 		return
 	}
 	passthrough := workerPassthrough(*workers, *memoDir, *modelNames, *waferName, *backend)
+	tune := fabTuning{syncMemo: *syncMemo, heartbeat: *heartbeat}
+	if *chaosSpec != "" {
+		cc, err := distrib.ParseChaos(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tempbench:", err)
+			os.Exit(1)
+		}
+		tune.chaos = cc
+	}
 
 	switch {
 	case *listB:
@@ -608,7 +649,7 @@ func main() {
 		}
 		if err == nil {
 			attachResilience(&ss, *repair, *faultCampaign != "")
-			fab, n := scenarioFabric([]spec.ScenarioSpec{ss}, *distribute, *listenAddr, passthrough)
+			fab, n := scenarioFabric([]spec.ScenarioSpec{ss}, *distribute, *listenAddr, passthrough, tune)
 			defer fab.Shutdown()
 			ov := sim.Overrides{Strategy: *strategy, Budget: *budget, Seed: *seed, Workers: *workers, Backend: *backend}
 			err = runScenarios([]spec.ScenarioSpec{ss}, *jsonPath, *workers, override, costStage, *faultCampaign, fab, ov, n)
@@ -632,7 +673,7 @@ func main() {
 			for i := range sss {
 				attachResilience(&sss[i], *repair, *faultCampaign != "")
 			}
-			fab, n := scenarioFabric(sss, *distribute, *listenAddr, passthrough)
+			fab, n := scenarioFabric(sss, *distribute, *listenAddr, passthrough, tune)
 			defer fab.Shutdown()
 			ov := sim.Overrides{Strategy: *strategy, Budget: *budget, Seed: *seed, Workers: *workers, Backend: *backend}
 			err = runScenarios(sss, *jsonPath, *workers, override, costStage, *faultCampaign, fab, ov, n)
@@ -646,7 +687,7 @@ func main() {
 		// Standalone campaign: the best TEMP mapping of the selected
 		// model/wafer pair, swept over the default (or -quick reduced)
 		// grid — the CI survivability artifact path.
-		fab := newFabric(*distribute, *listenAddr, 0, 0, passthrough)
+		fab := newFabric(*distribute, *listenAddr, 0, 0, passthrough, tune)
 		defer fab.Shutdown()
 		if err := runStandaloneCampaign(*faultCampaign, *modelNames, *waferName, *backend, *quick, *seed, *workers, fab); err != nil {
 			fmt.Fprintln(os.Stderr, "tempbench:", err)
@@ -666,7 +707,7 @@ func main() {
 		}
 		return
 	}
-	fab := newFabric(*distribute, *listenAddr, 0, 0, passthrough)
+	fab := newFabric(*distribute, *listenAddr, 0, 0, passthrough, tune)
 	defer fab.Shutdown()
 	if *exp != "" {
 		start := time.Now()

@@ -41,6 +41,9 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", runtime.GOMAXPROCS(0), "solve requests running at once")
 		maxQueue      = flag.Int("max-queue", 64, "solve requests waiting past -max-concurrent before 503")
 		distribute    = flag.Int("distribute", 0, "fan multi-scenario requests across N worker subprocesses")
+		syncMemo      = flag.Bool("sync-memo", false, "ship the warm disk-memo to workers over the wire instead of sharing -memo-dir (shared-nothing workers)")
+		drainGrace    = flag.Duration("drain-grace", 30*time.Second, "SIGTERM drain: time in-flight solves get to finish before cancellation")
+		checkpointDir = flag.String("checkpoint-dir", "", "persist best-so-far checkpoints of solves cancelled during drain to this directory")
 		workerMode    = flag.Bool("worker-mode", false, "internal: serve shards from a coordinator over stdio")
 
 		loadtest = flag.Bool("loadtest", false, "run as load generator against -url instead of serving")
@@ -87,10 +90,12 @@ func main() {
 			fail(err)
 		}
 		cmdline := []string{exe, "-worker-mode", "-workers", fmt.Sprint(*workers)}
-		if *memoDir != "" {
+		if *memoDir != "" && !*syncMemo {
+			// Workers share the memo directory; with -sync-memo they
+			// instead receive the warm segment over the wire at attach.
 			cmdline = append(cmdline, "-memo-dir", *memoDir)
 		}
-		if fab, err = distrib.New(distrib.Options{Workers: *distribute, Command: cmdline}); err != nil {
+		if fab, err = distrib.New(distrib.Options{Workers: *distribute, Command: cmdline, SyncMemo: *syncMemo}); err != nil {
 			fmt.Fprintln(os.Stderr, "tempserve: distrib:", err)
 		}
 		defer fab.Shutdown()
@@ -100,17 +105,36 @@ func main() {
 		MaxConcurrent: *maxConcurrent,
 		MaxQueue:      *maxQueue,
 		Fabric:        fab,
+		CheckpointDir: *checkpointDir,
 	})
 	httpSrv := &http.Server{Addr: *listen, Handler: srv}
 
-	// Graceful shutdown: stop accepting, drain in-flight solves, then
-	// let the deferred fabric/memo teardown run.
+	// Graceful shutdown on SIGTERM/SIGINT: new solves get 503 +
+	// Retry-After while in-flight ones finish inside the grace period
+	// (stragglers are checkpointed then cancelled), the fabric stops
+	// dealing shards, and only then does the listener close — so the
+	// 503s are servable for the whole drain.
 	done := make(chan struct{})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		fmt.Fprintf(os.Stderr, "tempserve: draining (grace %s)\n", *drainGrace)
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainGrace)
+		rep := srv.Drain(dctx)
+		dcancel()
+		fmt.Fprintf(os.Stderr, "tempserve: drain done: %d in-flight, %d completed, %d canceled\n",
+			rep.Inflight, rep.Completed, rep.Canceled)
+		for _, cp := range rep.Checkpoints {
+			fmt.Fprintf(os.Stderr, "tempserve: checkpoint persisted: %s\n", cp)
+		}
+		for _, e := range rep.Errors {
+			fmt.Fprintf(os.Stderr, "tempserve: drain: %s\n", e)
+		}
+		if fab != nil {
+			fab.Drain()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx)
 		close(done)

@@ -15,12 +15,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"temp/internal/cost"
 	"temp/internal/distrib"
@@ -147,7 +151,7 @@ func printSolverOutcome(o *sim.SolverOutcome) {
 		o.Dominant, o.Share*100)
 }
 
-func runScenarioFile(path string, override *spec.SolverStage, costStage *spec.CostStage, repair bool, campaignPath string) error {
+func runScenarioFile(ctx context.Context, path string, override *spec.SolverStage, costStage *spec.CostStage, repair bool, campaignPath string) error {
 	ss, err := spec.LoadScenario(path)
 	if err != nil {
 		return err
@@ -165,7 +169,7 @@ func runScenarioFile(path string, override *spec.SolverStage, costStage *spec.Co
 	}
 	// One pass: RunScenarios carries the breakdown plus the optional
 	// solver and fault stages.
-	res := sim.RunScenarios([]spec.Scenario{sc})[0]
+	res := sim.RunScenariosCtx(ctx, []spec.Scenario{sc})[0]
 	if res.Err != nil {
 		return res.Err
 	}
@@ -244,6 +248,13 @@ func main() {
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
+
+	// First SIGINT/SIGTERM cancels scenario runs gracefully (solves
+	// stop at their next budget check, distributed shards are
+	// cancelled); a second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *memoDir != "" {
 		dm, err := engine.AttachDiskMemo(*memoDir)
 		if err != nil {
@@ -293,7 +304,7 @@ func main() {
 			costStage, err = spec.CostOverride(*backend, *seed)
 		}
 		if err == nil {
-			err = runScenarioFile(*scenario, override, costStage, *repair, *campaign)
+			err = runScenarioFile(ctx, *scenario, override, costStage, *repair, *campaign)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tempsim:", err)
@@ -322,12 +333,18 @@ func main() {
 		// batch across worker subprocesses; results merge in spec
 		// order and match the in-process run bit-for-bit.
 		n, shard, retries := *distribute, 0, 0
+		var hb time.Duration
+		missed := 0
+		syncMemo := false
 		for _, ss := range specs {
 			if ss.Distrib != nil {
 				if n == 0 {
 					n = ss.Distrib.Workers
 				}
 				shard, retries = ss.Distrib.ShardSize, ss.Distrib.Retries
+				hb = time.Duration(ss.Distrib.HeartbeatMS) * time.Millisecond
+				missed = ss.Distrib.MissedBeats
+				syncMemo = ss.Distrib.SyncMemo
 				break
 			}
 		}
@@ -339,7 +356,10 @@ func main() {
 					cmdline = append(cmdline, "-memo-dir", *memoDir)
 				}
 				var ferr error
-				if fab, ferr = distrib.New(distrib.Options{Workers: n, Command: cmdline, ShardSize: shard, Retries: retries}); ferr != nil {
+				if fab, ferr = distrib.New(distrib.Options{
+					Workers: n, Command: cmdline, ShardSize: shard, Retries: retries,
+					Heartbeat: hb, MissedBeats: missed, SyncMemo: syncMemo,
+				}); ferr != nil {
 					fmt.Fprintln(os.Stderr, "tempsim: distrib:", ferr)
 				}
 				defer fab.Shutdown()
@@ -348,9 +368,9 @@ func main() {
 		var results []sim.ScenarioResult
 		if fab != nil {
 			ov := sim.Overrides{Strategy: *strategy, Budget: *budget, Seed: *seed, Workers: *workers, Backend: *backend}
-			results = sim.RunScenarioSpecsOn(fab, specs, ov)
+			results = sim.RunScenarioSpecsOnCtx(ctx, fab, specs, ov)
 		} else {
-			results = sim.RunScenarioSpecsWithStages(specs, override, costStage)
+			results = sim.RunScenarioSpecsWithStagesCtx(ctx, specs, override, costStage)
 		}
 		failed := false
 		var lastCampaign *fault.CampaignResult

@@ -22,7 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"temp/internal/baselines"
 	"temp/internal/cost"
@@ -90,7 +92,7 @@ func (rz resilience) run(m model.Config, w hw.Wafer, cfg parallel.Config, o cost
 // operator model prices the search exactly ("" = analytic); the
 // multifid strategy (and the portfolio, which races it) additionally
 // screens on the surrogate tier seeded with screenSeed.
-func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, backendKey string, screenSeed int64, o cost.Options, rz resilience, fab *distrib.Fabric, raceSeed int64) error {
+func solve(ctx context.Context, m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, backendKey string, screenSeed int64, o cost.Options, rz resilience, fab *distrib.Fabric, raceSeed int64) error {
 	g := model.BlockGraph(m)
 	space := parallel.EnumerateConfigs(w.Dies(), true, 0)
 	if len(space) == 0 {
@@ -107,7 +109,7 @@ func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, back
 	if fab != nil && st.Name() == "portfolio" {
 		// Distributed racing: one racer per worker process, winner
 		// selection identical to the in-process portfolio.
-		assign, stats, err = solver.DistributedRace(fab, m, w, backendKey, raceSeed, screenSeed, b)
+		assign, stats, err = solver.DistributedRace(ctx, fab, m, w, backendKey, raceSeed, screenSeed, b)
 		if err != nil {
 			return err
 		}
@@ -115,7 +117,10 @@ func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, back
 		if fab != nil {
 			fmt.Fprintln(os.Stderr, "tempsolve: -distribute races the portfolio; strategy", st.Name(), "runs in-process")
 		}
-		assign, stats = st.Solve(context.Background(), p, b)
+		assign, stats = st.Solve(ctx, p, b)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "tempsolve: interrupted — reporting best-so-far mapping")
 	}
 	fmt.Printf("model        %s on %s\n", m, w.Name)
 	backendName := "analytic"
@@ -171,7 +176,7 @@ func solve(m model.Config, w hw.Wafer, st solver.Strategy, b solver.Budget, back
 // solveScenario resolves a scenario spec and solves its model/wafer.
 // The scenario's own solver stage applies unless the CLI overrides
 // the strategy.
-func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, override bool, costStage *spec.CostStage, screenSeed int64, rz resilience, fab *distrib.Fabric, raceSeed int64) error {
+func solveScenario(ctx context.Context, ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, override bool, costStage *spec.CostStage, screenSeed int64, rz resilience, fab *distrib.Fabric, raceSeed int64) error {
 	sc, err := ss.Resolve()
 	if err != nil {
 		return err
@@ -200,7 +205,7 @@ func solveScenario(ss spec.ScenarioSpec, st solver.Strategy, b solver.Budget, ov
 	if s := sc.Cost.SurrogateSeed(); s != 0 {
 		screenSeed = s
 	}
-	return solve(sc.Model, sc.Wafer, st, b, backendKey, screenSeed, sc.System.Opts, rz, fab, raceSeed)
+	return solve(ctx, sc.Model, sc.Wafer, st, b, backendKey, screenSeed, sc.System.Opts, rz, fab, raceSeed)
 }
 
 func main() {
@@ -233,6 +238,13 @@ func main() {
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
+
+	// First SIGINT/SIGTERM cancels the solve gracefully — the solver
+	// returns its best-so-far at the next budget check and distributed
+	// shards are cancelled; a second signal kills the process (stop()
+	// restores default handling after the first delivery).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "tempsolve:", err)
@@ -337,7 +349,7 @@ func main() {
 	case *scenario != "":
 		ss, err := spec.LoadScenario(*scenario)
 		if err == nil {
-			err = solveScenario(ss, st, b, overridden, costStage, *seed, rz, fab, *seed)
+			err = solveScenario(ctx, ss, st, b, overridden, costStage, *seed, rz, fab, *seed)
 		}
 		if err != nil {
 			fail(err)
@@ -352,7 +364,7 @@ func main() {
 			if i > 0 {
 				fmt.Println()
 			}
-			if err := solveScenario(ss, st, b, overridden, costStage, *seed, rz, fab, *seed); err != nil {
+			if err := solveScenario(ctx, ss, st, b, overridden, costStage, *seed, rz, fab, *seed); err != nil {
 				fail(err)
 			}
 		}
@@ -371,7 +383,7 @@ func main() {
 	} else {
 		w = hw.WaferWithGrid(*rows, *cols)
 	}
-	if err := solve(m, w, st, b, backendKey, *seed, baselines.TEMP().Opts, rz, fab, *seed); err != nil {
+	if err := solve(ctx, m, w, st, b, backendKey, *seed, baselines.TEMP().Opts, rz, fab, *seed); err != nil {
 		fail(err)
 	}
 }

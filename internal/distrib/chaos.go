@@ -1,0 +1,255 @@
+package distrib
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ChaosConfig is the deterministic fault-injection harness for the
+// fabric's transports. Every frame crossing a chaos-wrapped link
+// draws one action from a seeded stream — pass, delay, drop, corrupt,
+// truncate, stall, or kill — so a campaign of injected faults replays
+// identically for a given seed while the merged results must stay
+// bit-identical to an in-process run (requeue + fallback guarantee
+// correctness; chaos only decides how hard they are exercised).
+//
+// Rates are probabilities in [0,1] and are evaluated cumulatively in
+// field order; their sum must stay ≤ 1 (the remainder is the pass
+// probability).
+type ChaosConfig struct {
+	// Seed drives every per-link decision stream. Streams are derived
+	// per (seed, worker, direction) so links fail independently but
+	// reproducibly.
+	Seed int64
+	// DelayRate holds a frame for a deterministic duration ≤ MaxDelay.
+	DelayRate float64
+	// DropRate silently discards a frame (the sender believes it was
+	// delivered — the shard-timeout / heartbeat paths must recover).
+	DropRate float64
+	// CorruptRate flips one deterministic byte anywhere in the frame,
+	// including the length prefix and checksum.
+	CorruptRate float64
+	// TruncateRate delivers only the first half of a frame, desyncing
+	// the stream.
+	TruncateRate float64
+	// StallRate wedges the link: the frame (and the goroutine moving
+	// it) blocks until Stall elapses or the worker is declared dead.
+	StallRate float64
+	// KillRate terminates the worker process (or closes its
+	// connection) mid-frame.
+	KillRate float64
+	// MaxDelay bounds DelayRate holds (default 2ms).
+	MaxDelay time.Duration
+	// Stall bounds how long a stalled link stays wedged; 0 means
+	// until the link is torn down — the harshest setting, which is
+	// exactly what the heartbeat detector must handle.
+	Stall time.Duration
+}
+
+// UniformChaos spreads a total fault rate evenly across all six
+// actions — the `-chaos seed,rate` CLI shape.
+func UniformChaos(seed int64, rate float64) *ChaosConfig {
+	per := rate / 6
+	return &ChaosConfig{
+		Seed:      seed,
+		DelayRate: per, DropRate: per, CorruptRate: per,
+		TruncateRate: per, StallRate: per, KillRate: per,
+	}
+}
+
+// ParseChaos parses the CLI form "seed,rate" (e.g. "7,0.2").
+func ParseChaos(s string) (*ChaosConfig, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("distrib: -chaos wants seed,rate (got %q)", s)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: -chaos seed: %w", err)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: -chaos rate: %w", err)
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("distrib: -chaos rate %v outside [0,1]", rate)
+	}
+	return UniformChaos(seed, rate), nil
+}
+
+type chaosAction uint8
+
+const (
+	chaosPass chaosAction = iota
+	chaosDelay
+	chaosDrop
+	chaosCorrupt
+	chaosTruncate
+	chaosStall
+	chaosKill
+)
+
+// splitmix64 is the memory-less PRNG step used for chaos streams —
+// one uint64 of state, full-period, and trivially seedable per link.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chaosStream is one link direction's deterministic decision source.
+// closed is the owning worker's stop channel (released when the
+// worker is declared dead), so a stalled frame never outlives its
+// link; kill tears the worker down (process kill or conn close).
+type chaosStream struct {
+	state  uint64
+	cfg    *ChaosConfig
+	closed <-chan struct{}
+	kill   func()
+}
+
+func newChaosStream(cfg *ChaosConfig, workerID, direction int, closed <-chan struct{}, kill func()) *chaosStream {
+	seed := splitmix64(uint64(cfg.Seed)<<8 ^ uint64(workerID)<<1 ^ uint64(direction))
+	return &chaosStream{state: seed, cfg: cfg, closed: closed, kill: kill}
+}
+
+// next returns a deterministic uniform draw in [0,1).
+func (c *chaosStream) next() float64 {
+	c.state = splitmix64(c.state)
+	return float64(c.state>>11) / float64(1<<53)
+}
+
+// action draws one fault decision for the next frame.
+func (c *chaosStream) action() chaosAction {
+	u := c.next()
+	for a, rate := range []float64{
+		c.cfg.DelayRate, c.cfg.DropRate, c.cfg.CorruptRate,
+		c.cfg.TruncateRate, c.cfg.StallRate, c.cfg.KillRate,
+	} {
+		if u < rate {
+			return chaosAction(a + 1)
+		}
+		u -= rate
+	}
+	return chaosPass
+}
+
+// delay returns the deterministic hold duration for a delay action.
+func (c *chaosStream) delay() time.Duration {
+	max := c.cfg.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Millisecond
+	}
+	return time.Duration(c.next() * float64(max))
+}
+
+// stall blocks for the configured stall window or until the link is
+// torn down.
+func (c *chaosStream) stall() {
+	if c.cfg.Stall <= 0 {
+		<-c.closed
+		return
+	}
+	select {
+	case <-time.After(c.cfg.Stall):
+	case <-c.closed:
+	}
+}
+
+// chaosWriter applies one chaos decision per Write. writeFrame issues
+// exactly one Write per frame (and flushes immediately, so the bufio
+// layer above never merges frames), making each Write one frame.
+type chaosWriter struct {
+	w  io.Writer
+	st *chaosStream
+}
+
+var errChaosKilled = errors.New("distrib: chaos killed link")
+
+func (cw *chaosWriter) Write(p []byte) (int, error) {
+	switch cw.st.action() {
+	case chaosDelay:
+		time.Sleep(cw.st.delay())
+	case chaosDrop:
+		return len(p), nil
+	case chaosCorrupt:
+		q := append([]byte(nil), p...)
+		q[int(cw.st.next()*float64(len(q)))] ^= 0xff
+		if _, err := cw.w.Write(q); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	case chaosTruncate:
+		if _, err := cw.w.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	case chaosStall:
+		cw.st.stall()
+		return len(p), nil
+	case chaosKill:
+		cw.st.kill()
+		return 0, errChaosKilled
+	}
+	return cw.w.Write(p)
+}
+
+// chaosReadProxy re-frames the worker's outbound stream through a
+// pipe, applying one chaos decision per frame. It parses real frame
+// boundaries from the source (the worker always writes well-formed
+// frames) so corruption and truncation hit exactly one frame.
+func chaosReadProxy(src io.Reader, st *chaosStream) io.Reader {
+	pr, pw := io.Pipe()
+	go func() {
+		br := bufio.NewReaderSize(src, 1<<16)
+		for {
+			var hdr [frameHeaderSize]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			n := binary.LittleEndian.Uint32(hdr[0:4])
+			if n == 0 || n > maxFrame {
+				pw.CloseWithError(fmt.Errorf("distrib: chaos proxy: bad frame length %d", n))
+				return
+			}
+			frame := make([]byte, frameHeaderSize+int(n))
+			copy(frame, hdr[:])
+			if _, err := io.ReadFull(br, frame[frameHeaderSize:]); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			switch st.action() {
+			case chaosDelay:
+				time.Sleep(st.delay())
+			case chaosDrop:
+				continue
+			case chaosCorrupt:
+				frame[int(st.next()*float64(len(frame)))] ^= 0xff
+			case chaosTruncate:
+				if _, err := pw.Write(frame[:len(frame)/2]); err != nil {
+					return
+				}
+				continue
+			case chaosStall:
+				st.stall()
+				continue
+			case chaosKill:
+				st.kill()
+				pw.CloseWithError(errChaosKilled)
+				return
+			}
+			if _, err := pw.Write(frame); err != nil {
+				return
+			}
+		}
+	}()
+	return pr
+}

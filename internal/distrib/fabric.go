@@ -2,8 +2,10 @@ package distrib
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"os"
@@ -28,7 +30,8 @@ type Options struct {
 	// Env is appended to the subprocess environment.
 	Env []string
 	// Listen, when non-empty, accepts workers on this TCP address
-	// instead of spawning subprocesses.
+	// instead of spawning subprocesses. A worker that reconnects
+	// after its link died re-attaches to its old slot between Runs.
 	Listen string
 	// ShardSize caps tasks per shard; 0 picks one automatically so
 	// every worker sees several shards (stealing needs slack).
@@ -39,37 +42,89 @@ type Options struct {
 	Retries int
 	// Stderr receives spawned workers' stderr (default os.Stderr).
 	Stderr io.Writer
+	// Heartbeat is the liveness probe interval: the coordinator pings
+	// each worker this often, and an interval with no inbound frame
+	// at all counts as a missed beat. 0 means the default (500ms);
+	// negative disables heartbeats.
+	Heartbeat time.Duration
+	// MissedBeats is how many consecutive silent intervals declare a
+	// worker dead (its in-flight shards requeue immediately, long
+	// before TCP keepalive would give up on a stalled peer). Zero
+	// means the default (3).
+	MissedBeats int
+	// ShardTimeout bounds one shard round-trip; past it the shard
+	// requeues even if the worker still answers pings (covers a
+	// dropped result frame on a lossy link). 0 disables.
+	ShardTimeout time.Duration
+	// SyncMemo ships the coordinator's warm DiskMemo as a CRC-checked
+	// segment to workers that report no memo of their own
+	// (shared-nothing TCP workers without the memo directory), so
+	// they start warm without a shared mount.
+	SyncMemo bool
+	// AttachTimeout bounds the hello/memo exchange when attaching a
+	// worker; a link that swallows the hello fails attachment instead
+	// of hanging New. 0 means the default (10s).
+	AttachTimeout time.Duration
+	// Chaos, when non-nil, wraps every worker transport in the
+	// deterministic fault injector (tests, tempbench -chaos).
+	Chaos *ChaosConfig
 }
 
-const defaultRetries = 2
+const (
+	defaultRetries       = 2
+	defaultHeartbeat     = 500 * time.Millisecond
+	defaultMissedBeats   = 3
+	defaultAttachTimeout = 10 * time.Second
+)
 
-// WorkerStats is one worker's contribution, reported in -json.
+// WorkerStats is one worker's contribution, reported in -json and
+// /metrics. Engine cache counters arrive at Shutdown (the done/stats
+// exchange); the liveness fields are current at every Snapshot.
 type WorkerStats struct {
 	ID          int     `json:"worker"`
 	PID         int     `json:"pid,omitempty"`
 	Shards      int     `json:"shards"`
 	Tasks       int     `json:"tasks"`
 	Stolen      int     `json:"shards_stolen"`
+	Requeued    int     `json:"shards_requeued"`
 	BusyNS      int64   `json:"busy_ns"`
 	StealWaitNS int64   `json:"steal_wait_ns"`
 	TasksPerSec float64 `json:"tasks_per_sec"`
 	Died        bool    `json:"died,omitempty"`
-	Hits        int64   `json:"cache_hits"`
-	Misses      int64   `json:"cache_misses"`
-	DiskHits    int64   `json:"cache_disk_hits"`
-	BatchCalls  int64   `json:"batch_calls"`
-	BatchedJobs int64   `json:"batched_jobs"`
+	// LastBeatMS is how long ago the last inbound frame (pong,
+	// result, stats) arrived, in milliseconds; -1 before any frame.
+	LastBeatMS int64 `json:"last_heartbeat_ms"`
+	// MissedBeats counts heartbeat intervals that passed with no
+	// inbound frame, cumulatively.
+	MissedBeats int64 `json:"missed_beats"`
+	// Reconnects counts how many times this TCP slot re-attached
+	// after its link died.
+	Reconnects int `json:"reconnects,omitempty"`
+	// MemoSyncBytes is the size of the warm memo segment shipped to
+	// this worker at attach (0 when none was needed).
+	MemoSyncBytes int   `json:"memo_sync_bytes,omitempty"`
+	Hits          int64 `json:"cache_hits"`
+	Misses        int64 `json:"cache_misses"`
+	DiskHits      int64 `json:"cache_disk_hits"`
+	BatchCalls    int64 `json:"batch_calls"`
+	BatchedJobs   int64 `json:"batched_jobs"`
 }
 
 // Stats aggregates a fabric's lifetime counters.
 type Stats struct {
-	Spawned        int           `json:"workers_spawned"`
-	Shards         int           `json:"shards"`
-	Tasks          int           `json:"tasks"`
-	Stolen         int           `json:"shards_stolen"`
-	Requeued       int           `json:"shards_requeued"`
-	InProcessTasks int           `json:"inprocess_tasks"`
-	Workers        []WorkerStats `json:"per_worker,omitempty"`
+	Spawned        int  `json:"workers_spawned"`
+	Shards         int  `json:"shards"`
+	Tasks          int  `json:"tasks"`
+	Stolen         int  `json:"shards_stolen"`
+	Requeued       int  `json:"shards_requeued"`
+	InProcessTasks int  `json:"inprocess_tasks"`
+	Reconnects     int  `json:"reconnects,omitempty"`
+	HeartbeatDead  int  `json:"heartbeat_deaths,omitempty"`
+	Draining       bool `json:"draining,omitempty"`
+	// Workers carries per-worker stats: liveness fields are live at
+	// every Snapshot; engine counters fill in at Shutdown. Retired
+	// slots (TCP links replaced after re-attach) are included.
+	Workers []WorkerStats `json:"per_worker,omitempty"`
 }
 
 // EngineTotals sums the workers' engine cache counters, for merging
@@ -86,18 +141,104 @@ func (s Stats) EngineTotals() engine.Stats {
 	return t
 }
 
-// worker is the coordinator's view of one attached worker.
+// worker is the coordinator's view of one attached worker. A reader
+// goroutine owns the inbound stream and dispatches results to waiting
+// drives through the pending map; a heartbeat goroutine watches for
+// silent intervals. All sends share sendMu so frames never interleave.
 type worker struct {
-	id    int
-	pid   int
-	cmd   *exec.Cmd
-	conn  io.Closer
-	in    *bufio.Writer
-	out   *bufio.Reader
-	close func()
+	id   int
+	pid  int
+	cmd  *exec.Cmd
+	conn io.Closer
+	in   *bufio.Writer
+	out  *bufio.Reader
 
-	alive atomic.Bool
+	sendMu    sync.Mutex
+	closeOnce sync.Once
+	closeFn   func() // tear down the transport (and kill the process)
+	waitOnce  sync.Once
+	waitFn    func() // reap the subprocess
+
+	alive       atomic.Bool
+	lastBeat    atomic.Int64 // UnixNano of the last inbound frame
+	missedRun   atomic.Int32 // consecutive silent heartbeat intervals
+	pingPending atomic.Bool
+	stop        chan struct{} // closed on death/shutdown
+	stopOnce    sync.Once
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan *resultMsg
+	statsCh chan *statsMsg
+
+	mu    sync.Mutex
 	stats WorkerStats
+}
+
+// send writes one frame under the send mutex.
+func (w *worker) send(env *envelope) error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	return writeFrame(w.in, env)
+}
+
+// register claims the result channel for a shard seq; it fails once
+// the worker is dead so drives never wait on a corpse.
+func (w *worker) register(seq uint64) (chan *resultMsg, error) {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	if w.pending == nil {
+		return nil, fmt.Errorf("distrib: worker %d is dead", w.id)
+	}
+	ch := make(chan *resultMsg, 1)
+	w.pending[seq] = ch
+	return ch, nil
+}
+
+func (w *worker) unregister(seq uint64) {
+	w.pendMu.Lock()
+	delete(w.pending, seq)
+	w.pendMu.Unlock()
+}
+
+// deliver routes an inbound result to its waiting drive; results for
+// unregistered seqs (cancelled, timed out, requeued) are dropped.
+func (w *worker) deliver(res *resultMsg) {
+	w.pendMu.Lock()
+	ch := w.pending[res.Seq]
+	delete(w.pending, res.Seq)
+	w.pendMu.Unlock()
+	if ch != nil {
+		ch <- res
+	}
+}
+
+// failPending closes every waiter's channel (a closed channel tells
+// the drive its shard died in flight) and refuses new registrations.
+func (w *worker) failPending() {
+	w.pendMu.Lock()
+	for seq, ch := range w.pending {
+		delete(w.pending, seq)
+		close(ch)
+	}
+	w.pending = nil
+	w.pendMu.Unlock()
+}
+
+func (w *worker) halt() {
+	w.stopOnce.Do(func() { close(w.stop) })
+}
+
+// liveStats returns the worker's current stats with liveness stamped.
+func (w *worker) liveStats() WorkerStats {
+	w.mu.Lock()
+	st := w.stats
+	w.mu.Unlock()
+	if lb := w.lastBeat.Load(); lb > 0 {
+		st.LastBeatMS = time.Since(time.Unix(0, lb)).Milliseconds()
+	} else {
+		st.LastBeatMS = -1
+	}
+	return st
 }
 
 // shard is one dispatchable unit: tasks [start, start+len(payloads))
@@ -114,18 +255,23 @@ type shard struct {
 // everything in-process, so call sites thread one pointer through
 // without branching on "distributed or not".
 type Fabric struct {
-	opts    Options
-	workers []*worker
-	ln      net.Listener
-	seq     atomic.Uint64
+	opts Options
+	ln   net.Listener
+	seq  atomic.Uint64
 
-	mu       sync.Mutex
-	stolen   int
-	requeued int
-	shards   int
-	tasks    int
-	inproc   int
+	draining atomic.Bool
+	runWG    sync.WaitGroup
 
+	mu         sync.Mutex
+	workers    []*worker
+	retired    []WorkerStats
+	stolen     int
+	requeued   int
+	shards     int
+	tasks      int
+	inproc     int
+	reconnects int
+	hbDead     int
 	closed     bool
 	finalStats Stats
 }
@@ -140,6 +286,15 @@ func New(opts Options) (*Fabric, error) {
 	}
 	if opts.Stderr == nil {
 		opts.Stderr = os.Stderr
+	}
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = defaultHeartbeat
+	}
+	if opts.MissedBeats <= 0 {
+		opts.MissedBeats = defaultMissedBeats
+	}
+	if opts.AttachTimeout <= 0 {
+		opts.AttachTimeout = defaultAttachTimeout
 	}
 	f := &Fabric{opts: opts}
 	var firstErr error
@@ -159,6 +314,9 @@ func New(opts Options) (*Fabric, error) {
 			}
 			f.workers = append(f.workers, w)
 		}
+		// Keep accepting: a worker whose link died can redial and
+		// re-attach to its old slot (it joins the next Run).
+		go f.acceptLoop()
 		return f, firstErr
 	}
 	if len(opts.Command) == 0 {
@@ -191,6 +349,8 @@ func (f *Fabric) Live() int {
 	if f == nil {
 		return 0
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	n := 0
 	for _, w := range f.workers {
 		if w.alive.Load() {
@@ -198,6 +358,26 @@ func (f *Fabric) Live() int {
 		}
 	}
 	return n
+}
+
+// Draining reports whether Drain has been called.
+func (f *Fabric) Draining() bool {
+	return f != nil && f.draining.Load()
+}
+
+// Drain stops dealing new shards to workers and blocks until every
+// in-flight Run completes (queued shards finish in-process, shards
+// already on workers run to completion). The fabric stays valid —
+// Shutdown still folds worker counters afterwards — but subsequent
+// Runs execute in-process.
+func (f *Fabric) Drain() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.draining.Store(true)
+	f.mu.Unlock()
+	f.runWG.Wait()
 }
 
 func (f *Fabric) spawnWorker(id int) (*worker, error) {
@@ -216,19 +396,29 @@ func (f *Fabric) spawnWorker(id int) (*worker, error) {
 		return nil, fmt.Errorf("distrib: worker %d start: %w", id, err)
 	}
 	w := &worker{
-		id:  id,
-		cmd: cmd,
-		in:  bufio.NewWriterSize(stdin, 1<<16),
-		out: bufio.NewReaderSize(stdout, 1<<16),
-		close: func() {
-			stdin.Close()
-			cmd.Wait()
-		},
+		id: id, cmd: cmd,
+		stop:    make(chan struct{}),
+		pending: map[uint64]chan *resultMsg{},
+		statsCh: make(chan *statsMsg, 1),
 	}
-	if err := f.attach(w); err != nil {
+	var wtr io.Writer = stdin
+	var rdr io.Reader = stdout
+	if f.opts.Chaos != nil {
+		kill := func() { cmd.Process.Kill() }
+		wtr = &chaosWriter{w: stdin, st: newChaosStream(f.opts.Chaos, id, 0, w.stop, kill)}
+		rdr = chaosReadProxy(stdout, newChaosStream(f.opts.Chaos, id, 1, w.stop, kill))
+	}
+	w.in = bufio.NewWriterSize(wtr, 1<<16)
+	w.out = bufio.NewReaderSize(rdr, 1<<16)
+	w.closeFn = func() {
 		stdin.Close()
 		cmd.Process.Kill()
-		cmd.Wait()
+	}
+	w.waitFn = func() { cmd.Wait() }
+	if err := f.attach(w); err != nil {
+		w.halt()
+		w.closeOnce.Do(w.closeFn)
+		w.waitOnce.Do(w.waitFn)
 		return nil, err
 	}
 	return w, nil
@@ -239,31 +429,238 @@ func (f *Fabric) acceptWorker(id int) (*worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distrib: accept worker %d: %w", id, err)
 	}
+	return f.newConnWorker(id, conn)
+}
+
+// newConnWorker wraps an accepted TCP connection into a worker.
+func (f *Fabric) newConnWorker(id int, conn net.Conn) (*worker, error) {
 	w := &worker{
-		id:    id,
-		conn:  conn,
-		in:    bufio.NewWriterSize(conn, 1<<16),
-		out:   bufio.NewReaderSize(conn, 1<<16),
-		close: func() { conn.Close() },
+		id: id, conn: conn,
+		stop:    make(chan struct{}),
+		pending: map[uint64]chan *resultMsg{},
+		statsCh: make(chan *statsMsg, 1),
 	}
+	var wtr io.Writer = conn
+	var rdr io.Reader = conn
+	if f.opts.Chaos != nil {
+		kill := func() { conn.Close() }
+		wtr = &chaosWriter{w: conn, st: newChaosStream(f.opts.Chaos, id, 0, w.stop, kill)}
+		rdr = chaosReadProxy(conn, newChaosStream(f.opts.Chaos, id, 1, w.stop, kill))
+	}
+	w.in = bufio.NewWriterSize(wtr, 1<<16)
+	w.out = bufio.NewReaderSize(rdr, 1<<16)
+	w.closeFn = func() { conn.Close() }
+	w.waitFn = func() {}
 	if err := f.attach(w); err != nil {
-		conn.Close()
+		w.halt()
+		w.closeOnce.Do(w.closeFn)
 		return nil, err
 	}
 	return w, nil
 }
 
-// attach completes the hello exchange and marks the worker live.
+// acceptLoop re-attaches redialing TCP workers to dead slots. The
+// replacement joins the next Run (never one already in flight); the
+// old slot's stats retire into the final tally.
+func (f *Fabric) acceptLoop() {
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		f.mu.Lock()
+		slot := -1
+		if !f.closed {
+			for i, w := range f.workers {
+				if !w.alive.Load() && w.cmd == nil {
+					slot = i
+					break
+				}
+			}
+		}
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			conn.Close()
+			return
+		}
+		if slot < 0 {
+			conn.Close()
+			continue
+		}
+		w, err := f.newConnWorker(slot, conn)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			w.halt()
+			w.closeOnce.Do(w.closeFn)
+			return
+		}
+		old := f.workers[slot]
+		f.retired = append(f.retired, old.liveStats())
+		w.mu.Lock()
+		w.stats.Reconnects = old.liveStats().Reconnects + 1
+		w.mu.Unlock()
+		f.reconnects++
+		f.workers[slot] = w
+		f.mu.Unlock()
+	}
+}
+
+// attach completes the hello exchange, ships the warm memo when asked,
+// and starts the worker's reader and heartbeat goroutines. The
+// exchange runs under AttachTimeout so a link that eats frames (a
+// wedged peer, injected chaos on the hello itself) fails attachment
+// instead of hanging New; the exchange goroutine unwinds when the
+// caller tears the transport down.
 func (f *Fabric) attach(w *worker) error {
-	if err := exchangeHello(w.out, w.in, os.Getpid()); err != nil {
-		return fmt.Errorf("distrib: worker %d hello: %w", w.id, err)
+	type helloRes struct {
+		peer *helloMsg
+		err  error
+	}
+	ch := make(chan helloRes, 1)
+	go func() {
+		peer, err := exchangeHello(w.out, w.in, os.Getpid(), engine.HasDiskMemo())
+		if err == nil && f.opts.SyncMemo && peer != nil && !peer.HasMemo {
+			if seg, n := engine.MemoSegment(); n > 0 {
+				msg := &memoMsg{Records: n, Data: seg, CRC: crc32.ChecksumIEEE(seg)}
+				if serr := w.send(&envelope{Type: msgMemo, Memo: msg}); serr != nil {
+					err = fmt.Errorf("memo sync: %w", serr)
+				} else {
+					w.mu.Lock()
+					w.stats.MemoSyncBytes = len(seg)
+					w.mu.Unlock()
+				}
+			}
+		}
+		ch <- helloRes{peer, err}
+	}()
+	var peer *helloMsg
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return fmt.Errorf("distrib: worker %d hello: %w", w.id, r.err)
+		}
+		peer = r.peer
+	case <-time.After(f.opts.AttachTimeout):
+		return fmt.Errorf("distrib: worker %d hello timed out after %s", w.id, f.opts.AttachTimeout)
 	}
 	w.alive.Store(true)
-	w.stats = WorkerStats{ID: w.id}
+	w.lastBeat.Store(time.Now().UnixNano())
+	w.mu.Lock()
+	w.stats.ID = w.id
 	if w.cmd != nil {
 		w.stats.PID = w.cmd.Process.Pid
+		w.pid = w.cmd.Process.Pid
+	} else if peer != nil {
+		w.stats.PID = peer.PID
+		w.pid = peer.PID
 	}
+	w.mu.Unlock()
+	go f.readLoop(w)
+	go f.heartbeatLoop(w)
 	return nil
+}
+
+// readLoop owns a worker's inbound stream: every frame proves the
+// worker alive; results route to their waiting drives; a read error
+// (EOF, corrupt frame, chaos) declares the worker dead.
+func (f *Fabric) readLoop(w *worker) {
+	for {
+		env, err := readFrame(w.out)
+		if err != nil {
+			f.declareDead(w, false)
+			return
+		}
+		w.lastBeat.Store(time.Now().UnixNano())
+		w.missedRun.Store(0)
+		switch env.Type {
+		case msgResult:
+			if env.Result != nil {
+				w.deliver(env.Result)
+			}
+		case msgPong:
+			// Any frame already stamped liveness above.
+		case msgStats:
+			if env.Stats != nil {
+				select {
+				case w.statsCh <- env.Stats:
+				default:
+				}
+			}
+		default:
+			// A decodable frame of the wrong type is a protocol
+			// violation — treat it like corruption.
+			f.declareDead(w, false)
+			return
+		}
+	}
+}
+
+// heartbeatLoop watches for silent intervals. Detection is read-side
+// only — an interval with no inbound frame is a missed beat — so a
+// wedged transport (blocked writes, stalled reads) cannot hide a hung
+// worker. Pings are sent asynchronously behind a single-flight guard;
+// a blocked ping never stalls detection.
+func (f *Fabric) heartbeatLoop(w *worker) {
+	hb := f.opts.Heartbeat
+	if hb <= 0 {
+		return
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+		}
+		if !w.alive.Load() {
+			return
+		}
+		if time.Since(time.Unix(0, w.lastBeat.Load())) > hb {
+			missed := w.missedRun.Add(1)
+			w.mu.Lock()
+			w.stats.MissedBeats++
+			w.mu.Unlock()
+			if int(missed) >= f.opts.MissedBeats {
+				f.declareDead(w, true)
+				return
+			}
+		}
+		if w.pingPending.CompareAndSwap(false, true) {
+			go func(seq uint64) {
+				w.send(&envelope{Type: msgPing, Beat: &beatMsg{Seq: seq}})
+				w.pingPending.Store(false)
+			}(f.seq.Add(1))
+		}
+	}
+}
+
+// declareDead marks a worker dead exactly once: release its waiters
+// (their shards requeue), stop its goroutines, and tear the transport
+// down so blocked reads unwind.
+func (f *Fabric) declareDead(w *worker, heartbeat bool) {
+	if !w.alive.CompareAndSwap(true, false) {
+		w.halt()
+		w.closeOnce.Do(w.closeFn)
+		return
+	}
+	w.mu.Lock()
+	w.stats.Died = true
+	w.mu.Unlock()
+	if heartbeat {
+		f.mu.Lock()
+		f.hbDead++
+		f.mu.Unlock()
+	}
+	w.halt()
+	w.failPending()
+	w.closeOnce.Do(w.closeFn)
 }
 
 // Run shards payloads of one kind across the live workers and merges
@@ -274,32 +671,71 @@ func (f *Fabric) attach(w *worker) error {
 // panic, as text); transport failures never surface here, they
 // requeue the shard.
 func (f *Fabric) Run(kind string, payloads [][]byte) ([][]byte, []error) {
+	return f.RunCtx(context.Background(), kind, payloads)
+}
+
+// RunCtx is Run with cancellation: when ctx ends, in-flight shards
+// are abandoned (workers get best-effort cancel frames) and every
+// unfinished task's err is ctx.Err().
+func (f *Fabric) RunCtx(ctx context.Context, kind string, payloads [][]byte) ([][]byte, []error) {
 	out := make([][]byte, len(payloads))
 	errs := make([]error, len(payloads))
 	if len(payloads) == 0 {
 		return out, errs
 	}
+	if f != nil {
+		// Register under the fabric lock so a run either lands inside
+		// Drain's wait or observes draining and stays in-process —
+		// never a bare runWG.Add racing the Wait.
+		f.mu.Lock()
+		if f.draining.Load() {
+			f.mu.Unlock()
+			f.runLocal(ctx, kind, payloads, 0, out, errs)
+			return out, errs
+		}
+		f.runWG.Add(1)
+		f.mu.Unlock()
+		defer f.runWG.Done()
+	}
 	live := f.liveWorkers()
-	if len(live) == 0 {
-		f.runLocal(kind, payloads, 0, out, errs)
+	if len(live) == 0 || f.Draining() {
+		f.runLocal(ctx, kind, payloads, 0, out, errs)
 		return out, errs
 	}
 
 	shards := f.buildShards(kind, payloads, len(live))
-	q := newQueues(len(f.workers), shards)
+	// Deques are indexed by worker ID, and IDs can be sparse when
+	// some workers failed to attach — size by the highest live ID.
+	slots := 0
+	for _, w := range live {
+		if w.id+1 > slots {
+			slots = w.id + 1
+		}
+	}
+	q := newQueues(slots, shards)
 	var wg sync.WaitGroup
 	for _, w := range live {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			f.drive(w, q, payloads, out, errs)
+			f.drive(ctx, w, q, out, errs)
 		}(w)
 	}
 	wg.Wait()
-	// Anything still queued means every worker died mid-run: finish
-	// in-process so Run always completes with full results.
-	for _, sh := range q.drain() {
-		f.runLocal(sh.kind, sh.payloads, sh.start, out, errs)
+	// Anything still queued means every worker died mid-run, the
+	// fabric is draining, or ctx was cancelled: finish in-process so
+	// Run always completes with full results (or full ctx errors).
+	left := q.drain()
+	if ctx.Err() != nil {
+		for _, sh := range left {
+			for i := range sh.payloads {
+				errs[sh.start+i] = ctx.Err()
+			}
+		}
+	} else {
+		for _, sh := range left {
+			f.runLocal(ctx, sh.kind, sh.payloads, sh.start, out, errs)
+		}
 	}
 	f.mu.Lock()
 	f.shards += len(shards)
@@ -310,10 +746,14 @@ func (f *Fabric) Run(kind string, payloads [][]byte) ([][]byte, []error) {
 
 // runLocal executes tasks in-process through the registered handler,
 // writing into the global slots starting at base.
-func (f *Fabric) runLocal(kind string, payloads [][]byte, base int, out [][]byte, errs []error) {
+func (f *Fabric) runLocal(ctx context.Context, kind string, payloads [][]byte, base int, out [][]byte, errs []error) {
 	h := lookupKind(kind)
 	engine.Map(len(payloads), func(i int) {
-		b, msg := execTask(h, kind, payloads[i])
+		if ctx != nil && ctx.Err() != nil {
+			errs[base+i] = ctx.Err()
+			return
+		}
+		b, msg := execTask(ctx, h, kind, payloads[i])
 		out[base+i] = b
 		if msg != "" {
 			errs[base+i] = errors.New(msg)
@@ -330,6 +770,8 @@ func (f *Fabric) liveWorkers() []*worker {
 	if f == nil {
 		return nil
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var live []*worker
 	for _, w := range f.workers {
 		if w.alive.Load() {
@@ -436,29 +878,41 @@ func (qs *queues) drain() []*shard {
 }
 
 // drive is one worker's dispatcher loop: pop (or steal) a shard, send
-// it, wait for the result, merge. A transport failure marks the
-// worker dead and requeues the in-flight shard with a bounded retry;
-// past the bound the shard runs in-process immediately, so one
-// persistently failing shard cannot live-lock the run.
-func (f *Fabric) drive(w *worker, qs *queues, payloads [][]byte, out [][]byte, errs []error) {
+// it, wait for the result, merge. A transport failure or heartbeat
+// death requeues the in-flight shard with a bounded retry; past the
+// bound the shard runs in-process immediately, so one persistently
+// failing shard cannot live-lock the run. A draining fabric stops
+// dealing; the Run tail finishes leftovers in-process.
+func (f *Fabric) drive(ctx context.Context, w *worker, qs *queues, out [][]byte, errs []error) {
 	for {
+		if ctx.Err() != nil || f.draining.Load() {
+			return
+		}
 		idleStart := time.Now()
 		sh, stolen := qs.next(w.id)
 		if sh == nil {
 			return
 		}
 		if stolen {
+			w.mu.Lock()
 			w.stats.Stolen++
 			w.stats.StealWaitNS += time.Since(idleStart).Nanoseconds()
+			w.mu.Unlock()
 			f.mu.Lock()
 			f.stolen++
 			f.mu.Unlock()
 		}
 		busyStart := time.Now()
-		res, err := f.roundTrip(w, sh)
+		res, err := f.roundTrip(ctx, w, sh)
 		if err != nil {
-			w.alive.Store(false)
-			w.stats.Died = true
+			if ctx.Err() != nil {
+				qs.requeue(sh, w.id)
+				return
+			}
+			f.declareDead(w, false)
+			w.mu.Lock()
+			w.stats.Requeued++
+			w.mu.Unlock()
 			if sh.retries < f.opts.Retries {
 				sh.retries++
 				f.mu.Lock()
@@ -466,7 +920,7 @@ func (f *Fabric) drive(w *worker, qs *queues, payloads [][]byte, out [][]byte, e
 				f.mu.Unlock()
 				qs.requeue(sh, w.id)
 			} else {
-				f.runLocal(sh.kind, sh.payloads, sh.start, out, errs)
+				f.runLocal(ctx, sh.kind, sh.payloads, sh.start, out, errs)
 			}
 			return
 		}
@@ -477,48 +931,68 @@ func (f *Fabric) drive(w *worker, qs *queues, payloads [][]byte, out [][]byte, e
 				errs[g] = errors.New(res.Errs[i])
 			}
 		}
+		w.mu.Lock()
 		w.stats.Shards++
 		w.stats.Tasks += len(sh.payloads)
 		w.stats.BusyNS += time.Since(busyStart).Nanoseconds()
+		w.mu.Unlock()
 	}
 }
 
-// roundTrip sends one shard and reads its result, validating shape.
-func (f *Fabric) roundTrip(w *worker, sh *shard) (*resultMsg, error) {
-	msg := &shardMsg{Seq: sh.seq, Kind: sh.kind, Start: sh.start, Payloads: sh.payloads}
-	if err := writeFrame(w.in, &envelope{Type: msgShard, Shard: msg}); err != nil {
-		return nil, err
-	}
-	env, err := readFrame(w.out)
+// roundTrip sends one shard and waits for its result, the worker's
+// death (closed channel), cancellation, or the shard timeout.
+func (f *Fabric) roundTrip(ctx context.Context, w *worker, sh *shard) (*resultMsg, error) {
+	ch, err := w.register(sh.seq)
 	if err != nil {
 		return nil, err
 	}
-	if env.Type != msgResult || env.Result == nil {
-		return nil, fmt.Errorf("distrib: worker %d: expected result, got type %d", w.id, env.Type)
+	msg := &shardMsg{Seq: sh.seq, Kind: sh.kind, Start: sh.start, Payloads: sh.payloads}
+	if err := w.send(&envelope{Type: msgShard, Shard: msg}); err != nil {
+		w.unregister(sh.seq)
+		return nil, err
 	}
-	res := env.Result
-	if res.Seq != sh.seq || len(res.Payloads) != len(sh.payloads) || len(res.Errs) != len(sh.payloads) {
-		return nil, fmt.Errorf("distrib: worker %d: result shape mismatch for shard %d", w.id, sh.seq)
+	var timeout <-chan time.Time
+	if f.opts.ShardTimeout > 0 {
+		tm := time.NewTimer(f.opts.ShardTimeout)
+		defer tm.Stop()
+		timeout = tm.C
 	}
-	return res, nil
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("distrib: worker %d died with shard %d in flight", w.id, sh.seq)
+		}
+		if res.Seq != sh.seq || len(res.Payloads) != len(sh.payloads) || len(res.Errs) != len(sh.payloads) {
+			return nil, fmt.Errorf("distrib: worker %d: result shape mismatch for shard %d", w.id, sh.seq)
+		}
+		return res, nil
+	case <-ctx.Done():
+		w.unregister(sh.seq)
+		go w.send(&envelope{Type: msgCancel, Cancel: &cancelMsg{Seq: sh.seq}})
+		return nil, ctx.Err()
+	case <-timeout:
+		w.unregister(sh.seq)
+		return nil, fmt.Errorf("distrib: worker %d shard %d timed out after %s", w.id, sh.seq, f.opts.ShardTimeout)
+	}
 }
 
 // kill forcibly terminates worker i's process — the crash-injection
 // hook for tests.
 func (f *Fabric) kill(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if i < 0 || i >= len(f.workers) || f.workers[i].cmd == nil {
 		return fmt.Errorf("distrib: no process for worker %d", i)
 	}
 	return f.workers[i].cmd.Process.Kill()
 }
 
-// Snapshot returns the coordinator-side counters without disturbing
-// the fabric — the live-telemetry accessor for the serving daemon's
-// /metrics endpoint. Per-worker stats (shards, tasks, engine
-// counters) are only consistent at Shutdown, when workers report
-// their final tallies over the done exchange, so Snapshot reports
-// the coordinator's own counters plus the live-worker count and
-// leaves Workers empty.
+// Snapshot returns the fabric's counters without disturbing it — the
+// live-telemetry accessor for the serving daemon's /metrics endpoint
+// and tempbench's -json distrib block. Per-worker liveness
+// (last_heartbeat_ms, missed_beats, reconnects, requeues) is current;
+// per-worker engine counters only fill in at Shutdown, when workers
+// report their final tallies over the done exchange.
 func (f *Fabric) Snapshot() Stats {
 	if f == nil {
 		return Stats{}
@@ -526,18 +1000,24 @@ func (f *Fabric) Snapshot() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
-		s := f.finalStats
-		s.Workers = nil
-		return s
+		return f.finalStats
 	}
-	return Stats{
+	s := Stats{
 		Spawned:        len(f.workers),
 		Shards:         f.shards,
 		Tasks:          f.tasks,
 		Stolen:         f.stolen,
 		Requeued:       f.requeued,
 		InProcessTasks: f.inproc,
+		Reconnects:     f.reconnects,
+		HeartbeatDead:  f.hbDead,
+		Draining:       f.draining.Load(),
 	}
+	for _, w := range f.workers {
+		s.Workers = append(s.Workers, w.liveStats())
+	}
+	s.Workers = append(s.Workers, f.retired...)
+	return s
 }
 
 // Shutdown ends every worker (done → collect stats → wait), closes
@@ -554,28 +1034,35 @@ func (f *Fabric) Shutdown() Stats {
 		return s
 	}
 	f.closed = true
+	workers := append([]*worker(nil), f.workers...)
 	f.mu.Unlock()
+	if f.ln != nil {
+		f.ln.Close()
+	}
 
-	for _, w := range f.workers {
-		if w.alive.Load() {
-			if err := writeFrame(w.in, &envelope{Type: msgDone}); err == nil {
-				if env, err := readFrame(w.out); err == nil && env.Type == msgStats && env.Stats != nil {
-					st := env.Stats
+	for _, w := range workers {
+		// CAS first so a graceful exit's EOF is not misread by the
+		// readLoop as a death.
+		if w.alive.CompareAndSwap(true, false) {
+			if err := w.send(&envelope{Type: msgDone}); err == nil {
+				select {
+				case st := <-w.statsCh:
+					w.mu.Lock()
 					w.stats.Hits, w.stats.Misses, w.stats.DiskHits = st.Hits, st.Misses, st.DiskHits
 					w.stats.BatchCalls, w.stats.BatchedJobs = st.BatchCalls, st.BatchedJobs
+					w.mu.Unlock()
+				case <-time.After(10 * time.Second):
 				}
 			}
-			w.alive.Store(false)
-		} else if w.cmd != nil && w.cmd.Process != nil {
-			w.cmd.Process.Kill()
 		}
-		w.close()
+		w.halt()
+		w.closeOnce.Do(w.closeFn)
+		w.waitOnce.Do(w.waitFn)
+		w.mu.Lock()
 		if w.stats.BusyNS > 0 {
 			w.stats.TasksPerSec = float64(w.stats.Tasks) / (float64(w.stats.BusyNS) / 1e9)
 		}
-	}
-	if f.ln != nil {
-		f.ln.Close()
+		w.mu.Unlock()
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -586,10 +1073,14 @@ func (f *Fabric) Shutdown() Stats {
 		Stolen:         f.stolen,
 		Requeued:       f.requeued,
 		InProcessTasks: f.inproc,
+		Reconnects:     f.reconnects,
+		HeartbeatDead:  f.hbDead,
+		Draining:       f.draining.Load(),
 	}
-	for _, w := range f.workers {
-		s.Workers = append(s.Workers, w.stats)
+	for _, w := range workers {
+		s.Workers = append(s.Workers, w.liveStats())
 	}
+	s.Workers = append(s.Workers, f.retired...)
 	f.finalStats = s
 	return s
 }

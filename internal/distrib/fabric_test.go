@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"os"
@@ -25,9 +26,13 @@ type squareIn struct {
 type squareOut struct{ V int }
 
 func init() {
-	RegisterKind(testKind, HandlerGob(func(in squareIn) (squareOut, error) {
+	RegisterKind(testKind, HandlerGob(func(ctx context.Context, in squareIn) (squareOut, error) {
 		if in.SleepMS > 0 {
-			time.Sleep(time.Duration(in.SleepMS) * time.Millisecond)
+			select {
+			case <-time.After(time.Duration(in.SleepMS) * time.Millisecond):
+			case <-ctx.Done():
+				return squareOut{}, ctx.Err()
+			}
 		}
 		if in.Fail {
 			return squareOut{}, fmt.Errorf("task %d failed", in.V)

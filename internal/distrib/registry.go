@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
@@ -14,7 +15,10 @@ import (
 // fabric degrades), so they must be deterministic functions of the
 // payload plus process-level configuration the coordinator replicated
 // to every worker (model/wafer/backend overrides, memo dir, workers).
-type Handler func(payload []byte) ([]byte, error)
+// ctx ends when the task's shard is cancelled (the coordinator's Run
+// context ended, or the shard was requeued elsewhere); handlers
+// should stop early and may return ctx.Err().
+type Handler func(ctx context.Context, payload []byte) ([]byte, error)
 
 var (
 	regMu    sync.RWMutex
@@ -53,13 +57,13 @@ func Kinds() []string {
 
 // HandlerGob adapts a typed task function into a Handler with gob
 // payloads — the default for plain-struct task shapes.
-func HandlerGob[I, O any](fn func(I) (O, error)) Handler {
-	return func(payload []byte) ([]byte, error) {
+func HandlerGob[I, O any](fn func(context.Context, I) (O, error)) Handler {
+	return func(ctx context.Context, payload []byte) ([]byte, error) {
 		var in I
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&in); err != nil {
 			return nil, fmt.Errorf("distrib: decode task: %w", err)
 		}
-		out, err := fn(in)
+		out, err := fn(ctx, in)
 		if err != nil {
 			return nil, err
 		}
@@ -74,13 +78,13 @@ func HandlerGob[I, O any](fn func(I) (O, error)) Handler {
 // HandlerJSON is HandlerGob with JSON payloads, for task shapes that
 // already have canonical JSON forms (scenario specs with custom
 // marshalers that gob cannot see through).
-func HandlerJSON[I, O any](fn func(I) (O, error)) Handler {
-	return func(payload []byte) ([]byte, error) {
+func HandlerJSON[I, O any](fn func(context.Context, I) (O, error)) Handler {
+	return func(ctx context.Context, payload []byte) ([]byte, error) {
 		var in I
 		if err := json.Unmarshal(payload, &in); err != nil {
 			return nil, fmt.Errorf("distrib: decode task: %w", err)
 		}
-		out, err := fn(in)
+		out, err := fn(ctx, in)
 		if err != nil {
 			return nil, err
 		}
@@ -112,6 +116,12 @@ func DecodeGob[T any](b []byte) (T, error) {
 // f is nil or has no live workers) and decodes the outputs back into
 // their input order. errs[i] is non-nil when task i's handler failed.
 func RunTasks[I, O any](f *Fabric, kind string, inputs []I) ([]O, []error) {
+	return RunTasksCtx[I, O](context.Background(), f, kind, inputs)
+}
+
+// RunTasksCtx is RunTasks with cancellation: unfinished tasks report
+// ctx.Err() once the context ends.
+func RunTasksCtx[I, O any](ctx context.Context, f *Fabric, kind string, inputs []I) ([]O, []error) {
 	payloads := make([][]byte, len(inputs))
 	outs := make([]O, len(inputs))
 	errs := make([]error, len(inputs))
@@ -123,7 +133,7 @@ func RunTasks[I, O any](f *Fabric, kind string, inputs []I) ([]O, []error) {
 		}
 		payloads[i] = b
 	}
-	raw, rawErrs := f.Run(kind, payloads)
+	raw, rawErrs := f.RunCtx(ctx, kind, payloads)
 	for i := range raw {
 		if rawErrs[i] != nil {
 			errs[i] = rawErrs[i]

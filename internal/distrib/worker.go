@@ -2,9 +2,15 @@ package distrib
 
 import (
 	"bufio"
+	"context"
+	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"temp/internal/engine"
 )
@@ -21,7 +27,8 @@ func ServeStdio() error {
 }
 
 // ConnectAndServe dials a coordinator's -listen address and serves
-// shards over the TCP connection (the multi-machine transport).
+// shards over the TCP connection (the multi-machine transport). It
+// makes a single attempt; DialAndServe adds the reconnect loop.
 func ConnectAndServe(addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -31,47 +38,177 @@ func ConnectAndServe(addr string) error {
 	return Serve(conn, conn)
 }
 
+// RedialOptions configures DialAndServe's reconnect loop.
+type RedialOptions struct {
+	// Base is the first backoff delay (default 100ms).
+	Base time.Duration
+	// Max caps the backoff (default 10s).
+	Max time.Duration
+	// Attempts bounds consecutive failed dials before giving up;
+	// 0 means unlimited.
+	Attempts int
+	// Seed drives the deterministic jitter (default: the PID, so
+	// co-scheduled workers spread their redials apart).
+	Seed int64
+}
+
+// DialAndServe dials the coordinator and serves shards, re-dialing on
+// connection loss with exponential backoff plus deterministic jitter.
+// A graceful done/stats exchange ends the loop; a dropped or corrupt
+// link (the coordinator declared us dead, or chaos ate the stream)
+// triggers a redial, and the coordinator re-attaches us to our old
+// slot for the next run.
+func DialAndServe(addr string, o RedialOptions) error {
+	if o.Base <= 0 {
+		o.Base = 100 * time.Millisecond
+	}
+	if o.Max <= 0 {
+		o.Max = 10 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = int64(os.Getpid())
+	}
+	jitter := splitmix64(uint64(o.Seed))
+	delay := o.Base
+	attempt := 0
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			attempt = 0
+			delay = o.Base
+			err = Serve(conn, conn)
+			conn.Close()
+			if err == nil {
+				return nil
+			}
+			fmt.Fprintf(os.Stderr, "distrib: worker link lost (%v); re-dialing %s\n", err, addr)
+			continue
+		}
+		attempt++
+		if o.Attempts > 0 && attempt >= o.Attempts {
+			return fmt.Errorf("distrib: dial %s: %w (after %d attempts)", addr, err, attempt)
+		}
+		// Exponential backoff with deterministic jitter: sleep
+		// delay/2 plus a seeded fraction of delay/2.
+		jitter = splitmix64(jitter)
+		frac := float64(jitter>>11) / float64(1<<53)
+		time.Sleep(delay/2 + time.Duration(frac*float64(delay/2)))
+		if delay *= 2; delay > o.Max {
+			delay = o.Max
+		}
+	}
+}
+
 // Serve speaks the worker side of the protocol: hello, then execute
 // shards as they arrive, then answer done with lifetime stats and
-// return. A read error (coordinator gone) returns the error; the
-// caller decides whether that is fatal.
+// return nil. Shards execute asynchronously so the read loop keeps
+// answering pings while a long shard runs (the whole point of the
+// heartbeat: a busy worker is not a dead worker); cancel frames abort
+// a shard's context. A read error (coordinator gone, corrupt stream)
+// returns the error; the caller decides whether that is fatal.
 func Serve(r io.Reader, w io.Writer) error {
 	br := bufio.NewReaderSize(r, 1<<16)
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if err := exchangeHello(br, bw, os.Getpid()); err != nil {
+	if _, err := exchangeHello(br, bw, os.Getpid(), engine.HasDiskMemo()); err != nil {
 		return err
 	}
-	shards, tasks := 0, 0
+	var sendMu sync.Mutex
+	send := func(env *envelope) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return writeFrame(bw, env)
+	}
+	var (
+		inflight      sync.WaitGroup
+		cancelMu      sync.Mutex
+		cancels       = map[uint64]context.CancelFunc{}
+		shards, tasks atomic.Int64
+	)
 	for {
 		env, err := readFrame(br)
 		if err != nil {
 			return err
 		}
 		switch env.Type {
-		case msgShard:
-			res := execShard(env.Shard)
-			if err := writeFrame(bw, &envelope{Type: msgResult, Result: res}); err != nil {
+		case msgPing:
+			var seq uint64
+			if env.Beat != nil {
+				seq = env.Beat.Seq
+			}
+			if err := send(&envelope{Type: msgPong, Beat: &beatMsg{Seq: seq}}); err != nil {
 				return err
 			}
-			shards++
-			tasks += len(env.Shard.Payloads)
+		case msgMemo:
+			if env.Memo != nil {
+				importMemo(env.Memo)
+			}
+		case msgCancel:
+			if env.Cancel != nil {
+				cancelMu.Lock()
+				if c := cancels[env.Cancel.Seq]; c != nil {
+					c()
+				}
+				cancelMu.Unlock()
+			}
+		case msgShard:
+			sh := env.Shard
+			if sh == nil {
+				continue
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancelMu.Lock()
+			cancels[sh.Seq] = cancel
+			cancelMu.Unlock()
+			inflight.Add(1)
+			go func() {
+				defer inflight.Done()
+				res := execShard(ctx, sh)
+				cancelMu.Lock()
+				delete(cancels, sh.Seq)
+				cancelMu.Unlock()
+				cancelled := ctx.Err() != nil
+				cancel()
+				if cancelled {
+					return // cancelled: the coordinator stopped caring
+				}
+				send(&envelope{Type: msgResult, Result: res})
+				shards.Add(1)
+				tasks.Add(int64(len(sh.Payloads)))
+			}()
 		case msgDone:
+			inflight.Wait()
 			s := engine.CountersSnapshot()
 			stats := &statsMsg{
-				Shards: shards, Tasks: tasks,
+				Shards: int(shards.Load()), Tasks: int(tasks.Load()),
 				Hits: s.Hits, Misses: s.Misses, DiskHits: s.DiskHits,
 				BatchCalls: s.BatchCalls, BatchedJobs: s.BatchedJobs,
 			}
-			return writeFrame(bw, &envelope{Type: msgStats, Stats: stats})
+			return send(&envelope{Type: msgStats, Stats: stats})
 		}
 	}
+}
+
+// importMemo verifies and merges a coordinator-shipped memo segment.
+// A bad checksum or a corrupt record means starting cold — never a
+// wrong price.
+func importMemo(m *memoMsg) {
+	if crc32.ChecksumIEEE(m.Data) != m.CRC {
+		fmt.Fprintln(os.Stderr, "distrib: memo segment checksum mismatch; starting cold")
+		return
+	}
+	n, err := engine.ImportMemoSegment(m.Data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distrib: memo segment import: %v; starting cold\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "distrib: warm-started from synced memo (%d records, %d bytes)\n", n, len(m.Data))
 }
 
 // execShard runs every task in the shard through the kind's handler,
 // fanning out across the worker's own engine pool. Handler errors and
 // panics (via engine.Guard) become per-task error strings; they never
 // take the worker down.
-func execShard(sh *shardMsg) *resultMsg {
+func execShard(ctx context.Context, sh *shardMsg) *resultMsg {
 	res := &resultMsg{
 		Seq:      sh.Seq,
 		Start:    sh.Start,
@@ -80,17 +217,20 @@ func execShard(sh *shardMsg) *resultMsg {
 	}
 	h := lookupKind(sh.Kind)
 	engine.Map(len(sh.Payloads), func(i int) {
-		res.Payloads[i], res.Errs[i] = execTask(h, sh.Kind, sh.Payloads[i])
+		res.Payloads[i], res.Errs[i] = execTask(ctx, h, sh.Kind, sh.Payloads[i])
 	})
 	return res
 }
 
-func execTask(h Handler, kind string, payload []byte) (out []byte, errMsg string) {
+func execTask(ctx context.Context, h Handler, kind string, payload []byte) (out []byte, errMsg string) {
 	if h == nil {
 		return nil, "distrib: unknown task kind " + kind
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var err error
-	if pe := engine.Guard(func() { out, err = h(payload) }); pe != nil {
+	if pe := engine.Guard(func() { out, err = h(ctx, payload) }); pe != nil {
 		return nil, pe.Error()
 	}
 	if err != nil {

@@ -198,6 +198,16 @@ func (m *DiskMemo) compact(valid []byte) error {
 // compactFromIndex atomically rewrites the file with exactly the live
 // records (one frame per index entry, file order unspecified).
 func (m *DiskMemo) compactFromIndex() error {
+	buf, err := m.segmentLocked()
+	if err != nil {
+		return err
+	}
+	return m.compact(buf)
+}
+
+// segmentLocked serializes the live index in the on-disk format
+// (header plus one record frame per entry). Callers hold m.mu.
+func (m *DiskMemo) segmentLocked() ([]byte, error) {
 	buf := headerBytes()
 	var val bytes.Buffer
 	for key, r := range m.index {
@@ -208,11 +218,50 @@ func (m *DiskMemo) compactFromIndex() error {
 		}
 		val.Reset()
 		if err := gob.NewEncoder(&val).Encode(rec); err != nil {
-			return fmt.Errorf("engine: disk memo compact encode: %w", err)
+			return nil, fmt.Errorf("engine: disk memo segment encode: %w", err)
 		}
 		buf = appendRecordFrame(buf, key, val.Bytes())
 	}
-	return m.compact(buf)
+	return buf, nil
+}
+
+// Segment serializes the memo's live records in the on-disk format,
+// for shipping warm state to shared-nothing workers over the fabric
+// (distrib memo sync). The segment round-trips through ImportSegment.
+func (m *DiskMemo) Segment() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.segmentLocked()
+}
+
+// ImportSegment merges a serialized segment's records into the index
+// without persisting them (synced state belongs to the coordinator's
+// memo, not the worker's). Unlike load, the whole segment must parse:
+// any invalid record rejects the import, since a shipped segment has
+// no torn-tail excuse. Returns how many records were merged (existing
+// keys keep their local value).
+func (m *DiskMemo) ImportSegment(data []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	probe := &DiskMemo{index: map[string]Result{}}
+	if n := probe.load(data); n != len(data) {
+		return 0, fmt.Errorf("engine: memo segment corrupt at byte %d of %d", n, len(data))
+	}
+	added := 0
+	for key, r := range probe.index {
+		if _, ok := m.index[key]; !ok {
+			m.index[key] = r
+			added++
+		}
+	}
+	return added, nil
+}
+
+// NewMemoryMemo returns a memo with no backing file: lookups and
+// stores work against the in-memory index only. It is the landing
+// spot for synced segments on workers that have no memo directory.
+func NewMemoryMemo() *DiskMemo {
+	return &DiskMemo{index: map[string]Result{}}
 }
 
 // appendRecordFrame appends one self-delimiting record frame

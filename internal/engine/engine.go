@@ -686,6 +686,43 @@ func AttachDiskMemo(dir string) (*DiskMemo, error) {
 	return d, nil
 }
 
+// HasDiskMemo reports whether the shared pool has a memo attached —
+// what a fabric worker advertises in its hello so the coordinator
+// knows whether to sync warm state.
+func HasDiskMemo() bool { return Default().cache.DiskMemo() != nil }
+
+// MemoSegment serializes the shared pool's attached memo for shipping
+// to shared-nothing workers (distrib memo sync). Returns (nil, 0)
+// when no memo is attached, it is empty, or serialization fails —
+// sync is an optimization, never a failure mode.
+func MemoSegment() ([]byte, int) {
+	d := Default().cache.DiskMemo()
+	if d == nil {
+		return nil, 0
+	}
+	n := d.Len()
+	if n == 0 {
+		return nil, 0
+	}
+	seg, err := d.Segment()
+	if err != nil {
+		return nil, 0
+	}
+	return seg, n
+}
+
+// ImportMemoSegment merges a serialized memo segment into the shared
+// pool's attached memo, attaching an in-memory one first when none is
+// present (the shared-nothing worker case). Returns records merged.
+func ImportMemoSegment(data []byte) (int, error) {
+	d := Default().cache.DiskMemo()
+	if d == nil {
+		d = NewMemoryMemo()
+		Default().SetDiskMemo(d)
+	}
+	return d.ImportSegment(data)
+}
+
 // CountersSnapshot returns the shared engine's cache counters — the
 // single accessor CLIs and the serving daemon read instead of
 // reaching into pool internals.

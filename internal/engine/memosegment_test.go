@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMemoSegmentRoundTrip: Segment/ImportSegment carry every record
+// bit-identically into a shared-nothing memo, existing keys keep
+// their local value, and the import is idempotent.
+func TestMemoSegmentRoundTrip(t *testing.T) {
+	src := NewMemoryMemo()
+	const n = 6
+	for i := 0; i < n; i++ {
+		if err := src.Store(diskJob(i), diskResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := src.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewMemoryMemo()
+	// Pre-seed one key with a local value: import must not clobber it.
+	local := diskResult(99)
+	if err := dst.Store(diskJob(0), local); err != nil {
+		t.Fatal(err)
+	}
+	added, err := dst.ImportSegment(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != n-1 {
+		t.Fatalf("imported %d records, want %d (one key pre-seeded)", added, n-1)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := dst.Lookup(diskJob(i))
+		if !ok {
+			t.Fatalf("job %d missing after import", i)
+		}
+		want := diskResult(i)
+		if i == 0 {
+			want = local
+		}
+		if !sameResult(got, want) {
+			t.Fatalf("job %d: result diverged after segment import", i)
+		}
+	}
+	// Idempotent: re-importing the same segment adds nothing.
+	if again, err := dst.ImportSegment(seg); err != nil || again != 0 {
+		t.Fatalf("re-import added %d records (err %v), want 0", again, err)
+	}
+}
+
+// TestMemoSegmentRejectsCorruption: any flipped byte in a shipped
+// segment rejects the whole import — a warm start must never seed a
+// wrong price.
+func TestMemoSegmentRejectsCorruption(t *testing.T) {
+	src := NewMemoryMemo()
+	for i := 0; i < 4; i++ {
+		if err := src.Store(diskJob(i), diskResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := src.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte past the header, inside some record frame.
+	bad := append([]byte(nil), seg...)
+	bad[len(bad)/2] ^= 0xff
+
+	dst := NewMemoryMemo()
+	added, err := dst.ImportSegment(bad)
+	if err == nil {
+		t.Fatal("corrupt segment imported without error")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error %q does not name corruption", err)
+	}
+	if added != 0 || dst.Len() != 0 {
+		t.Fatalf("corrupt import merged %d records (len %d), want 0", added, dst.Len())
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"temp/internal/distrib"
@@ -26,7 +27,10 @@ func init() {
 	distrib.RegisterKind("experiments.table", distrib.HandlerGob(runTableTask))
 }
 
-func runTableTask(t tableTask) (tableOut, error) {
+func runTableTask(ctx context.Context, t tableTask) (tableOut, error) {
+	if err := ctx.Err(); err != nil {
+		return tableOut{}, err
+	}
 	start := time.Now()
 	tab, err := ByID(t.ID, t.Quick)
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -12,7 +13,7 @@ func TestByIDOnMatchesByID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := runTableTask(tableTask{ID: "fig9", Quick: true})
+	out, err := runTableTask(context.Background(), tableTask{ID: "fig9", Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"context"
+
 	"temp/internal/distrib"
 	"temp/internal/engine"
 )
@@ -24,7 +26,10 @@ func init() {
 	distrib.RegisterKind("fault.campaign.cell", distrib.HandlerGob(runCampaignCell))
 }
 
-func runCampaignCell(t campaignCellTask) (campaignCellOut, error) {
+func runCampaignCell(ctx context.Context, t campaignCellTask) (campaignCellOut, error) {
+	if err := ctx.Err(); err != nil {
+		return campaignCellOut{}, err
+	}
 	cl := t.C.cells()[t.Cell]
 	out := campaignCellOut{
 		Norms:      make([]float64, t.C.Trials),

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"time"
+
+	"temp/internal/solver"
+)
+
+// drainUnwind bounds the post-cancellation wait for handler goroutines
+// to notice their dead contexts and release scheduler slots.
+const drainUnwind = 5 * time.Second
+
+// DrainReport summarizes one graceful shutdown: how many in-flight
+// solves finished on their own, how many had to be cancelled when the
+// grace period lapsed, and which checkpoint files were persisted for
+// the cancelled ones.
+type DrainReport struct {
+	// Inflight is the solve count when the drain began.
+	Inflight int `json:"inflight"`
+	// Completed finished within the grace period; Canceled were cut
+	// short when it lapsed.
+	Completed int `json:"completed"`
+	Canceled  int `json:"canceled"`
+	// Checkpoints lists the best-so-far checkpoint files written for
+	// cancelled solves (empty without Options.CheckpointDir).
+	Checkpoints []string `json:"checkpoints,omitempty"`
+	// Errors records checkpoint-persistence failures; the drain itself
+	// still completes.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Draining reports whether the server is refusing new solves.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully quiesces the server: new solve requests get 503 +
+// Retry-After immediately, in-flight solves run until ctx ends (pass
+// a deadline context for a bounded grace period), and any solve still
+// running at that point has its best-so-far checkpoints persisted to
+// Options.CheckpointDir before being cancelled. Drain returns once
+// the scheduler is idle (or shortly after forced cancellation).
+// It is idempotent; concurrent calls race harmlessly on the same
+// atomic and inflight registry.
+func (s *Server) Drain(ctx context.Context) DrainReport {
+	s.draining.Store(true)
+
+	s.inflightMu.Lock()
+	rep := DrainReport{Inflight: len(s.inflight)}
+	s.inflightMu.Unlock()
+
+	if s.sched.WaitIdle(ctx) == nil {
+		rep.Completed = rep.Inflight
+		return rep
+	}
+
+	// Grace period lapsed: persist what the stragglers found so far,
+	// then cancel them.
+	s.inflightMu.Lock()
+	rem := make([]*inflightSolve, 0, len(s.inflight))
+	for _, in := range s.inflight {
+		rem = append(rem, in)
+	}
+	s.inflightMu.Unlock()
+	sort.Slice(rem, func(i, j int) bool { return rem[i].id < rem[j].id })
+
+	for _, in := range rem {
+		if path, err := s.persistCheckpoints(in); err != nil {
+			rep.Errors = append(rep.Errors, err.Error())
+		} else if path != "" {
+			rep.Checkpoints = append(rep.Checkpoints, path)
+		}
+		in.cancel()
+		rep.Canceled++
+	}
+	rep.Completed = rep.Inflight - rep.Canceled
+
+	// Give the cancelled handlers a moment to unwind; solver budget
+	// checks notice the context within iterations, so this is short.
+	unwind, cancel := context.WithTimeout(context.Background(), drainUnwind)
+	defer cancel()
+	s.sched.WaitIdle(unwind)
+	return rep
+}
+
+// checkpointFile is the persisted drain artifact: the cancelled
+// request's identity plus its latest best-so-far checkpoint per
+// scenario, enough to resume or audit the interrupted solve.
+type checkpointFile struct {
+	RequestID   string                       `json:"request_id"`
+	Tenant      string                       `json:"tenant,omitempty"`
+	Checkpoints map[string]solver.Checkpoint `json:"checkpoints"`
+}
+
+// persistCheckpoints writes one cancelled solve's checkpoints to
+// CheckpointDir; returns "" when capture is off or nothing was
+// recorded yet.
+func (s *Server) persistCheckpoints(in *inflightSolve) (string, error) {
+	dir := s.opts.CheckpointDir
+	if dir == "" {
+		return "", nil
+	}
+	cps := in.snapshot()
+	if len(cps) == 0 {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("serve: checkpoint dir: %w", err)
+	}
+	name := in.reqID
+	if name == "" {
+		name = fmt.Sprintf("solve-%d", in.id)
+	}
+	path := filepath.Join(dir, sanitizeName(name)+".checkpoint.json")
+	buf, err := json.MarshalIndent(checkpointFile{
+		RequestID: in.reqID, Tenant: in.tenant, Checkpoints: cps,
+	}, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("serve: encode checkpoints for %s: %w", name, err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return "", fmt.Errorf("serve: persist checkpoints: %w", err)
+	}
+	return path, nil
+}
+
+// sanitizeName keeps request IDs filesystem-safe.
+func sanitizeName(s string) string {
+	out := []rune(s)
+	for i, r := range out {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

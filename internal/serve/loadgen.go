@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,14 @@ type LoadOptions struct {
 	Verify bool
 	// Timeout bounds each HTTP request (default 5 minutes).
 	Timeout time.Duration
+	// Max503Retries bounds how many times one request is retried after
+	// a 503 (overload or drain), honoring the server's Retry-After
+	// hint. Default 3; negative disables retries (503 = hard failure).
+	Max503Retries int
+	// MaxRetryWait caps each Retry-After sleep so load loops stay
+	// snappy even when the server hints multi-second waits (default
+	// 250 ms; the hint is advisory for a load generator).
+	MaxRetryWait time.Duration
 }
 
 // PassReport summarizes one sweep over the mix.
@@ -55,6 +64,9 @@ type PassReport struct {
 	P99NS int64 `json:"p99_ns"`
 	// MeanQueueNS is the server-reported admission-queue wait.
 	MeanQueueNS int64 `json:"mean_queue_wait_ns"`
+	// Retries503 counts 503 responses absorbed by bounded retry
+	// (overload backpressure or a draining server) across the pass.
+	Retries503 int64 `json:"retries_503"`
 	// Hits/Misses/DiskHits are the engine-counter deltas across the
 	// pass (from /metrics); HitRatio = (hits+disk)/(hits+disk+misses).
 	Hits     int64   `json:"cache_hits"`
@@ -120,7 +132,7 @@ func RunLoad(o LoadOptions) (LoadReport, error) {
 		if err != nil {
 			return rep, err
 		}
-		pr := runPass(client, o, bodies, pass)
+		pr := runPass(client, o, bodies, pass, newRetrier(o))
 		after, err := fetchMetrics(client, o.URL)
 		if err != nil {
 			return rep, err
@@ -149,7 +161,7 @@ func RunLoad(o LoadOptions) (LoadReport, error) {
 }
 
 // runPass sweeps the mix once with the configured concurrency.
-func runPass(client *http.Client, o LoadOptions, bodies [][]byte, pass int) PassReport {
+func runPass(client *http.Client, o LoadOptions, bodies [][]byte, pass int, rt *retrier) PassReport {
 	jobs := o.Repeat * len(bodies)
 	var next atomic.Int64
 	latencies := make([]int64, jobs)
@@ -167,7 +179,7 @@ func runPass(client *http.Client, o LoadOptions, bodies [][]byte, pass int) Pass
 					return
 				}
 				t0 := time.Now()
-				resp, err := postSolve(client, o.URL, bodies[i%len(bodies)])
+				resp, err := rt.postSolve(client, o.URL, bodies[i%len(bodies)])
 				latencies[i] = time.Since(t0).Nanoseconds()
 				if err != nil {
 					errs[i] = true
@@ -180,7 +192,7 @@ func runPass(client *http.Client, o LoadOptions, bodies [][]byte, pass int) Pass
 	wg.Wait()
 	elapsed := time.Since(started)
 
-	pr := PassReport{Pass: pass, Requests: jobs, ElapsedNS: elapsed.Nanoseconds()}
+	pr := PassReport{Pass: pass, Requests: jobs, ElapsedNS: elapsed.Nanoseconds(), Retries503: rt.count.Load()}
 	var ok []int64
 	var queueTotal int64
 	for i, l := range latencies {
@@ -221,6 +233,7 @@ func percentile(sorted []int64, q float64) int64 {
 // against the direct in-process solve — the determinism contract the
 // whole cache/coalesce/fabric stack must preserve.
 func verifyMix(client *http.Client, o LoadOptions) VerifyReport {
+	rt := newRetrier(o)
 	v := VerifyReport{Match: true}
 	for i, req := range o.Mix {
 		req.Stream = false
@@ -228,7 +241,7 @@ func verifyMix(client *http.Client, o LoadOptions) VerifyReport {
 		if err != nil {
 			return VerifyReport{Mismatch: err.Error()}
 		}
-		served, err := postSolve(client, o.URL, body)
+		served, err := rt.postSolve(client, o.URL, body)
 		if err != nil {
 			return VerifyReport{Checked: v.Checked, Mismatch: fmt.Sprintf("mix[%d]: served: %v", i, err)}
 		}
@@ -246,29 +259,76 @@ func verifyMix(client *http.Client, o LoadOptions) VerifyReport {
 	return v
 }
 
-// postSolve POSTs one request body and decodes the response.
-func postSolve(client *http.Client, base string, body []byte) (Response, error) {
+// retrier is the shared 503-retry policy: the load loops and the
+// verify pass absorb overload/drain backpressure with bounded retry,
+// honoring (a capped form of) the server's Retry-After hint.
+type retrier struct {
+	max     int
+	maxWait time.Duration
+	count   atomic.Int64
+}
+
+// newRetrier materializes the options' retry policy.
+func newRetrier(o LoadOptions) *retrier {
+	rt := &retrier{max: o.Max503Retries, maxWait: o.MaxRetryWait}
+	if rt.max == 0 {
+		rt.max = 3
+	}
+	if rt.max < 0 {
+		rt.max = 0
+	}
+	if rt.maxWait <= 0 {
+		rt.maxWait = 250 * time.Millisecond
+	}
+	return rt
+}
+
+// postSolve POSTs one request body with bounded 503 retry.
+func (rt *retrier) postSolve(client *http.Client, base string, body []byte) (Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, retryAfter, err := postSolveOnce(client, base, body)
+		if err == nil || retryAfter < 0 || attempt >= rt.max {
+			return resp, err
+		}
+		rt.count.Add(1)
+		if retryAfter > rt.maxWait {
+			retryAfter = rt.maxWait
+		}
+		time.Sleep(retryAfter)
+	}
+}
+
+// postSolveOnce POSTs one request body and decodes the response.
+// retryAfter is the server's Retry-After hint on a 503 (1 s when the
+// header is absent or unparseable) and -1 for every other outcome.
+func postSolveOnce(client *http.Client, base string, body []byte) (resp Response, retryAfter time.Duration, err error) {
+	retryAfter = -1
 	httpResp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return Response{}, err
+		return Response{}, retryAfter, err
 	}
 	defer httpResp.Body.Close()
 	buf, err := io.ReadAll(httpResp.Body)
 	if err != nil {
-		return Response{}, err
+		return Response{}, retryAfter, err
 	}
 	if httpResp.StatusCode != http.StatusOK {
+		if httpResp.StatusCode == http.StatusServiceUnavailable {
+			retryAfter = time.Second
+			if secs, perr := strconv.Atoi(httpResp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var eb errorBody
 		if json.Unmarshal(buf, &eb) == nil && eb.Error != "" {
-			return Response{}, fmt.Errorf("%s (HTTP %d)", eb.Error, httpResp.StatusCode)
+			return Response{}, retryAfter, fmt.Errorf("%s (HTTP %d)", eb.Error, httpResp.StatusCode)
 		}
-		return Response{}, fmt.Errorf("HTTP %d", httpResp.StatusCode)
+		return Response{}, retryAfter, fmt.Errorf("HTTP %d", httpResp.StatusCode)
 	}
-	var resp Response
 	if err := json.Unmarshal(buf, &resp); err != nil {
-		return Response{}, err
+		return Response{}, -1, err
 	}
-	return resp, nil
+	return resp, -1, nil
 }
 
 // fetchMetrics GETs and decodes /metrics.

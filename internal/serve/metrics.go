@@ -18,6 +18,14 @@ type Metrics struct {
 	Requests int64 `json:"requests"`
 	Errors   int64 `json:"errors"`
 	Streamed int64 `json:"streamed"`
+	// Draining reports whether the server is refusing new solves;
+	// DrainRejected counts the 503s served while draining, and
+	// CanceledSolves the solves cut short by client disconnect or
+	// drain-grace expiry. InflightSolves is the live solve count.
+	Draining       bool  `json:"draining,omitempty"`
+	DrainRejected  int64 `json:"drain_rejected,omitempty"`
+	CanceledSolves int64 `json:"canceled_solves,omitempty"`
+	InflightSolves int   `json:"inflight_solves"`
 	// Scheduler is the admission-control snapshot.
 	Scheduler SchedulerStats `json:"scheduler"`
 	// Engine is the shared evaluation engine's counter snapshot
@@ -56,7 +64,13 @@ func (s *Server) Metrics() Metrics {
 		ServedDiskHits: es.DiskHits - s.startEngine.diskHits,
 		Coalescing:     engine.Coalescing(),
 		Workers:        engine.Workers(),
+		Draining:       s.draining.Load(),
+		DrainRejected:  s.drainRejected.Load(),
+		CanceledSolves: s.canceledSolves.Load(),
 	}
+	s.inflightMu.Lock()
+	m.InflightSolves = len(s.inflight)
+	s.inflightMu.Unlock()
 	if total := m.ServedHits + m.ServedDiskHits + m.ServedMisses; total > 0 {
 		m.HitRatio = float64(m.ServedHits+m.ServedDiskHits) / float64(total)
 	}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"temp/internal/solver"
+	"temp/internal/spec"
+)
+
+// spinEvals counts spintest iterations globally, so tests can observe
+// whether a solve is still burning evaluations after its client went
+// away.
+var spinEvals atomic.Int64
+
+// spinStrategy is a registered solver strategy that runs until its
+// context ends (bounded by a generous safety cap), recording a
+// checkpoint early — the knob the cancellation and drain tests need:
+// a solve that never finishes on its own but stops promptly when
+// cancelled.
+type spinStrategy struct{}
+
+func (spinStrategy) Name() string { return "spintest" }
+
+func (spinStrategy) Solve(ctx context.Context, p solver.Problem, b solver.Budget) (solver.Assignment, solver.Stats) {
+	a := make(solver.Assignment, len(p.Graph.Ops))
+	st := solver.Stats{Strategy: "spintest"}
+	for i := 0; i < 20000; i++ {
+		select {
+		case <-ctx.Done():
+			return a, st
+		case <-time.After(time.Millisecond):
+		}
+		spinEvals.Add(1)
+		st.Iterations++
+		if b.OnCheckpoint != nil && i%10 == 0 {
+			b.OnCheckpoint(solver.Checkpoint{
+				Iteration:  i,
+				Cost:       float64(1000 - i),
+				Assignment: append(solver.Assignment(nil), a...),
+			})
+		}
+	}
+	return a, st
+}
+
+func init() {
+	solver.RegisterStrategy("spintest", func(p solver.Params) (solver.Strategy, error) {
+		return spinStrategy{}, nil
+	})
+}
+
+func spinRequest(id string) []byte {
+	sc := spec.ScenarioSpec{
+		Name:   "spin",
+		Model:  spec.ModelRef{Name: "llama2-7b"},
+		Wafer:  spec.WaferRef{Name: "wsc-4x8"},
+		Solver: &spec.SolverSpec{Strategy: "spintest"},
+	}
+	body, _ := json.Marshal(spec.RequestSpec{ID: id, Scenario: &sc})
+	return body
+}
+
+// waitSpinning blocks until spinEvals moves past from, or fails the
+// test.
+func waitSpinning(t *testing.T, from int64) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if spinEvals.Load() > from {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("spintest solve never started evaluating")
+}
+
+// waitSpinStopped blocks until spinEvals holds still across a
+// comfortable window, or fails the test.
+func waitSpinStopped(t *testing.T) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		before := spinEvals.Load()
+		time.Sleep(100 * time.Millisecond)
+		if spinEvals.Load() == before {
+			return
+		}
+	}
+	t.Fatal("solve kept evaluating long after cancellation")
+}
+
+// TestClientDisconnectCancelsSolve: a client hanging up mid-solve
+// propagates from r.Context() through the scheduler and the solver
+// budget checks — the evaluation counters must stop climbing, and the
+// server must count one cancelled solve.
+func TestClientDisconnectCancelsSolve(t *testing.T) {
+	srv := New(Options{MaxConcurrent: 2, MaxQueue: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	base := spinEvals.Load()
+	ctx, cancel := context.WithCancel(context.Background())
+	clientDone := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+"/v1/solve", bytes.NewReader(spinRequest("hangup")))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := ts.Client().Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		clientDone <- err
+	}()
+
+	waitSpinning(t, base)
+	cancel() // client hangs up mid-solve
+	if err := <-clientDone; err == nil {
+		t.Fatal("client Do returned nil error after context cancellation")
+	}
+	waitSpinStopped(t)
+
+	// The handler has unwound once the scheduler is idle again.
+	idle, idleCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer idleCancel()
+	if err := srv.Scheduler().WaitIdle(idle); err != nil {
+		t.Fatalf("scheduler never went idle after disconnect: %v", err)
+	}
+	m := srv.Metrics()
+	if m.CanceledSolves != 1 {
+		t.Fatalf("canceled_solves = %d, want 1", m.CanceledSolves)
+	}
+}
+
+// TestServerDrain: draining rejects new work with 503 + Retry-After,
+// lets the grace period lapse, persists the straggler's best-so-far
+// checkpoint, cancels it, and reports all of it.
+func TestServerDrain(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{MaxConcurrent: 2, MaxQueue: 4, CheckpointDir: dir})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	base := spinEvals.Load()
+	status := make(chan int, 1)
+	go func() {
+		resp, err := ts.Client().Post(ts.URL+"/v1/solve", "application/json",
+			bytes.NewReader(spinRequest("drain-spin")))
+		if err != nil {
+			status <- -1
+			return
+		}
+		resp.Body.Close()
+		status <- resp.StatusCode
+	}()
+	waitSpinning(t, base)
+
+	grace, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	rep := srv.Drain(grace)
+	if rep.Inflight != 1 || rep.Canceled != 1 || rep.Completed != 0 {
+		t.Fatalf("drain report = %+v, want 1 in-flight, 1 canceled", rep)
+	}
+	if len(rep.Checkpoints) != 1 {
+		t.Fatalf("drain persisted %d checkpoint files, want 1 (errors: %v)", len(rep.Checkpoints), rep.Errors)
+	}
+	buf, err := os.ReadFile(rep.Checkpoints[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(buf, &cf); err != nil {
+		t.Fatal(err)
+	}
+	if cf.RequestID != "drain-spin" || len(cf.Checkpoints) == 0 {
+		t.Fatalf("checkpoint file = %+v, want request drain-spin with recorded checkpoints", cf)
+	}
+	if cp, ok := cf.Checkpoints["spin"]; !ok || cp.Assignment == nil {
+		t.Fatalf("scenario checkpoint missing or empty: %+v", cf.Checkpoints)
+	}
+
+	// The cancelled client sees the 499 client-gone status.
+	select {
+	case code := <-status:
+		if code != 499 {
+			t.Fatalf("cancelled solve returned HTTP %d, want 499", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled solve never returned")
+	}
+
+	// New work is refused while draining, with a retry hint.
+	resp, err := ts.Client().Post(ts.URL+"/v1/solve", "application/json",
+		bytes.NewReader(spinRequest("late")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve during drain: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 during drain carries no Retry-After hint")
+	}
+
+	m := srv.Metrics()
+	if !m.Draining || m.DrainRejected < 1 || m.CanceledSolves < 1 {
+		t.Fatalf("metrics = %+v, want draining with rejects and a canceled solve", m)
+	}
+}
+
+// TestLoadGenRetries503 covers the load generator's bounded
+// Retry-After handling: transient 503s are absorbed and reported,
+// persistent 503s surface as request errors once the retry budget is
+// spent.
+func TestLoadGenRetries503(t *testing.T) {
+	mix := []spec.RequestSpec{{ID: "m"}}
+
+	newFake := func(fail int64) *httptest.Server {
+		var n atomic.Int64
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) {
+			if n.Add(1) <= fail {
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"error":"draining"}`)
+				return
+			}
+			fmt.Fprint(w, `{"id":"m","results":[]}`)
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, `{}`)
+		})
+		return httptest.NewServer(mux)
+	}
+
+	t.Run("transient", func(t *testing.T) {
+		ts := newFake(2)
+		defer ts.Close()
+		rep, err := RunLoad(LoadOptions{URL: ts.URL, Clients: 1, Passes: 1, Mix: mix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := rep.Passes[0]
+		if p.Errors != 0 {
+			t.Fatalf("pass had %d errors; retries should have absorbed the 503s", p.Errors)
+		}
+		if p.Retries503 != 2 {
+			t.Fatalf("retries_503 = %d, want 2", p.Retries503)
+		}
+	})
+
+	t.Run("bounded", func(t *testing.T) {
+		ts := newFake(1 << 30)
+		defer ts.Close()
+		rep, err := RunLoad(LoadOptions{URL: ts.URL, Clients: 1, Passes: 1, Mix: mix, Max503Retries: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := rep.Passes[0]
+		if p.Errors != 1 {
+			t.Fatalf("pass errors = %d, want 1 once the retry budget is spent", p.Errors)
+		}
+		if p.Retries503 != 1 {
+			t.Fatalf("retries_503 = %d, want exactly the configured budget 1", p.Retries503)
+		}
+	})
+}

@@ -171,6 +171,28 @@ func (s *Scheduler) Admit(ctx context.Context, tenant string) (release func(), w
 	return release, wait, nil
 }
 
+// WaitIdle blocks until no solve is running or queued, polling the
+// counters (the scheduler has no completion broadcast and drain is
+// rare enough that 20 ms polls beat adding one). Returns ctx.Err()
+// when the context ends first.
+func (s *Scheduler) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		idle := s.running == 0 && s.queued == 0
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
 // dropTenant decrements a tenant's slot count, removing the map
 // entry at zero so fair shares are computed over active tenants only
 // (caller holds mu).

@@ -72,7 +72,7 @@ func TestServeBitIdenticalUnderConcurrency(t *testing.T) {
 			go func(r, i int, req spec.RequestSpec) {
 				defer wg.Done()
 				body, _ := json.Marshal(req)
-				resp, err := postSolve(ts.Client(), ts.URL, body)
+				resp, _, err := postSolveOnce(ts.Client(), ts.URL, body)
 				if err != nil {
 					errs <- fmt.Errorf("round %d req %s: %v", r, req.ID, err)
 					return

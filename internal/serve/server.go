@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +31,11 @@ type Options struct {
 	Fabric *distrib.Fabric
 	// MaxBody bounds request-body size (default 4 MiB).
 	MaxBody int64
+	// CheckpointDir, when set, enables best-so-far checkpoint capture
+	// on every solve: the latest per-scenario solver checkpoint is
+	// held in memory and persisted here (one <request-id>.checkpoint.json
+	// per solve cancelled mid-flight) when the server drains.
+	CheckpointDir string
 }
 
 // Server is the mapping service: an http.Handler exposing
@@ -50,6 +56,51 @@ type Server struct {
 	// /metrics can report this server's own traffic even when the
 	// process ran other work first (tests, warmup).
 	startEngine startCounters
+
+	// draining flips when Drain begins: new solves get 503 +
+	// Retry-After while in-flight ones run to completion (or are
+	// cancelled when the grace period lapses).
+	draining      atomic.Bool
+	drainRejected atomic.Int64
+	// canceledSolves counts solves cut short by client disconnect or
+	// drain-grace expiry.
+	canceledSolves atomic.Int64
+
+	// inflight tracks running solves so Drain can cancel stragglers
+	// and persist their best-so-far checkpoints.
+	inflightMu sync.Mutex
+	inflight   map[int64]*inflightSolve
+}
+
+// inflightSolve is one running solve's drain handle: its cancel
+// function plus the latest checkpoint per scenario (recorded only
+// when Options.CheckpointDir is set).
+type inflightSolve struct {
+	id     int64
+	reqID  string
+	tenant string
+	cancel context.CancelFunc
+
+	mu  sync.Mutex
+	cps map[string]solver.Checkpoint
+}
+
+// record stores the newest checkpoint for a scenario.
+func (in *inflightSolve) record(scenario string, cp solver.Checkpoint) {
+	in.mu.Lock()
+	in.cps[scenario] = cp
+	in.mu.Unlock()
+}
+
+// snapshot copies the recorded checkpoints.
+func (in *inflightSolve) snapshot() map[string]solver.Checkpoint {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]solver.Checkpoint, len(in.cps))
+	for k, v := range in.cps {
+		out[k] = v
+	}
+	return out
 }
 
 type startCounters struct {
@@ -71,6 +122,7 @@ func New(opts Options) *Server {
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
 		startEngine: startCounters{hits: es.Hits, misses: es.Misses, diskHits: es.DiskHits},
+		inflight:    map[int64]*inflightSolve{},
 	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -102,6 +154,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.fail(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	if s.draining.Load() {
+		s.drainRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, errors.New("serve: draining, retry elsewhere"))
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBody+1))
@@ -141,16 +199,58 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// The solve context descends from the request context, so a client
+	// hanging up propagates down through the solver budget checks and
+	// into fabric shard cancellation; Drain holds the same cancel to
+	// cut stragglers loose when the grace period lapses.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	inf := s.track(req, cancel)
+	defer s.untrack(inf, ctx)
+
 	if req.Stream {
-		s.solveStream(w, req, wait)
+		s.solveStream(ctx, w, req, wait, inf)
 		return
 	}
-	s.solveOnce(w, req, wait)
+	s.solveOnce(ctx, w, req, wait, inf)
+}
+
+// track registers a running solve for drain bookkeeping.
+func (s *Server) track(req spec.RequestSpec, cancel context.CancelFunc) *inflightSolve {
+	in := &inflightSolve{
+		id: s.seq.Add(1), reqID: req.ID, tenant: req.Tenant,
+		cancel: cancel, cps: map[string]solver.Checkpoint{},
+	}
+	s.inflightMu.Lock()
+	s.inflight[in.id] = in
+	s.inflightMu.Unlock()
+	return in
+}
+
+// untrack removes a finished solve and counts it as cancelled when
+// its context ended before completion.
+func (s *Server) untrack(in *inflightSolve, ctx context.Context) {
+	s.inflightMu.Lock()
+	delete(s.inflight, in.id)
+	s.inflightMu.Unlock()
+	if ctx.Err() != nil {
+		s.canceledSolves.Add(1)
+	}
+}
+
+// checkpointHook returns the per-scenario checkpoint recorder when
+// checkpoint capture is on (Options.CheckpointDir set), else nil so
+// solves keep their spec-declared checkpoint cadence untouched.
+func (s *Server) checkpointHook(in *inflightSolve) func(string, solver.Checkpoint) {
+	if s.opts.CheckpointDir == "" {
+		return nil
+	}
+	return func(scenario string, cp solver.Checkpoint) { in.record(scenario, cp) }
 }
 
 // solveOnce runs a request to completion and writes one JSON
 // document.
-func (s *Server) solveOnce(w http.ResponseWriter, req spec.RequestSpec, wait time.Duration) {
+func (s *Server) solveOnce(ctx context.Context, w http.ResponseWriter, req spec.RequestSpec, wait time.Duration, inf *inflightSolve) {
 	started := time.Now()
 	resp := Response{ID: req.ID, Tenant: req.Tenant, QueueWaitNS: wait.Nanoseconds()}
 
@@ -158,15 +258,20 @@ func (s *Server) solveOnce(w http.ResponseWriter, req spec.RequestSpec, wait tim
 	// attached; single scenarios and streamed solves stay in-process
 	// (results are bit-identical either way).
 	if fab := s.opts.Fabric; fab != nil && fab.Live() > 0 && len(req.Specs()) > 1 {
-		resp.Results = toWire(sim.RunScenarioSpecsOn(fab, clampedSpecs(req), sim.Overrides{}))
+		resp.Results = toWire(sim.RunScenarioSpecsOnCtx(ctx, fab, clampedSpecs(req), sim.Overrides{}))
 		resp.Distributed = true
 	} else {
-		scs, err := resolveRequest(req, nil)
+		scs, err := resolveRequest(req, s.checkpointHook(inf))
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, err)
 			return
 		}
-		resp.Results = toWire(sim.RunScenarios(scs))
+		resp.Results = toWire(sim.RunScenariosCtx(ctx, scs))
+	}
+	if ctx.Err() != nil {
+		// Client gone or drain cut us off — nobody is reading the body.
+		s.fail(w, 499, ctx.Err())
+		return
 	}
 	resp.ElapsedNS = sinceNS(started)
 	w.Header().Set("Content-Type", "application/json")
@@ -179,7 +284,7 @@ func (s *Server) solveOnce(w http.ResponseWriter, req spec.RequestSpec, wait tim
 // Server-Sent Events: one "checkpoint" event per solver snapshot,
 // one final "done" event carrying the same Response document the
 // non-streamed path returns.
-func (s *Server) solveStream(w http.ResponseWriter, req spec.RequestSpec, wait time.Duration) {
+func (s *Server) solveStream(ctx context.Context, w http.ResponseWriter, req spec.RequestSpec, wait time.Duration, inf *inflightSolve) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		s.fail(w, http.StatusNotImplemented, errors.New("serve: streaming unsupported by this connection"))
@@ -203,7 +308,11 @@ func (s *Server) solveStream(w http.ResponseWriter, req spec.RequestSpec, wait t
 		mu.Unlock()
 	}
 
+	record := s.checkpointHook(inf)
 	scs, err := resolveRequest(req, func(scenario string, cp solver.Checkpoint) {
+		if record != nil {
+			record(scenario, cp)
+		}
 		writeEvent("checkpoint", CheckpointEvent{Scenario: scenario, Checkpoint: cp})
 	})
 	if err != nil {
@@ -216,7 +325,7 @@ func (s *Server) solveStream(w http.ResponseWriter, req spec.RequestSpec, wait t
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	results := sim.RunScenarios(scs)
+	results := sim.RunScenariosCtx(ctx, scs)
 	resp := Response{
 		ID: req.ID, Tenant: req.Tenant,
 		Results:     toWire(results),

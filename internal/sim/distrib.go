@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"errors"
@@ -69,7 +70,7 @@ func init() {
 	distrib.RegisterKind("sim.scenario", runScenarioPayload)
 }
 
-func runScenarioPayload(payload []byte) ([]byte, error) {
+func runScenarioPayload(ctx context.Context, payload []byte) ([]byte, error) {
 	var t scenarioTask
 	if err := json.Unmarshal(payload, &t); err != nil {
 		return nil, fmt.Errorf("sim: decode scenario task: %w", err)
@@ -82,7 +83,7 @@ func runScenarioPayload(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := RunScenarioSpecsWithStages([]spec.ScenarioSpec{ss}, sol, cst)[0]
+	res := RunScenarioSpecsWithStagesCtx(ctx, []spec.ScenarioSpec{ss}, sol, cst)[0]
 	w := scenarioWire{
 		Name: res.Name, Result: res.Result,
 		FaultNormTput: res.FaultNormTput, Faulted: res.Faulted,
@@ -103,6 +104,13 @@ func runScenarioPayload(payload []byte) ([]byte, error) {
 // spec order. It matches RunScenarioSpecsWithStages(specs, ov.Stages())
 // bit-for-bit at any worker count.
 func RunScenarioSpecsOn(f *distrib.Fabric, specs []spec.ScenarioSpec, ov Overrides) []ScenarioResult {
+	return RunScenarioSpecsOnCtx(context.Background(), f, specs, ov)
+}
+
+// RunScenarioSpecsOnCtx is RunScenarioSpecsOn with cancellation:
+// scenarios not finished when ctx ends report ctx.Err(), and workers
+// receive best-effort shard cancellation.
+func RunScenarioSpecsOnCtx(ctx context.Context, f *distrib.Fabric, specs []spec.ScenarioSpec, ov Overrides) []ScenarioResult {
 	payloads := make([][]byte, len(specs))
 	out := make([]ScenarioResult, len(specs))
 	encErr := make([]error, len(specs))
@@ -118,7 +126,7 @@ func RunScenarioSpecsOn(f *distrib.Fabric, specs []spec.ScenarioSpec, ov Overrid
 			payloads[i] = []byte("{}")
 		}
 	}
-	raw, errs := f.Run("sim.scenario", payloads)
+	raw, errs := f.RunCtx(ctx, "sim.scenario", payloads)
 	for i := range specs {
 		switch {
 		case encErr[i] != nil:

@@ -112,7 +112,7 @@ type ScenarioResult struct {
 // tier's operator DNN as the cheap screening model. Deterministic:
 // the strategy is seeded, surrogate training is seeded, and the
 // evaluators are pure.
-func runSolverStage(sc spec.Scenario) (*SolverOutcome, error) {
+func runSolverStage(ctx context.Context, sc spec.Scenario) (*SolverOutcome, error) {
 	g := model.BlockGraph(sc.Model)
 	space := parallel.EnumerateConfigs(sc.Wafer.Dies(), true, 0)
 
@@ -149,7 +149,7 @@ func runSolverStage(sc spec.Scenario) (*SolverOutcome, error) {
 		// scenario batches do not oversubscribe the machine.
 		b.Workers = engine.Workers()
 	}
-	a, stats := sc.Solver.Strategy.Solve(context.Background(), p, b)
+	a, stats := sc.Solver.Strategy.Solve(ctx, p, b)
 	idx, share := solver.Uniform(a)
 	name := "analytic"
 	if backendKey != "" {
@@ -170,13 +170,22 @@ func runSolverStage(sc spec.Scenario) (*SolverOutcome, error) {
 }
 
 // runOne evaluates a scenario including its optional solver and fault
-// stages.
-func runOne(sc spec.Scenario) ScenarioResult {
+// stages. ctx cancellation surfaces as the scenario's Err; a solve
+// already in progress returns its best-so-far before the error is
+// stamped (the solver's run.stop checks the same context).
+func runOne(ctx context.Context, sc spec.Scenario) ScenarioResult {
+	if ctx.Err() != nil {
+		return ScenarioResult{Name: sc.Name, Err: ctx.Err()}
+	}
 	r, err := RunScenario(sc)
 	out := ScenarioResult{Name: sc.Name, Result: r, Err: err}
 	if err == nil && sc.Solver != nil {
-		out.Solver, out.Err = runSolverStage(sc)
+		out.Solver, out.Err = runSolverStage(ctx, sc)
 		err = out.Err
+	}
+	if err == nil && ctx.Err() != nil {
+		out.Err = ctx.Err()
+		return out
 	}
 	if err != nil || sc.Fault == nil {
 		return out
@@ -245,9 +254,16 @@ func runOne(sc spec.Scenario) ScenarioResult {
 // scenario's fault stage seeds its own RNG, so any worker count
 // produces the same output.
 func RunScenarios(scs []spec.Scenario) []ScenarioResult {
+	return RunScenariosCtx(context.Background(), scs)
+}
+
+// RunScenariosCtx is RunScenarios with cancellation: scenarios not
+// yet started when ctx ends report ctx.Err(); a scenario mid-solve
+// stops at its next budget check and reports the same.
+func RunScenariosCtx(ctx context.Context, scs []spec.Scenario) []ScenarioResult {
 	out := make([]ScenarioResult, len(scs))
 	engine.Map(len(scs), func(i int) {
-		out[i] = runOne(scs[i])
+		out[i] = runOne(ctx, scs[i])
 	})
 	return out
 }
@@ -272,6 +288,12 @@ func RunScenarioSpecsWithSolver(specs []spec.ScenarioSpec, override *spec.Solver
 // -strategy/-budget/-backend flags. A non-nil stage replaces the
 // corresponding spec-declared stage on every scenario in the batch.
 func RunScenarioSpecsWithStages(specs []spec.ScenarioSpec, override *spec.SolverStage, costStage *spec.CostStage) []ScenarioResult {
+	return RunScenarioSpecsWithStagesCtx(context.Background(), specs, override, costStage)
+}
+
+// RunScenarioSpecsWithStagesCtx is RunScenarioSpecsWithStages with
+// cancellation (see RunScenariosCtx).
+func RunScenarioSpecsWithStagesCtx(ctx context.Context, specs []spec.ScenarioSpec, override *spec.SolverStage, costStage *spec.CostStage) []ScenarioResult {
 	scs := make([]spec.Scenario, len(specs))
 	errs := make([]error, len(specs))
 	for i, s := range specs {
@@ -289,7 +311,7 @@ func RunScenarioSpecsWithStages(specs []spec.ScenarioSpec, override *spec.Solver
 			out[i] = ScenarioResult{Name: specs[i].Name, Err: errs[i]}
 			return
 		}
-		out[i] = runOne(scs[i])
+		out[i] = runOne(ctx, scs[i])
 	})
 	return out
 }

@@ -36,7 +36,7 @@ func init() {
 	distrib.RegisterKind("solver.race", distrib.HandlerGob(runRaceTask))
 }
 
-func runRaceTask(t raceTask) (raceOut, error) {
+func runRaceTask(ctx context.Context, t raceTask) (raceOut, error) {
 	g := model.BlockGraph(t.Model)
 	space := parallel.EnumerateConfigs(t.Wafer.Dies(), true, 0)
 	cm, screen, err := SearchModels(t.Strategy, t.Backend, t.Model, t.Wafer, t.ScreenSeed)
@@ -48,7 +48,7 @@ func runRaceTask(t raceTask) (raceOut, error) {
 		return raceOut{}, err
 	}
 	p := Problem{Graph: g, Space: space, Model: cm, Screen: screen}
-	a, s := st.Solve(context.Background(), p, t.Budget)
+	a, s := st.Solve(ctx, p, t.Budget)
 	return raceOut{Assignment: a, Stats: s}, nil
 }
 
@@ -58,8 +58,9 @@ func runRaceTask(t raceTask) (raceOut, error) {
 // aggregate stats carry every racer under Sub. The only semantic
 // difference from the in-process portfolio is the deadline: it
 // applies per racer rather than as one shared context, since workers
-// are separate processes.
-func DistributedRace(f *distrib.Fabric, m model.Config, w hw.Wafer, backendKey string, seed, screenSeed int64, b Budget) (Assignment, Stats, error) {
+// are separate processes. Cancelling ctx aborts the race: unfinished
+// racers report ctx.Err() and the call fails.
+func DistributedRace(ctx context.Context, f *distrib.Fabric, m model.Config, w hw.Wafer, backendKey string, seed, screenSeed int64, b Budget) (Assignment, Stats, error) {
 	inner := b
 	inner.Deadline = b.Deadline
 	names := []string{"ga", "anneal", "hillclimb", "multifid"}
@@ -70,7 +71,7 @@ func DistributedRace(f *distrib.Fabric, m model.Config, w hw.Wafer, backendKey s
 			Model: m, Wafer: w, Backend: backendKey, Budget: inner,
 		}
 	}
-	outs, errs := distrib.RunTasks[raceTask, raceOut](f, "solver.race", tasks)
+	outs, errs := distrib.RunTasksCtx[raceTask, raceOut](ctx, f, "solver.race", tasks)
 	for i, err := range errs {
 		if err != nil {
 			return nil, Stats{}, fmt.Errorf("solver: distributed racer %s: %w", names[i], err)

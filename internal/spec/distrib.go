@@ -15,6 +15,15 @@ type DistribSpec struct {
 	// Retries bounds per-shard requeues after a worker failure
 	// (0 = the fabric default).
 	Retries int `json:"retries,omitempty"`
+	// HeartbeatMS is the liveness ping cadence in milliseconds
+	// (0 = the fabric default, 500ms).
+	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
+	// MissedBeats is how many consecutive missed heartbeats declare a
+	// worker dead (0 = the fabric default, 3).
+	MissedBeats int `json:"missed_beats,omitempty"`
+	// SyncMemo ships the coordinator's warm disk-memo to attaching
+	// workers that lack one (shared-nothing deployments).
+	SyncMemo bool `json:"sync_memo,omitempty"`
 }
 
 func (d *DistribSpec) validate(name string) error {
@@ -29,6 +38,12 @@ func (d *DistribSpec) validate(name string) error {
 	}
 	if d.Retries < 0 {
 		return fmt.Errorf("scenario %q: distrib retries %d is negative", name, d.Retries)
+	}
+	if d.HeartbeatMS < 0 {
+		return fmt.Errorf("scenario %q: distrib heartbeat_ms %d is negative", name, d.HeartbeatMS)
+	}
+	if d.MissedBeats < 0 {
+		return fmt.Errorf("scenario %q: distrib missed_beats %d is negative", name, d.MissedBeats)
 	}
 	return nil
 }

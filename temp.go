@@ -332,8 +332,15 @@ type (
 	// FabricOptions configures worker spawning and sharding.
 	FabricOptions = distrib.Options
 	// FabricStats summarizes a fabric's lifetime (per-worker
-	// throughput, steals, requeues, cache counters).
+	// throughput, steals, requeues, heartbeat liveness, cache
+	// counters).
 	FabricStats = distrib.Stats
+	// ChaosConfig is the deterministic fault-injection campaign a
+	// fabric's transports can run under (delay/drop/corrupt/truncate/
+	// stall/kill at seeded rates); merged results stay bit-identical.
+	ChaosConfig = distrib.ChaosConfig
+	// RedialOptions configures a TCP worker's reconnect backoff.
+	RedialOptions = distrib.RedialOptions
 	// DistribSpec is the optional "distrib" block of a scenario spec.
 	DistribSpec = spec.DistribSpec
 )
@@ -346,6 +353,11 @@ var (
 	ServeFabricWorker = distrib.ServeStdio
 	// ConnectFabricWorker dials a coordinator and serves over TCP.
 	ConnectFabricWorker = distrib.ConnectAndServe
+	// DialFabricWorker is ConnectFabricWorker with re-dial on
+	// connection loss (exponential backoff, deterministic jitter).
+	DialFabricWorker = distrib.DialAndServe
+	// ParseChaos parses a "seed,rate" chaos campaign spec.
+	ParseChaos = distrib.ParseChaos
 	// RegisterFabricKind adds a task kind to the worker registry.
 	RegisterFabricKind = distrib.RegisterKind
 	// RunScenarioSpecsOn distributes a scenario batch over a fabric.
